@@ -1,0 +1,214 @@
+// Benchmarks mapping one-to-one onto the paper's tables and figures (see
+// DESIGN.md's per-experiment index). Each benchmark regenerates its
+// figure at a reduced scale and reports headline values as custom
+// metrics, so `go test -bench=.` doubles as a smoke reproduction. Full
+// paper-scale reproduction is `gocast-experiments -scale paper` (see
+// EXPERIMENTS.md for recorded results).
+package gocast
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gocast/internal/experiments"
+)
+
+// benchScale is deliberately small: benchmarks must terminate quickly.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Nodes:    128,
+		Warmup:   80 * time.Second,
+		Messages: 30,
+		Rate:     100,
+		Drain:    30 * time.Second,
+		Seed:     1,
+	}
+}
+
+func reportSeconds(b *testing.B, name, cell string) {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "s"), 64)
+	if err != nil {
+		b.Fatalf("bad cell %q: %v", cell, err)
+	}
+	b.ReportMetric(v, name)
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Figure1(1024, 20)
+		if len(rep.Rows) != 20 {
+			b.Fatal("figure 1 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Figure3(benchScale(), 0)
+		reportSeconds(b, "gocast-p99-s", rep.Rows[0][4])
+		reportSeconds(b, "gossip-p99-s", rep.Rows[3][4])
+	}
+}
+
+func BenchmarkFigure3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Figure3(benchScale(), 0.20)
+		reportSeconds(b, "gocast-p99-s", rep.Rows[0][4])
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small := benchScale()
+		large := small
+		large.Nodes = small.Nodes * 4
+		rep := experiments.Figure4(small, large, 0.20)
+		reportSeconds(b, "small-max-s", rep.Rows[0][5])
+		reportSeconds(b, "large-max-s", rep.Rows[2][5])
+	}
+}
+
+func BenchmarkFigure5a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Figure5a(benchScale())
+		frac, _ := strconv.ParseFloat(strings.TrimSuffix(rep.Rows[2][1], "%"), 64)
+		b.ReportMetric(frac, "deg6-pct")
+	}
+}
+
+func BenchmarkFigure5b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Figure5b(benchScale(), 80*time.Second, 20*time.Second)
+		reportSeconds(b, "tree-link-s", rep.Rows[len(rep.Rows)-1][2])
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Figure6(benchScale(), []float64{0.25}, []int{0, 1})
+		q1, _ := strconv.ParseFloat(rep.Rows[0][2], 64)
+		b.ReportMetric(q1, "q-crand1")
+	}
+}
+
+func BenchmarkGossipHearCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Nodes = 256
+		rep := experiments.HearCounts(sc, 5)
+		max, _ := strconv.ParseFloat(rep.Rows[2][1], 64)
+		b.ReportMetric(max, "max-hears")
+	}
+}
+
+func BenchmarkRedundancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Redundancy(benchScale(), nil)
+		dup, _ := strconv.ParseFloat(rep.Rows[0][2], 64)
+		b.ReportMetric(dup, "p-dup-f0")
+	}
+}
+
+func BenchmarkLinkChanges(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.LinkChanges(benchScale(), 60*time.Second, 10*time.Second)
+		if len(rep.Rows) == 0 {
+			b.Fatal("no link change data")
+		}
+	}
+}
+
+func BenchmarkRandomLinkSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Warmup = 60 * time.Second
+		rep := experiments.RandomLinkSweep(sc)
+		if len(rep.Rows) != 6 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+func BenchmarkDiameter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Diameter([]int{64, 128, 256}, 60*time.Second, 1)
+		d, _ := strconv.Atoi(rep.Rows[len(rep.Rows)-1][1])
+		b.ReportMetric(float64(d), "diameter-256")
+	}
+}
+
+func BenchmarkLinkStress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// The stress factor needs a converged proximity overlay and a
+		// non-trivial underlay to be meaningful; below this scale the
+		// measurement is noise.
+		sc := benchScale()
+		sc.Nodes = 256
+		sc.Warmup = 150 * time.Second
+		sc.Messages = 60
+		rep := experiments.LinkStress(sc, 128, 1000)
+		gc, _ := strconv.ParseFloat(rep.Rows[0][1], 64)
+		pg, _ := strconv.ParseFloat(rep.Rows[1][1], 64)
+		if gc > 0 {
+			b.ReportMetric(pg/gc, "stress-factor")
+		}
+	}
+}
+
+func BenchmarkFanoutSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Nodes = 256
+		rep := experiments.FanoutSweep(sc, []int{5, 9, 15})
+		reportSeconds(b, "f5-mean-s", rep.Rows[0][1])
+		reportSeconds(b, "f15-mean-s", rep.Rows[2][1])
+	}
+}
+
+func BenchmarkAblateC1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Warmup = 60 * time.Second
+		rep := experiments.AblateC1(sc)
+		reportSeconds(b, "paper-latency-s", rep.Rows[0][1])
+		reportSeconds(b, "strict-latency-s", rep.Rows[1][1])
+	}
+}
+
+func BenchmarkAblateDropTrigger(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Warmup = 60 * time.Second
+		rep := experiments.AblateDropTrigger(sc)
+		churn, _ := strconv.ParseFloat(rep.Rows[1][1], 64)
+		base, _ := strconv.ParseFloat(rep.Rows[0][1], 64)
+		if base > 0 {
+			b.ReportMetric(churn/base, "churn-ratio")
+		}
+	}
+}
+
+func BenchmarkAblateC4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Warmup = 60 * time.Second
+		rep := experiments.AblateC4(sc)
+		if len(rep.Rows) != 2 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+// BenchmarkSimulationThroughput measures raw simulator speed: simulated
+// protocol seconds per wall second at 256 nodes.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := RunSimulation(SimOptions{Nodes: 256, Warmup: 60 * time.Second, Messages: 20, Seed: int64(i + 1)})
+		if res.DeliveryRatio < 1 {
+			b.Fatalf("delivery ratio %v", res.DeliveryRatio)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command gocast-experiments regenerates the tables and figures of the
+// GoCast paper (DSN 2005) from the simulation harness in this repository.
+//
+// Usage:
+//
+//	gocast-experiments -fig all -scale quick
+//	gocast-experiments -fig 3a -scale paper
+//
+// At -scale paper the setup matches the publication (1,024 nodes, 500 s of
+// adaptation, 1,000 messages at 100/s; Figure 4 additionally runs 8,192
+// nodes) and a full run takes tens of minutes on one core. -scale quick
+// keeps every experiment's shape at a fraction of the cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gocast/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gocast-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gocast-experiments", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "all", "which figure to regenerate: all,1,3a,3b,3a-curves,3b-curves,4,5a,5b,6,hears,redundancy,linkchanges,randsweep,diameter,stress,fanoutsweep,ablate ('all' skips the -curves variants)")
+		scale  = fs.String("scale", "quick", "experiment scale: paper or quick")
+		nodes  = fs.Int("nodes", 0, "override the node count")
+		seed   = fs.Int64("seed", 0, "override the random seed")
+		warmup = fs.Duration("warmup", 0, "override the adaptation warmup")
+		msgs   = fs.Int("messages", 0, "override the message count")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "paper":
+		sc = experiments.PaperScale()
+	case "quick":
+		sc = experiments.QuickScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *nodes > 0 {
+		sc.Nodes = *nodes
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *warmup > 0 {
+		sc.Warmup = *warmup
+	}
+	if *msgs > 0 {
+		sc.Messages = *msgs
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	ran := 0
+	emit := func(name string, gen func() *experiments.Report) {
+		// The -curves variants duplicate their parent experiment's cost,
+		// so "all" skips them; request them explicitly.
+		if !want[name] && !(all && !strings.HasSuffix(name, "-curves")) {
+			return
+		}
+		ran++
+		start := time.Now()
+		rep := gen()
+		fmt.Println(rep.String())
+		fmt.Printf("# generated in %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	emit("1", func() *experiments.Report { return experiments.Figure1(1024, 20) })
+	emit("3a", func() *experiments.Report { return experiments.Figure3(sc, 0) })
+	emit("3b", func() *experiments.Report { return experiments.Figure3(sc, 0.20) })
+	emit("3a-curves", func() *experiments.Report {
+		return experiments.Figure3Curves(sc, 0, 40, 4*time.Second)
+	})
+	emit("3b-curves", func() *experiments.Report {
+		return experiments.Figure3Curves(sc, 0.20, 40, 4*time.Second)
+	})
+	emit("4", func() *experiments.Report {
+		large := sc
+		large.Nodes = sc.Nodes * 8
+		large.Seed = sc.Seed + 7
+		return experiments.Figure4(sc, large, 0.20)
+	})
+	emit("5a", func() *experiments.Report { return experiments.Figure5a(sc) })
+	emit("5b", func() *experiments.Report {
+		until, step := 200*time.Second, 10*time.Second
+		if sc.Warmup < until {
+			until, step = sc.Warmup, sc.Warmup/10
+		}
+		return experiments.Figure5b(sc, until, step)
+	})
+	emit("6", func() *experiments.Report { return experiments.Figure6(sc, nil, nil) })
+	emit("hears", func() *experiments.Report { return experiments.HearCounts(sc, 5) })
+	emit("redundancy", func() *experiments.Report { return experiments.Redundancy(sc, nil) })
+	emit("linkchanges", func() *experiments.Report {
+		return experiments.LinkChanges(sc, sc.Warmup, sc.Warmup/20)
+	})
+	emit("randsweep", func() *experiments.Report { return experiments.RandomLinkSweep(sc) })
+	emit("diameter", func() *experiments.Report {
+		sizes := []int{256, 512, 1024, 2048, 4096, 8192}
+		if *scale == "quick" {
+			sizes = []int{128, 256, 512, 1024}
+		}
+		return experiments.Diameter(sizes, sc.Warmup, sc.Seed)
+	})
+	emit("stress", func() *experiments.Report {
+		ases := 256
+		if sc.Nodes < 512 {
+			ases = 128
+		}
+		return experiments.LinkStress(sc, ases, 1000)
+	})
+	emit("fanoutsweep", func() *experiments.Report { return experiments.FanoutSweep(sc, nil) })
+	emit("ablate", func() *experiments.Report {
+		// Combine the three ablations into one printout.
+		a, b, c := experiments.AblateC1(sc), experiments.AblateDropTrigger(sc), experiments.AblateC4(sc)
+		fmt.Println(a.String())
+		fmt.Println(b.String())
+		return c
+	})
+
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched -fig %q", *fig)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestFigure1RunsQuickly(t *testing.T) {
+	if err := run([]string{"-fig", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFigureRejected(t *testing.T) {
+	if err := run([]string{"-fig", "nope"}); err == nil {
+		t.Fatalf("unknown figure accepted")
+	}
+}
+
+func TestUnknownScaleRejected(t *testing.T) {
+	if err := run([]string{"-scale", "mega"}); err == nil {
+		t.Fatalf("unknown scale accepted")
+	}
+}
+
+func TestTinyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	err := run([]string{
+		"-fig", "5a,hears",
+		"-scale", "quick",
+		"-nodes", "64",
+		"-warmup", "30s",
+		"-messages", "10",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

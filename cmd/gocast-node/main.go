@@ -1,0 +1,114 @@
+// Command gocast-node runs one live GoCast node over TCP/UDP. The first
+// node of a group runs with -root; every other node points -join at any
+// existing member. Lines read from stdin are multicast to the group;
+// received messages are printed to stdout.
+//
+//	# terminal 1
+//	gocast-node -id 0 -listen 127.0.0.1:7946 -root
+//	# terminal 2
+//	gocast-node -id 1 -listen 127.0.0.1:7947 -join 0@127.0.0.1:7946
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"gocast"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gocast-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gocast-node", flag.ContinueOnError)
+	var (
+		id     = fs.Int("id", 0, "this node's unique ID")
+		listen = fs.String("listen", "127.0.0.1:7946", "TCP/UDP listen address")
+		join   = fs.String("join", "", "contact as id@host:port (empty for the first node)")
+		root   = fs.Bool("root", false, "become the initial tree root")
+		quiet  = fs.Bool("quiet", false, "do not echo received messages")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tr, err := gocast.NewTCPTransport(gocast.NodeID(*id), *listen)
+	if err != nil {
+		return err
+	}
+	node := gocast.NewNode(gocast.NodeOptions{
+		ID:        gocast.NodeID(*id),
+		Config:    gocast.DefaultConfig(),
+		Transport: tr,
+		Seed:      time.Now().UnixNano(),
+		OnDeliver: func(mid gocast.MessageID, payload []byte, age time.Duration) {
+			if !*quiet {
+				fmt.Printf("[%s age=%v] %s\n", mid, age.Round(time.Millisecond), payload)
+			}
+		},
+	})
+	defer node.Close()
+	fmt.Printf("node %d listening on %s\n", *id, tr.Addr())
+
+	switch {
+	case *root:
+		node.BecomeRoot()
+		node.SetLandmarks([]gocast.Entry{node.Entry()})
+		fmt.Println("acting as initial tree root")
+	case *join != "":
+		contact, err := parseContact(*join)
+		if err != nil {
+			return err
+		}
+		node.Join(contact)
+		fmt.Printf("joining via node %d at %s\n", contact.ID, contact.Addr)
+	default:
+		return fmt.Errorf("need -root or -join")
+	}
+
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			if line == "/status" {
+				fmt.Printf("degree=%d root=%d parent=%d\n",
+					node.Degree(), node.Root(), node.Parent())
+				continue
+			}
+			mid := node.Multicast([]byte(line))
+			fmt.Printf("sent %s\n", mid)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nleaving group")
+	return nil
+}
+
+func parseContact(s string) (gocast.Entry, error) {
+	at := strings.IndexByte(s, '@')
+	if at < 0 {
+		return gocast.Entry{}, fmt.Errorf("contact %q: want id@host:port", s)
+	}
+	id, err := strconv.Atoi(s[:at])
+	if err != nil {
+		return gocast.Entry{}, fmt.Errorf("contact %q: bad id: %v", s, err)
+	}
+	return gocast.Entry{ID: gocast.NodeID(id), Addr: s[at+1:]}, nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseContact(t *testing.T) {
+	e, err := parseContact("3@10.0.0.1:7946")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != 3 || e.Addr != "10.0.0.1:7946" {
+		t.Fatalf("parsed %+v", e)
+	}
+}
+
+func TestParseContactErrors(t *testing.T) {
+	for _, in := range []string{"", "noat", "x@host:1", "@host:1"} {
+		if _, err := parseContact(in); err == nil {
+			t.Errorf("parseContact(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestRunRejectsMissingMode(t *testing.T) {
+	if err := run([]string{"-listen", "127.0.0.1:0"}); err == nil {
+		t.Fatalf("run without -root or -join must fail")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatalf("bad flag accepted")
+	}
+}

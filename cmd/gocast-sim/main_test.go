@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunTinySimulation(t *testing.T) {
+	err := run([]string{
+		"-nodes", "48",
+		"-warmup", "30s",
+		"-messages", "10",
+		"-drain", "10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithFailures(t *testing.T) {
+	err := run([]string{
+		"-nodes", "48",
+		"-warmup", "30s",
+		"-messages", "10",
+		"-drain", "20s",
+		"-fail", "0.2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatalf("bad flag accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Command latencygen synthesizes a King-like wide-area latency matrix,
+// prints its distribution statistics, and optionally saves it in the text
+// format accepted by the simulators (so real measurement data can be
+// swapped in with the same tooling).
+//
+// Example:
+//
+//	latencygen -sites 1740 -seed 1 -out king-synth.lat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gocast/internal/latency"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "latencygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("latencygen", flag.ContinueOnError)
+	var (
+		sites = fs.Int("sites", latency.KingSites, "number of measurement sites")
+		seed  = fs.Int64("seed", 1, "random seed")
+		out   = fs.String("out", "", "write the matrix to this file")
+		check = fs.String("check", "", "load a matrix file and print its statistics instead")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var m *latency.Matrix
+	if *check != "" {
+		f, err := os.Open(*check)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		m, err = latency.Load(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d sites from %s\n", m.Sites(), *check)
+	} else {
+		m = latency.Synthesize(*sites, *seed)
+		fmt.Printf("synthesized %d sites (seed %d)\n", *sites, *seed)
+	}
+
+	st := m.Stats()
+	fmt.Printf("one-way latency: mean %v  min %v  p50 %v  p90 %v  p99 %v  max %v\n",
+		st.Mean, st.Min, st.P50, st.P90, st.P99, st.Max)
+	fmt.Printf("King reference:  mean %v  max %v\n", latency.KingMeanOneWay, latency.KingMaxOneWay)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := m.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}

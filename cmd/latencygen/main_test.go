@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndCheckRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.lat")
+	if err := run([]string{"-sites", "40", "-seed", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("output file missing: %v", err)
+	}
+	if err := run([]string{"-check", out}); err != nil {
+		t.Fatalf("check of generated file failed: %v", err)
+	}
+}
+
+func TestCheckMissingFile(t *testing.T) {
+	if err := run([]string{"-check", "/does/not/exist"}); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatalf("bad flag accepted")
+	}
+}

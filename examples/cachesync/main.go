@@ -1,0 +1,126 @@
+// Cachesync: keeping replica caches consistent by multicasting updates —
+// the paper's "propagating updates of shared state to maintain cache
+// consistency" use case.
+//
+// Every node holds a key/value cache. Writers multicast versioned updates;
+// replicas apply an update only if its version is newer than what they
+// hold (so duplicate-free, possibly reordered delivery still converges).
+// At the end, every replica's cache must be identical.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"reflect"
+	"sync"
+	"time"
+
+	"gocast"
+)
+
+const (
+	replicas = 24
+	keys     = 16
+	writes   = 200
+)
+
+type update struct {
+	Key     string `json:"key"`
+	Value   int    `json:"value"`
+	Version int    `json:"version"`
+}
+
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]update
+}
+
+func (c *cache) apply(u update) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[u.Key]; !ok || u.Version > cur.Version {
+		c.entries[u.Key] = u
+	}
+}
+
+func (c *cache) snapshot() map[string]update {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]update, len(c.entries))
+	for k, v := range c.entries {
+		out[k] = v
+	}
+	return out
+}
+
+func main() {
+	caches := make([]*cache, replicas)
+	for i := range caches {
+		caches[i] = &cache{entries: make(map[string]update)}
+	}
+
+	cluster := gocast.NewCluster(gocast.ClusterOptions{
+		Nodes:  replicas,
+		Config: gocast.FastConfig(),
+		Seed:   7,
+		OnDeliver: func(node int, _ gocast.MessageID, payload []byte) {
+			var u update
+			if err := json.Unmarshal(payload, &u); err != nil {
+				log.Printf("replica %d: bad update: %v", node, err)
+				return
+			}
+			caches[node].apply(u)
+		},
+	})
+	defer cluster.Close()
+
+	if !cluster.AwaitDegree(2, 30*time.Second) {
+		log.Fatal("overlay failed to form")
+	}
+	fmt.Printf("%d replicas connected\n", replicas)
+
+	rng := rand.New(rand.NewSource(99))
+	version := 0
+	for w := 0; w < writes; w++ {
+		version++
+		u := update{
+			Key:     fmt.Sprintf("key-%02d", rng.Intn(keys)),
+			Value:   rng.Intn(10000),
+			Version: version,
+		}
+		payload, err := json.Marshal(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writer := rng.Intn(replicas)
+		cluster.Node(writer).Multicast(payload)
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("%d updates written across %d keys from random replicas\n", writes, keys)
+
+	// Wait for convergence.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		want := caches[0].snapshot()
+		agree := len(want) > 0
+		for _, c := range caches[1:] {
+			if !reflect.DeepEqual(want, c.snapshot()) {
+				agree = false
+				break
+			}
+		}
+		if agree {
+			fmt.Printf("converged: all %d replicas hold identical caches (%d keys)\n",
+				replicas, len(want))
+			hot := want[fmt.Sprintf("key-%02d", 0)]
+			fmt.Printf("e.g. %s = %d (version %d)\n", hot.Key, hot.Value, hot.Version)
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("replicas failed to converge")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

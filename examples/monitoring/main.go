@@ -1,0 +1,121 @@
+// Monitoring: the paper's motivating workload — disseminating system
+// monitoring events to every management node, under churn.
+//
+// A 40-node group carries a steady stream of monitoring events while
+// nodes keep failing abruptly; GoCast's tree delivers events fast and the
+// background gossip covers whatever the failures break. The example
+// reports the delivery ratio and latency percentiles seen by the
+// survivors.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"gocast"
+)
+
+const (
+	groupSize   = 40
+	events      = 150
+	eventEvery  = 50 * time.Millisecond
+	killEvery   = 20 // kill one node every this many events
+	maxFailures = 5
+)
+
+type tracker struct {
+	mu       sync.Mutex
+	sent     map[gocast.MessageID]time.Time
+	delays   []time.Duration
+	perEvent map[gocast.MessageID]int
+	dead     map[int]bool
+}
+
+func main() {
+	tr := &tracker{
+		sent:     make(map[gocast.MessageID]time.Time),
+		perEvent: make(map[gocast.MessageID]int),
+		dead:     make(map[int]bool),
+	}
+	cluster := gocast.NewCluster(gocast.ClusterOptions{
+		Nodes:  groupSize,
+		Config: gocast.FastConfig(),
+		Seed:   42,
+		OnDeliver: func(node int, id gocast.MessageID, _ []byte) {
+			tr.mu.Lock()
+			defer tr.mu.Unlock()
+			if at, ok := tr.sent[id]; ok {
+				tr.delays = append(tr.delays, time.Since(at))
+				tr.perEvent[id]++
+			}
+		},
+	})
+	defer cluster.Close()
+
+	if !cluster.AwaitDegree(2, 30*time.Second) {
+		log.Fatal("overlay failed to form")
+	}
+	fmt.Printf("monitoring fabric of %d nodes ready\n", groupSize)
+
+	killed := 0
+	for i := 0; i < events; i++ {
+		src := i % groupSize
+		tr.mu.Lock()
+		for tr.dead[src] {
+			src = (src + 1) % groupSize
+		}
+		tr.mu.Unlock()
+
+		event := fmt.Sprintf("cpu-alarm host-%03d seq-%d", i%97, i)
+		node := cluster.Node(src)
+		at := time.Now()
+		id := node.Multicast([]byte(event))
+		tr.mu.Lock()
+		tr.sent[id] = at
+		tr.mu.Unlock()
+
+		if i > 0 && i%killEvery == 0 && killed < maxFailures {
+			victim := (src + 7) % groupSize
+			tr.mu.Lock()
+			already := tr.dead[victim]
+			if !already {
+				tr.dead[victim] = true
+			}
+			tr.mu.Unlock()
+			if !already {
+				cluster.Node(victim).Kill()
+				killed++
+				fmt.Printf("  !! node %d failed abruptly (event %d)\n", victim, i)
+			}
+		}
+		time.Sleep(eventEvery)
+	}
+
+	// Allow stragglers to arrive via gossip pulls.
+	time.Sleep(3 * time.Second)
+
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	alive := groupSize - killed
+	expected := 0
+	got := 0
+	for id := range tr.sent {
+		expected += alive
+		got += tr.perEvent[id]
+	}
+	sort.Slice(tr.delays, func(i, j int) bool { return tr.delays[i] < tr.delays[j] })
+	pct := func(q float64) time.Duration {
+		if len(tr.delays) == 0 {
+			return 0
+		}
+		return tr.delays[int(q*float64(len(tr.delays)-1))]
+	}
+	fmt.Printf("\n%d events, %d failures injected, %d survivors\n", events, killed, alive)
+	fmt.Printf("delivery ratio (approx): %.4f\n", float64(got)/float64(expected))
+	fmt.Printf("event latency: p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
+		pct(0.99).Round(time.Millisecond), pct(1).Round(time.Millisecond))
+}

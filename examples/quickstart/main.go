@@ -1,0 +1,74 @@
+// Quickstart: boot a 32-node in-process GoCast group, multicast one
+// message, and watch it reach every node through the overlay tree.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"gocast"
+)
+
+func main() {
+	const groupSize = 32
+
+	var (
+		mu        sync.Mutex
+		delivered = map[int]time.Time{}
+	)
+	cluster := gocast.NewCluster(gocast.ClusterOptions{
+		Nodes:  groupSize,
+		Config: gocast.FastConfig(),
+		Seed:   time.Now().UnixNano(),
+		OnDeliver: func(node int, id gocast.MessageID, payload []byte) {
+			mu.Lock()
+			delivered[node] = time.Now()
+			mu.Unlock()
+		},
+	})
+	defer cluster.Close()
+
+	fmt.Printf("booting a %d-node group...\n", groupSize)
+	if !cluster.AwaitDegree(2, 30*time.Second) {
+		log.Fatal("overlay failed to form")
+	}
+	fmt.Println("overlay formed; every node has neighbors")
+
+	start := time.Now()
+	id := cluster.Node(5).Multicast([]byte("hello, group"))
+	fmt.Printf("node 5 multicast %s\n", id)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		n := len(delivered)
+		mu.Unlock()
+		if n == groupSize {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("only %d/%d nodes delivered", n, groupSize)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var last time.Time
+	mu.Lock()
+	for _, at := range delivered {
+		if at.After(last) {
+			last = at
+		}
+	}
+	mu.Unlock()
+	fmt.Printf("all %d nodes delivered within %v\n", groupSize, last.Sub(start).Round(time.Millisecond))
+
+	// Peek at the overlay from one node's perspective.
+	nb := cluster.Node(5).Neighbors()
+	fmt.Printf("node 5 has %d overlay neighbors:", len(nb))
+	for _, info := range nb {
+		fmt.Printf(" %d(%s)", info.ID, info.Kind)
+	}
+	fmt.Println()
+}

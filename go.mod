@@ -1,0 +1,3 @@
+module gocast
+
+go 1.22

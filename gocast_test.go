@@ -1,0 +1,103 @@
+package gocast
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunSimulationDefaultsAndDeterminism(t *testing.T) {
+	opts := SimOptions{Nodes: 96, Warmup: 60 * time.Second, Messages: 20}
+	a := RunSimulation(opts)
+	b := RunSimulation(opts)
+	if a.DeliveryRatio != 1 {
+		t.Fatalf("delivery ratio = %v, want 1", a.DeliveryRatio)
+	}
+	if a.P50 != b.P50 || a.Max != b.Max || a.Counters.GossipsSent != b.Counters.GossipsSent {
+		t.Fatalf("same-seed simulations diverged: %+v vs %+v", a, b)
+	}
+	if a.MeanDegree < 5 || a.MeanDegree > 8 {
+		t.Errorf("mean degree = %.2f, want near 6", a.MeanDegree)
+	}
+	if a.LargestComponentRatio != 1 {
+		t.Errorf("overlay not connected: q=%v", a.LargestComponentRatio)
+	}
+	if a.AvgTreeLatency > a.AvgOverlayLatency {
+		t.Errorf("tree links (%v) worse than overlay average (%v)", a.AvgTreeLatency, a.AvgOverlayLatency)
+	}
+}
+
+func TestRunSimulationWithFailures(t *testing.T) {
+	res := RunSimulation(SimOptions{
+		Nodes:        96,
+		Warmup:       60 * time.Second,
+		Messages:     20,
+		FailFraction: 0.2,
+		Seed:         3,
+	})
+	if res.DeliveryRatio != 1 {
+		t.Fatalf("delivery ratio under failures = %v, want 1 (gossip covers the tree)", res.DeliveryRatio)
+	}
+}
+
+func TestVariantConfigsThroughFacade(t *testing.T) {
+	cfg := RandomOverlayConfig()
+	res := RunSimulation(SimOptions{
+		Nodes:    64,
+		Warmup:   40 * time.Second,
+		Messages: 10,
+		Config:   &cfg,
+		Seed:     4,
+	})
+	if res.DeliveryRatio != 1 {
+		t.Fatalf("random-overlay delivery = %v", res.DeliveryRatio)
+	}
+	if res.Counters.TreeForwards != 0 {
+		t.Fatalf("tree disabled but %d tree forwards", res.Counters.TreeForwards)
+	}
+}
+
+func TestFacadeLiveCluster(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		count int
+	)
+	c := NewCluster(ClusterOptions{
+		Nodes:  8,
+		Config: FastConfig(),
+		Seed:   5,
+		OnDeliver: func(int, MessageID, []byte) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		},
+	})
+	defer c.Close()
+	if !c.AwaitDegree(2, 20*time.Second) {
+		t.Fatalf("cluster failed to form")
+	}
+	c.Node(1).Multicast([]byte("facade"))
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		mu.Lock()
+		n := count
+		mu.Unlock()
+		if n == 8 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered to %d/8", n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestDefaultConfigExposed(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.CRand != 1 || cfg.CNear != 5 || !cfg.EnableTree {
+		t.Fatalf("unexpected default config: %+v", cfg)
+	}
+	if ProximityOverlayConfig().EnableTree || RandomOverlayConfig().EnableTree {
+		t.Fatalf("overlay baselines must disable the tree")
+	}
+}

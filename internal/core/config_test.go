@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.CRand != 1 || c.CNear != 5 {
+		t.Errorf("target degrees = %d random + %d nearby, paper uses 1 + 5", c.CRand, c.CNear)
+	}
+	if c.GossipPeriod != 100*time.Millisecond {
+		t.Errorf("gossip period = %v, paper uses 0.1 s", c.GossipPeriod)
+	}
+	if c.MaintainPeriod != 100*time.Millisecond {
+		t.Errorf("maintenance period = %v, paper uses 0.1 s", c.MaintainPeriod)
+	}
+	if c.HeartbeatPeriod != 15*time.Second {
+		t.Errorf("heartbeat = %v, paper uses 15 s", c.HeartbeatPeriod)
+	}
+	if c.ReclaimAfter != 2*time.Minute {
+		t.Errorf("reclaim window = %v, paper uses 2 min", c.ReclaimAfter)
+	}
+	if !c.EnableTree {
+		t.Errorf("tree must be enabled by default")
+	}
+	if c.TargetDegree() != 6 {
+		t.Errorf("target degree = %d, want 6", c.TargetDegree())
+	}
+}
+
+func TestVariantConfigs(t *testing.T) {
+	p := ProximityOverlayConfig()
+	if p.EnableTree {
+		t.Errorf("proximity overlay must disable the tree")
+	}
+	if p.CRand != 1 || p.CNear != 5 {
+		t.Errorf("proximity overlay keeps the 1+5 overlay, got %d+%d", p.CRand, p.CNear)
+	}
+	r := RandomOverlayConfig()
+	if r.EnableTree {
+		t.Errorf("random overlay must disable the tree")
+	}
+	if r.CRand != 6 || r.CNear != 0 {
+		t.Errorf("random overlay uses 6 random neighbors, got %d+%d", r.CRand, r.CNear)
+	}
+}
+
+func TestValidateFixesPathologicalValues(t *testing.T) {
+	var c Config
+	c.CRand, c.CNear = -1, -2
+	v := c.validate()
+	if v.GossipPeriod <= 0 || v.MaintainPeriod <= 0 || v.HeartbeatPeriod <= 0 {
+		t.Errorf("validate left non-positive periods: %+v", v)
+	}
+	if v.CRand != 0 || v.CNear != 0 {
+		t.Errorf("negative degrees should clamp to zero")
+	}
+	if v.MemberViewSize <= 0 || v.DegreeSlack <= 0 {
+		t.Errorf("validate left non-positive sizes: %+v", v)
+	}
+}
+
+func TestMessageWireSizes(t *testing.T) {
+	msgs := []Message{
+		&JoinRequest{},
+		&JoinReply{Members: make([]Entry, 3)},
+		&Ping{},
+		&Pong{},
+		&AddRequest{},
+		&AddReply{},
+		&Drop{},
+		&Rebalance{},
+		&RebalanceReply{},
+		&Gossip{IDs: make([]GossipID, 4), Members: make([]Entry, 2)},
+		&PullRequest{IDs: make([]MessageID, 2)},
+		&Multicast{Payload: make([]byte, 100)},
+		&TreeAdvert{},
+		&TreeParent{},
+	}
+	kinds := map[MsgKind]bool{}
+	for _, m := range msgs {
+		if m.WireSize() <= 0 {
+			t.Errorf("%T has non-positive wire size", m)
+		}
+		if kinds[m.Kind()] {
+			t.Errorf("duplicate kind %v", m.Kind())
+		}
+		kinds[m.Kind()] = true
+	}
+	small := (&Gossip{}).WireSize()
+	big := (&Gossip{IDs: make([]GossipID, 10)}).WireSize()
+	if big <= small {
+		t.Errorf("gossip wire size must grow with content")
+	}
+	if (&Multicast{Payload: make([]byte, 1000)}).WireSize() < 1000 {
+		t.Errorf("multicast wire size must include the payload")
+	}
+}
+
+func TestLinkKindString(t *testing.T) {
+	if Random.String() != "random" || Nearby.String() != "nearby" {
+		t.Errorf("LinkKind strings wrong: %v %v", Random, Nearby)
+	}
+	if LinkKind(9).String() == "" {
+		t.Errorf("unknown kind should still stringify")
+	}
+}
+
+func TestMessageIDString(t *testing.T) {
+	id := MessageID{Source: 12, Seq: 34}
+	if id.String() != "12/34" {
+		t.Errorf("MessageID.String() = %q", id.String())
+	}
+}

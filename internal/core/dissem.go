@@ -1,0 +1,329 @@
+package core
+
+import "time"
+
+// Message dissemination (Section 2.1). Multicast messages propagate
+// unconditionally along tree links. In the background every GossipPeriod
+// the node sends a summary of recently received message IDs to one overlay
+// neighbor chosen round-robin, excluding IDs heard from that neighbor;
+// receivers pull missing messages, optionally waiting until the message is
+// at least PullDelay old so the tree gets the first chance.
+
+// msgState tracks one multicast message at this node.
+type msgState struct {
+	payload      []byte
+	receivedAt   time.Duration
+	ageAtReceipt time.Duration
+	// announcedTo and heardFrom bound the per-neighbor gossip rule: gossip
+	// each ID to each neighbor at most once, never back to a node it was
+	// heard from.
+	announcedTo  []NodeID
+	heardFrom    []NodeID
+	announceDone bool
+	reclaimAt    time.Duration
+	// reclaimed marks the payload buffer as freed; the record lingers only
+	// for duplicate suppression.
+	reclaimed bool
+}
+
+// pullState tracks a message known only by ID (from gossips).
+type pullState struct {
+	holders    []NodeID
+	learnedAt  time.Duration
+	ageAtLearn time.Duration
+	next       int
+	timer      Timer
+}
+
+const reclaimScanPeriod = 5 * time.Second
+
+// NextMessageID returns the ID the next Multicast call will assign,
+// letting callers register tracking before the synchronous local delivery.
+func (n *Node) NextMessageID() MessageID {
+	return MessageID{Source: n.id, Seq: n.nextSeq}
+}
+
+// Multicast injects a new message into the system from this node and
+// returns its ID. Any node can start a multicast without involving the
+// root.
+func (n *Node) Multicast(payload []byte) MessageID {
+	id := MessageID{Source: n.id, Seq: n.nextSeq}
+	n.nextSeq++
+	st := &msgState{payload: payload, receivedAt: n.env.Now()}
+	n.seen[id] = st
+	n.recent = append(n.recent, id)
+	n.stats.Injected++
+	n.deliverLocal(id, st)
+	n.forwardTree(id, st, None)
+	return id
+}
+
+// deliverLocal invokes the application callback once.
+func (n *Node) deliverLocal(id MessageID, st *msgState) {
+	n.stats.Delivered++
+	if n.deliver != nil {
+		n.deliver(id, st.payload, n.ageOf(st))
+	}
+}
+
+// ageOf estimates the time since the message was injected at its source.
+func (n *Node) ageOf(st *msgState) time.Duration {
+	return st.ageAtReceipt + (n.env.Now() - st.receivedAt)
+}
+
+// forwardTree pushes the message along all tree links except the one it
+// arrived on (and any neighbor already known to have it).
+func (n *Node) forwardTree(id MessageID, st *msgState, except NodeID) {
+	if !n.cfg.EnableTree {
+		return
+	}
+	for _, t := range n.TreeNeighbors() {
+		if t == except || containsID(st.heardFrom, t) {
+			continue
+		}
+		n.stats.TreeForwards++
+		n.env.Send(t, &Multicast{ID: id, Age: n.ageOf(st), Payload: st.payload, ViaTree: true})
+	}
+}
+
+// handleMulticast receives a payload, via tree push or pull response.
+func (n *Node) handleMulticast(from NodeID, m *Multicast) {
+	if st, ok := n.seen[m.ID]; ok {
+		// Redundant copy (the 2% case discussed in Section 2.1).
+		n.stats.Duplicates++
+		addID(&st.heardFrom, from)
+		return
+	}
+	// The age estimate accumulates hop by hop: the sender stamps its own
+	// estimate and the receiver adds the link's propagation delay.
+	age := m.Age
+	if nb := n.neighbors[from]; nb != nil {
+		age += n.linkLatency(nb)
+	}
+	st := &msgState{
+		payload:      m.Payload,
+		receivedAt:   n.env.Now(),
+		ageAtReceipt: age,
+		heardFrom:    []NodeID{from},
+	}
+	n.seen[m.ID] = st
+	n.recent = append(n.recent, m.ID)
+	n.stats.PayloadsRecv++
+	if ps, ok := n.pending[m.ID]; ok {
+		if ps.timer != nil {
+			ps.timer.Stop()
+		}
+		delete(n.pending, m.ID)
+	}
+	n.deliverLocal(m.ID, st)
+	n.forwardTree(m.ID, st, from)
+}
+
+// gossipTick sends the periodic summary to the next neighbor round-robin.
+func (n *Node) gossipTick() {
+	if !n.running {
+		return
+	}
+	n.gossipTimer = n.env.After(n.cfg.GossipPeriod, n.gossipTick)
+	if len(n.neighborOrder) == 0 {
+		return
+	}
+	if n.gossipIdx >= len(n.neighborOrder) {
+		n.gossipIdx = 0
+	}
+	y := n.neighborOrder[n.gossipIdx]
+	n.gossipIdx = (n.gossipIdx + 1) % len(n.neighborOrder)
+	nb := n.neighbors[y]
+	if nb == nil {
+		return
+	}
+	var ids []GossipID
+	for _, id := range n.recent {
+		st := n.seen[id]
+		if st == nil || st.announceDone {
+			continue
+		}
+		if containsID(st.heardFrom, y) || containsID(st.announcedTo, y) {
+			continue
+		}
+		st.announcedTo = append(st.announcedTo, y)
+		ids = append(ids, GossipID{ID: id, Age: n.ageOf(st)})
+	}
+	n.compactRecent()
+	g := &Gossip{
+		IDs:     ids,
+		Members: n.sampleMembers(n.cfg.MemberSampleSize, y),
+		Degrees: n.degrees(),
+	}
+	n.stats.GossipsSent++
+	n.stats.IDsAnnounced += int64(len(ids))
+	n.env.Send(y, g)
+}
+
+// compactRecent retires messages that have been announced to (or heard
+// from) every current neighbor; their payload becomes reclaimable after
+// ReclaimAfter (the paper's waiting period b).
+func (n *Node) compactRecent() {
+	out := n.recent[:0]
+	for _, id := range n.recent {
+		st := n.seen[id]
+		if st == nil {
+			continue
+		}
+		covered := true
+		for _, y := range n.neighborOrder {
+			if !containsID(st.heardFrom, y) && !containsID(st.announcedTo, y) {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			st.announceDone = true
+			st.reclaimAt = n.env.Now() + n.cfg.ReclaimAfter
+			continue
+		}
+		out = append(out, id)
+	}
+	n.recent = out
+}
+
+// handleGossip ingests a summary from neighbor `from`.
+func (n *Node) handleGossip(from NodeID, g *Gossip) {
+	n.stats.GossipsRecv++
+	if nb := n.neighbors[from]; nb != nil {
+		nb.deg = g.Degrees
+		nb.degKnown = true
+	}
+	for _, e := range g.Members {
+		n.learnEntry(e)
+	}
+	var linkLat time.Duration
+	if nb := n.neighbors[from]; nb != nil {
+		linkLat = n.linkLatency(nb)
+	}
+	var pullNow []MessageID
+	for _, gid := range g.IDs {
+		if st, ok := n.seen[gid.ID]; ok {
+			addID(&st.heardFrom, from)
+			continue
+		}
+		if ps, ok := n.pending[gid.ID]; ok {
+			addID(&ps.holders, from)
+			continue
+		}
+		age := gid.Age + linkLat
+		ps := &pullState{
+			holders:    []NodeID{from},
+			learnedAt:  n.env.Now(),
+			ageAtLearn: age,
+		}
+		n.pending[gid.ID] = ps
+		// Give the tree PullDelay (f) since injection before pulling.
+		wait := n.cfg.PullDelay - age
+		if wait <= 0 {
+			pullNow = append(pullNow, gid.ID)
+			ps.next = 1 // first holder about to be asked
+			ps.timer = n.startPullRetry(gid.ID)
+			continue
+		}
+		id := gid.ID
+		ps.timer = n.env.After(wait, func() { n.firePull(id) })
+	}
+	if len(pullNow) > 0 {
+		n.stats.PullsSent++
+		n.env.Send(from, &PullRequest{IDs: pullNow})
+	}
+}
+
+// firePull requests a message from the next known holder.
+func (n *Node) firePull(id MessageID) {
+	ps, ok := n.pending[id]
+	if !ok {
+		return
+	}
+	if len(ps.holders) == 0 {
+		delete(n.pending, id)
+		return
+	}
+	holder := ps.holders[ps.next%len(ps.holders)]
+	ps.next++
+	n.stats.PullsSent++
+	n.env.Send(holder, &PullRequest{IDs: []MessageID{id}})
+	ps.timer = n.startPullRetry(id)
+}
+
+// startPullRetry arms the retry timer for an outstanding pull.
+func (n *Node) startPullRetry(id MessageID) Timer {
+	return n.env.After(n.cfg.PullRetry, func() {
+		if ps, ok := n.pending[id]; ok {
+			n.stats.PullRetries++
+			if ps.next > len(ps.holders)+3 {
+				// All known holders unresponsive; give up and wait for
+				// another gossip to re-announce the ID.
+				delete(n.pending, id)
+				return
+			}
+			n.firePull(id)
+		}
+	})
+}
+
+// handlePullRequest serves buffered payloads.
+func (n *Node) handlePullRequest(from NodeID, m *PullRequest) {
+	for _, id := range m.IDs {
+		st, ok := n.seen[id]
+		if !ok || st.reclaimed {
+			continue
+		}
+		addID(&st.heardFrom, from) // requester will have it; never announce back
+		n.stats.PullsServed++
+		n.env.Send(from, &Multicast{ID: id, Age: n.ageOf(st), Payload: st.payload, ViaTree: false})
+	}
+}
+
+// reclaimTick frees payload buffers past their retention window and
+// eventually drops the dedup record too.
+func (n *Node) reclaimTick() {
+	if !n.running {
+		return
+	}
+	n.reclaimTimer = n.env.After(reclaimScanPeriod, n.reclaimTick)
+	now := n.env.Now()
+	for id, st := range n.seen {
+		if !st.announceDone || st.reclaimAt == 0 {
+			continue
+		}
+		if now > st.reclaimAt && !st.reclaimed {
+			st.reclaimed = true
+			st.payload = nil
+			st.announcedTo = nil
+			st.heardFrom = nil
+		}
+		if now > st.reclaimAt+n.cfg.ReclaimAfter {
+			delete(n.seen, id)
+		}
+	}
+}
+
+// Seen reports whether the node has received (or injected) the message.
+func (n *Node) Seen(id MessageID) bool {
+	_, ok := n.seen[id]
+	return ok
+}
+
+// containsID reports membership in a small NodeID slice.
+func containsID(s []NodeID, id NodeID) bool {
+	for _, v := range s {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// addID appends id if absent.
+func addID(s *[]NodeID, id NodeID) {
+	if !containsID(*s, id) {
+		*s = append(*s, id)
+	}
+}

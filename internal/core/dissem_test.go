@@ -1,0 +1,303 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// pair builds two started, linked nodes with the given config.
+func pair(t *testing.T, cfg Config) (*fixture, *Node, *Node) {
+	t.Helper()
+	f := newFixture(1)
+	a := f.addNode(1, cfg)
+	b := f.addNode(2, cfg)
+	f.link(1, 2, Nearby)
+	a.Start()
+	b.Start()
+	return f, a, b
+}
+
+func isGossipWithIDs(m Message) bool {
+	g, ok := m.(*Gossip)
+	return ok && len(g.IDs) > 0
+}
+
+func TestMulticastDeliversLocallyAndAssignsSequentialIDs(t *testing.T) {
+	f := newFixture(1)
+	n := f.addNode(1, DefaultConfig())
+	var got []MessageID
+	n.OnDeliver(func(id MessageID, payload []byte, _ time.Duration) {
+		if string(payload) != "x" {
+			t.Errorf("payload = %q", payload)
+		}
+		got = append(got, id)
+	})
+	n.Start()
+	want1 := n.NextMessageID()
+	id1 := n.Multicast([]byte("x"))
+	id2 := n.Multicast([]byte("x"))
+	if id1 != want1 {
+		t.Errorf("NextMessageID mismatch: %v vs %v", want1, id1)
+	}
+	if id1.Source != 1 || id2.Seq != id1.Seq+1 {
+		t.Errorf("IDs not sequential: %v %v", id1, id2)
+	}
+	if len(got) != 2 {
+		t.Errorf("local deliveries = %d, want 2", len(got))
+	}
+	if !n.Seen(id1) || !n.Seen(id2) {
+		t.Errorf("Seen must report injected messages")
+	}
+}
+
+func TestTreeForwardingBetweenNeighbors(t *testing.T) {
+	cfg := DefaultConfig()
+	f, a, b := pair(t, cfg)
+	a.BecomeRoot()
+	f.run(2 * time.Second) // let the heartbeat establish parenthood
+	if b.Parent() != a.ID() {
+		t.Fatalf("b's parent = %d, want root %d", b.Parent(), a.ID())
+	}
+	delivered := false
+	b.OnDeliver(func(_ MessageID, payload []byte, _ time.Duration) {
+		delivered = string(payload) == "tree"
+	})
+	a.Multicast([]byte("tree"))
+	f.run(time.Second)
+	if !delivered {
+		t.Fatalf("payload did not traverse the tree link")
+	}
+	if a.Stats().TreeForwards == 0 {
+		t.Fatalf("tree forward counter not incremented")
+	}
+}
+
+func TestGossipNeverAnnouncesBackToSource(t *testing.T) {
+	cfg := DefaultConfig()
+	f, a, b := pair(t, cfg)
+	a.BecomeRoot()
+	f.run(2 * time.Second)
+	a.Multicast(nil)
+	f.run(5 * time.Second) // many gossip periods
+	id := MessageID{Source: a.ID(), Seq: 0}
+	// b received the payload from a via the tree; b's gossips to a must
+	// exclude the ID ("excludes the IDs of messages that X heard from Y").
+	for _, s := range f.sent {
+		if s.from != b.ID() || s.to != a.ID() {
+			continue
+		}
+		if g, ok := s.msg.(*Gossip); ok {
+			for _, gid := range g.IDs {
+				if gid.ID == id {
+					t.Fatalf("b announced message back to the node it heard it from")
+				}
+			}
+		}
+	}
+}
+
+func TestGossipAnnouncesAtMostOncePerNeighbor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableTree = false // force gossip-only so announcements happen
+	f := newFixture(1)
+	a := f.addNode(1, cfg)
+	b := f.addNode(2, cfg)
+	c := f.addNode(3, cfg)
+	f.link(1, 2, Nearby)
+	f.link(1, 3, Nearby)
+	a.Start()
+	b.Start()
+	c.Start()
+	a.Multicast(nil)
+	f.run(10 * time.Second)
+	if got := f.count(1, 2, isGossipWithIDs); got > 1 {
+		t.Fatalf("a announced the message to b %d times, want <= 1", got)
+	}
+	if got := f.count(1, 3, isGossipWithIDs); got > 1 {
+		t.Fatalf("a announced the message to c %d times, want <= 1", got)
+	}
+}
+
+func TestGossipTriggersPull(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableTree = false
+	f, a, b := pair(t, cfg)
+	var got []byte
+	b.OnDeliver(func(_ MessageID, payload []byte, _ time.Duration) { got = payload })
+	a.Multicast([]byte("pulled"))
+	f.run(5 * time.Second)
+	if string(got) != "pulled" {
+		t.Fatalf("b did not pull the message; got %q", got)
+	}
+	if b.Stats().PullsSent == 0 || a.Stats().PullsServed == 0 {
+		t.Fatalf("pull counters: sent=%d served=%d", b.Stats().PullsSent, a.Stats().PullsServed)
+	}
+}
+
+func TestPullDelayDefersRequests(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableTree = false
+	cfg.PullDelay = 2 * time.Second
+	f, a, b := pair(t, cfg)
+	var deliveredAt time.Duration = -1
+	b.OnDeliver(func(MessageID, []byte, time.Duration) { deliveredAt = f.eng.Now() })
+	start := f.eng.Now()
+	a.Multicast(nil)
+	f.run(10 * time.Second)
+	if deliveredAt < 0 {
+		t.Fatalf("message never delivered")
+	}
+	if deliveredAt-start < cfg.PullDelay {
+		t.Fatalf("pull fired at %v since injection, want >= %v (f-delay)", deliveredAt-start, cfg.PullDelay)
+	}
+}
+
+func TestPullDelaySkippedForOldMessages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PullDelay = 300 * time.Millisecond
+	f := newFixture(1)
+	b := f.addNode(2, cfg)
+	b.AddNeighborDirect(Entry{ID: 1}, Nearby, 20*time.Millisecond)
+	b.Start()
+	// A gossip announcing a message already older than f must pull at once.
+	b.HandleMessage(1, &Gossip{IDs: []GossipID{{ID: MessageID{Source: 9, Seq: 0}, Age: time.Second}}})
+	if b.Stats().PullsSent != 1 {
+		t.Fatalf("pulls sent = %d, want immediate pull for old message", b.Stats().PullsSent)
+	}
+}
+
+func TestDuplicatePayloadSuppressed(t *testing.T) {
+	cfg := DefaultConfig()
+	f, _, b := pair(t, cfg)
+	deliveries := 0
+	b.OnDeliver(func(MessageID, []byte, time.Duration) { deliveries++ })
+	id := MessageID{Source: 7, Seq: 0}
+	b.HandleMessage(1, &Multicast{ID: id, Payload: nil, ViaTree: true})
+	b.HandleMessage(1, &Multicast{ID: id, Payload: nil, ViaTree: false})
+	f.run(time.Second)
+	if deliveries != 1 {
+		t.Fatalf("deliveries = %d, want exactly 1", deliveries)
+	}
+	if b.Stats().Duplicates != 1 {
+		t.Fatalf("duplicates = %d, want 1", b.Stats().Duplicates)
+	}
+}
+
+func TestPullRetryMovesToNextHolder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableTree = false
+	cfg.PullRetry = 500 * time.Millisecond
+	f := newFixture(1)
+	a := f.addNode(1, cfg) // will die
+	b := f.addNode(2, cfg)
+	c := f.addNode(3, cfg) // second holder
+	f.link(1, 2, Nearby)
+	f.link(2, 3, Nearby)
+	a.Start()
+	b.Start()
+	c.Start()
+	id := MessageID{Source: 9, Seq: 0}
+	// Both a and c hold the message; b hears from a first, then c.
+	c.HandleMessage(9, &Multicast{ID: id, Payload: []byte("v")})
+	var got []byte
+	b.OnDeliver(func(_ MessageID, p []byte, _ time.Duration) { got = p })
+	f.down[1] = true // a cannot serve
+	b.HandleMessage(1, &Gossip{IDs: []GossipID{{ID: id}}})
+	b.HandleMessage(3, &Gossip{IDs: []GossipID{{ID: id}}})
+	f.run(5 * time.Second)
+	if string(got) != "v" {
+		t.Fatalf("retry did not fetch from the second holder; got %q", got)
+	}
+	if b.Stats().PullRetries == 0 {
+		t.Fatalf("expected at least one pull retry")
+	}
+}
+
+func TestReclaimFreesPayloadButKeepsDedup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReclaimAfter = 20 * time.Second
+	f, a, b := pair(t, cfg)
+	a.BecomeRoot()
+	f.run(2 * time.Second)
+	id := a.Multicast([]byte("data"))
+	f.run(30 * time.Second) // past announce + reclaim window + scan period
+	st := a.seen[id]
+	if st == nil {
+		t.Fatalf("dedup record dropped too early")
+	}
+	if !st.reclaimed || st.payload != nil {
+		t.Fatalf("payload not reclaimed after window")
+	}
+	// A pull for a reclaimed message is not served.
+	served := a.Stats().PullsServed
+	a.HandleMessage(b.ID(), &PullRequest{IDs: []MessageID{id}})
+	if a.Stats().PullsServed != served {
+		t.Fatalf("reclaimed message must not be served")
+	}
+	// Far later even the dedup record goes away.
+	f.run(time.Minute)
+	if a.seen[id] != nil {
+		t.Fatalf("dedup record should eventually be dropped")
+	}
+}
+
+func TestAgeAccumulatesAcrossHops(t *testing.T) {
+	cfg := DefaultConfig()
+	// Effectively freeze overlay adaptation so the chain a-b-c stays two
+	// hops (heartbeats still run, so the tree forms along the chain).
+	cfg.MaintainPeriod = time.Hour
+	f := newFixture(1)
+	f.lat = func(a, b NodeID) time.Duration { return 100 * time.Millisecond }
+	a := f.addNode(1, cfg)
+	b := f.addNode(2, cfg)
+	c := f.addNode(3, cfg)
+	f.link(1, 2, Nearby)
+	f.link(2, 3, Nearby)
+	a.Start()
+	b.Start()
+	c.Start()
+	a.BecomeRoot()
+	f.run(3 * time.Second)
+	var age time.Duration = -1
+	c.OnDeliver(func(_ MessageID, _ []byte, a time.Duration) { age = a })
+	a.Multicast(nil)
+	f.run(2 * time.Second)
+	if age < 200*time.Millisecond {
+		t.Fatalf("age at two hops = %v, want >= 200ms", age)
+	}
+}
+
+func TestGossipCarriesMembershipSample(t *testing.T) {
+	cfg := DefaultConfig()
+	f, a, b := pair(t, cfg)
+	for i := NodeID(10); i < 20; i++ {
+		a.learnEntry(Entry{ID: i})
+	}
+	f.run(5 * time.Second)
+	// b should have learned about some of a's members via gossip.
+	if b.MemberCount() < 2 {
+		t.Fatalf("b learned %d members, want >= 2", b.MemberCount())
+	}
+	_ = b
+}
+
+func TestStopSilencesNode(t *testing.T) {
+	cfg := DefaultConfig()
+	f, a, b := pair(t, cfg)
+	f.run(time.Second)
+	b.Stop()
+	before := len(f.sent)
+	deliveries := 0
+	b.OnDeliver(func(MessageID, []byte, time.Duration) { deliveries++ })
+	b.HandleMessage(1, &Multicast{ID: MessageID{Source: 1, Seq: 99}})
+	f.run(5 * time.Second)
+	if deliveries != 0 {
+		t.Fatalf("stopped node delivered a message")
+	}
+	for _, s := range f.sent[before:] {
+		if s.from == b.ID() {
+			t.Fatalf("stopped node sent %T", s.msg)
+		}
+	}
+	_ = a
+}

@@ -1,0 +1,188 @@
+package core
+
+// Partial membership (Section 2.2.1). Each node maintains a bounded,
+// approximately uniform random subset of the system, refreshed by entries
+// piggybacked on gossips (lpbcast-style). The paper cites [5]: a uniformly
+// random partial member list is almost as good as a complete one.
+
+// learnEntry merges one membership entry into the view. Entries with a
+// landmark vector replace vector-less ones for the same node; when the
+// view is full a random existing entry is evicted so the view stays an
+// unbiased sample.
+func (n *Node) learnEntry(e Entry) {
+	if e.ID == n.id || e.ID == None {
+		return
+	}
+	n.env.Learn(e)
+	if old, ok := n.members[e.ID]; ok {
+		if len(e.Landmarks) > 0 || len(old.Landmarks) == 0 {
+			n.members[e.ID] = e
+		}
+		return
+	}
+	if len(n.members) >= n.cfg.MemberViewSize {
+		// Evict a random entry that is not a current neighbor.
+		victim := n.randomMember(func(id NodeID) bool { return n.neighbors[id] == nil })
+		if victim == None {
+			return
+		}
+		n.forgetMember(victim)
+	}
+	n.members[e.ID] = e
+	n.order = append(n.order, e.ID)
+}
+
+// forgetMember removes a node from the view (e.g. it was found dead).
+func (n *Node) forgetMember(id NodeID) {
+	if _, ok := n.members[id]; !ok {
+		return
+	}
+	delete(n.members, id)
+	for i, v := range n.order {
+		if v == id {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			if n.scanIdx > i {
+				n.scanIdx--
+			}
+			break
+		}
+	}
+}
+
+// SeedMembers installs bootstrap entries into the partial view, e.g. a
+// deployment-provided seed list or a simulation's initial membership.
+func (n *Node) SeedMembers(entries []Entry) {
+	for _, e := range entries {
+		n.learnEntry(e)
+	}
+}
+
+// MemberCount returns the current partial-view size.
+func (n *Node) MemberCount() int { return len(n.members) }
+
+// Members returns a copy of the current partial view.
+func (n *Node) Members() []Entry {
+	out := make([]Entry, 0, len(n.members))
+	for _, e := range n.members {
+		out = append(out, e)
+	}
+	return out
+}
+
+// sampleMembers returns up to k random entries, excluding `exclude`
+// (and implicitly the node itself, which is never in the view). The
+// sender's own entry is appended so receivers learn fresh contact info.
+func (n *Node) sampleMembers(k int, exclude NodeID) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Entry, 0, k+1)
+	if len(n.order) > 0 {
+		start := n.env.Rand(len(n.order))
+		for i := 0; i < len(n.order) && len(out) < k; i++ {
+			id := n.order[(start+i)%len(n.order)]
+			if id == exclude {
+				continue
+			}
+			if e, ok := n.members[id]; ok {
+				out = append(out, e)
+			}
+		}
+	}
+	out = append(out, n.selfEntry())
+	return out
+}
+
+// selfEntry returns this node's own membership entry including its
+// current landmark vector.
+func (n *Node) selfEntry() Entry {
+	e := n.self
+	if len(n.landVec) > 0 {
+		e.Landmarks = append([]uint16(nil), n.landVec...)
+	}
+	return e
+}
+
+// randomMember picks a uniformly random member satisfying ok (nil = any),
+// or None if none qualifies.
+func (n *Node) randomMember(ok func(NodeID) bool) NodeID {
+	if len(n.order) == 0 {
+		return None
+	}
+	start := n.env.Rand(len(n.order))
+	for i := 0; i < len(n.order); i++ {
+		id := n.order[(start+i)%len(n.order)]
+		if _, live := n.members[id]; !live {
+			continue
+		}
+		if ok == nil || ok(id) {
+			return id
+		}
+	}
+	return None
+}
+
+// nextCandidate returns the next neighbor candidate to consider. While the
+// estimated-latency first pass (built lazily once landmark vectors exist)
+// has entries, candidates come from it in increasing estimated latency;
+// afterwards candidates come from the member list in round-robin order
+// (Section 2.2.3).
+func (n *Node) nextCandidate(skip func(NodeID) bool) (Entry, bool) {
+	if n.estimated == nil && n.landmarksReady() {
+		n.buildEstimatePass()
+	}
+	for len(n.estimated) > 0 {
+		id := n.estimated[0]
+		n.estimated = n.estimated[1:]
+		e, ok := n.members[id]
+		if !ok || (skip != nil && skip(id)) {
+			continue
+		}
+		return e, true
+	}
+	for i := 0; i < len(n.order); i++ {
+		if len(n.order) == 0 {
+			break
+		}
+		n.scanIdx = (n.scanIdx + 1) % len(n.order)
+		id := n.order[n.scanIdx]
+		e, ok := n.members[id]
+		if !ok || (skip != nil && skip(id)) {
+			continue
+		}
+		return e, true
+	}
+	return Entry{}, false
+}
+
+// buildEstimatePass sorts the current members by triangulated latency
+// estimate for the initial measurement sweep.
+func (n *Node) buildEstimatePass() {
+	type cand struct {
+		id  NodeID
+		est int64
+	}
+	cands := make([]cand, 0, len(n.members))
+	for _, id := range n.order {
+		if e, ok := n.members[id]; ok {
+			cands = append(cands, cand{id: id, est: int64(n.estimateRTT(e))})
+		}
+	}
+	// Insertion sort with ID tie-break: views are small and the order must
+	// be deterministic.
+	less := func(a, b cand) bool {
+		if a.est != b.est {
+			return a.est < b.est
+		}
+		return a.id < b.id
+	}
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && less(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	n.estimated = make([]NodeID, len(cands))
+	for i, c := range cands {
+		n.estimated[i] = c.id
+	}
+}

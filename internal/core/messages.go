@@ -1,0 +1,232 @@
+package core
+
+import "time"
+
+// Message is the union of all GoCast protocol messages. WireSize returns an
+// approximate serialized size in bytes, used by the link-stress experiments
+// to account traffic on underlay links.
+type Message interface {
+	Kind() MsgKind
+	WireSize() int
+}
+
+// MsgKind enumerates protocol message types.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	KindJoinRequest MsgKind = iota + 1
+	KindJoinReply
+	KindPing
+	KindPong
+	KindAddRequest
+	KindAddReply
+	KindDrop
+	KindRebalance
+	KindRebalanceReply
+	KindGossip
+	KindPullRequest
+	KindMulticast
+	KindTreeAdvert
+	KindTreeParent
+	KindTreeAdvertReq
+)
+
+const (
+	entryWire  = 16 // id + addr ref + landmark vector, approximate
+	headerWire = 8  // kind + sender + framing, approximate
+)
+
+// Degrees is the sender's current degree information, piggybacked on most
+// messages so neighbors can evaluate the maintenance conditions (Section
+// 2.2) without extra round trips.
+type Degrees struct {
+	Rand int16
+	Near int16
+	// MaxNearbyRTT is the largest RTT between the sender and its nearby
+	// neighbors (condition C3); zero when it has none.
+	MaxNearbyRTT time.Duration
+}
+
+func degreesWire() int { return 8 }
+
+// JoinRequest asks a contact node for its membership view.
+type JoinRequest struct {
+	From Entry
+}
+
+func (*JoinRequest) Kind() MsgKind { return KindJoinRequest }
+func (m *JoinRequest) WireSize() int {
+	return headerWire + entryWire
+}
+
+// JoinReply returns the contact's member list and the landmark set.
+type JoinReply struct {
+	Members   []Entry
+	Landmarks []Entry
+	Root      NodeID
+}
+
+func (*JoinReply) Kind() MsgKind { return KindJoinReply }
+func (m *JoinReply) WireSize() int {
+	return headerWire + entryWire*(len(m.Members)+len(m.Landmarks)) + 4
+}
+
+// Ping measures RTT and requests the target's degree information
+// (datagram; works between non-neighbors).
+type Ping struct {
+	From  Entry
+	Nonce uint32
+}
+
+func (*Ping) Kind() MsgKind { return KindPing }
+func (*Ping) WireSize() int { return headerWire + entryWire + 4 }
+
+// Pong answers a Ping with the responder's degrees.
+type Pong struct {
+	From    Entry
+	Nonce   uint32
+	Degrees Degrees
+}
+
+func (*Pong) Kind() MsgKind { return KindPong }
+func (*Pong) WireSize() int { return headerWire + entryWire + 4 + degreesWire() }
+
+// AddRequest asks the receiver to become the sender's neighbor over a link
+// of the given kind. RTT is the sender-measured round-trip time of the
+// prospective link so the receiver can evaluate condition C3 and cache the
+// link latency.
+type AddRequest struct {
+	From     Entry
+	LinkKind LinkKind
+	RTT      time.Duration
+	Degrees  Degrees
+	// ForRebalance marks links created by the random-degree rebalancing
+	// operation (Section 2.2.2, operation 1).
+	ForRebalance bool
+}
+
+func (*AddRequest) Kind() MsgKind { return KindAddRequest }
+func (*AddRequest) WireSize() int { return headerWire + entryWire + 1 + 8 + degreesWire() + 1 }
+
+// AddReply accepts or rejects an AddRequest.
+type AddReply struct {
+	From         Entry
+	LinkKind     LinkKind
+	Accepted     bool
+	RTT          time.Duration
+	Degrees      Degrees
+	ForRebalance bool
+}
+
+func (*AddReply) Kind() MsgKind { return KindAddReply }
+func (*AddReply) WireSize() int { return headerWire + entryWire + 2 + 8 + degreesWire() + 1 }
+
+// Drop tears down the overlay link between sender and receiver.
+type Drop struct {
+	Degrees Degrees
+}
+
+func (*Drop) Kind() MsgKind { return KindDrop }
+func (*Drop) WireSize() int { return headerWire + degreesWire() }
+
+// Rebalance implements operation 1 of random-degree maintenance: X (the
+// sender) asks its random neighbor Y (the receiver) to establish a random
+// link to Z (Target); on success X drops its links to both Y and Z,
+// reducing X's random degree by two without changing Y's or Z's.
+type Rebalance struct {
+	Target Entry
+}
+
+func (*Rebalance) Kind() MsgKind { return KindRebalance }
+func (*Rebalance) WireSize() int { return headerWire + entryWire }
+
+// RebalanceReply reports whether Y established the link to Target.
+type RebalanceReply struct {
+	Target NodeID
+	OK     bool
+}
+
+func (*RebalanceReply) Kind() MsgKind { return KindRebalanceReply }
+func (*RebalanceReply) WireSize() int { return headerWire + 5 }
+
+// GossipID is one message summary inside a gossip: the message ID plus the
+// estimated time elapsed since the message was injected, which receivers
+// use to delay pulls until the message had a chance to arrive via the tree.
+type GossipID struct {
+	ID  MessageID
+	Age time.Duration
+}
+
+// Gossip is the periodic summary a node sends to one overlay neighbor
+// (round-robin, every GossipPeriod). It carries the IDs of messages
+// received since the last gossip to that neighbor (excluding those heard
+// from it), a sample of membership entries, and the sender's degrees. It
+// also serves as a keepalive on the link.
+type Gossip struct {
+	IDs     []GossipID
+	Members []Entry
+	Degrees Degrees
+}
+
+func (*Gossip) Kind() MsgKind { return KindGossip }
+func (m *Gossip) WireSize() int {
+	return headerWire + 12*len(m.IDs) + entryWire*len(m.Members) + degreesWire()
+}
+
+// PullRequest asks the receiver (a gossip sender) for the payloads of
+// messages the sender has not received.
+type PullRequest struct {
+	IDs []MessageID
+}
+
+func (*PullRequest) Kind() MsgKind   { return KindPullRequest }
+func (m *PullRequest) WireSize() int { return headerWire + 8*len(m.IDs) }
+
+// Multicast carries a multicast message payload, either forwarded along a
+// tree link or served in response to a PullRequest.
+type Multicast struct {
+	ID MessageID
+	// Age is the estimated time elapsed since the message was injected at
+	// its source, accumulated hop by hop.
+	Age     time.Duration
+	Payload []byte
+	// ViaTree is true for unconditional tree forwarding, false for pull
+	// responses.
+	ViaTree bool
+}
+
+func (*Multicast) Kind() MsgKind   { return KindMulticast }
+func (m *Multicast) WireSize() int { return headerWire + 8 + 8 + 1 + len(m.Payload) }
+
+// TreeAdvert propagates root distance information. The root floods a new
+// Wave every heartbeat period; every node adopts as parent the neighbor
+// offering the lowest latency path to the root and re-advertises. Epochs
+// order root takeovers.
+type TreeAdvert struct {
+	Root  NodeID
+	Epoch uint32
+	Wave  uint32
+	// Dist is the advertised latency from the sender to the root.
+	Dist time.Duration
+}
+
+func (*TreeAdvert) Kind() MsgKind { return KindTreeAdvert }
+func (*TreeAdvert) WireSize() int { return headerWire + 4 + 4 + 4 + 8 }
+
+// TreeParent tells a neighbor it became (On) or stopped being (Off) the
+// sender's tree parent, maintaining the receiver's children set.
+type TreeParent struct {
+	On bool
+}
+
+func (*TreeParent) Kind() MsgKind { return KindTreeParent }
+func (*TreeParent) WireSize() int { return headerWire + 1 }
+
+// TreeAdvertReq asks a neighbor for its current tree advertisement; sent
+// by a node whose parent link vanished, so it can re-attach without
+// waiting for the next heartbeat wave (a DVMRP-style triggered update).
+type TreeAdvertReq struct{}
+
+func (*TreeAdvertReq) Kind() MsgKind { return KindTreeAdvertReq }
+func (*TreeAdvertReq) WireSize() int { return headerWire }

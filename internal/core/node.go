@@ -1,0 +1,340 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// DeliverFunc is invoked exactly once per multicast message a node
+// receives. age is the estimated time since the message was injected.
+type DeliverFunc func(id MessageID, payload []byte, age time.Duration)
+
+// LinkChangeFunc observes overlay link additions and removals at this node.
+type LinkChangeFunc func(added bool, kind LinkKind, peer NodeID, rtt time.Duration)
+
+// ParentChangeFunc observes tree parent changes at this node (old or new
+// may be None).
+type ParentChangeFunc func(oldParent, newParent NodeID)
+
+// Node is a single GoCast protocol participant. It is not safe for
+// concurrent use: the Env must serialize all callbacks and API calls onto
+// one logical thread (the simulator's event loop, or the live runtime's
+// per-node mailbox goroutine).
+type Node struct {
+	id   NodeID
+	self Entry
+	cfg  Config
+	env  Env
+
+	running     bool
+	maintenance bool
+
+	// Partial membership view (Section 2.2.1).
+	members map[NodeID]Entry
+	order   []NodeID // scan order for round-robin candidate selection
+	scanIdx int
+	// First-pass candidate list sorted by estimated latency; nil until
+	// built, emptied as candidates are probed.
+	estimated []NodeID
+
+	// Measured RTT cache and landmark state (triangulated estimation).
+	rtt       map[NodeID]time.Duration
+	landmarks []Entry
+	landVec   []uint16 // my RTT to each landmark, ms; 0 = unmeasured
+	pings     map[uint32]*pingCtx
+	pingNonce uint32
+
+	// Overlay neighbors and in-flight maintenance operations.
+	neighbors     map[NodeID]*neighbor
+	neighborOrder []NodeID
+	pendingAdd    map[NodeID]*addCtx
+	rebalance     *rebalanceCtx
+
+	// Dissemination state (Section 2.1).
+	seen      map[MessageID]*msgState
+	pending   map[MessageID]*pullState
+	recent    []MessageID
+	nextSeq   uint32
+	gossipIdx int
+
+	// Tree state (Section 2.3).
+	treeEpoch  uint32
+	treeWave   uint32
+	treeRoot   NodeID
+	parent     NodeID
+	distToRoot time.Duration
+	children   map[NodeID]bool
+	lastWaveAt time.Duration
+	rootJitter time.Duration
+	// lostDist remembers the distance held before the parent link broke;
+	// while detached, only re-attachment offers at or below it are safe
+	// (larger ones may come from our own descendants).
+	lostDist time.Duration
+
+	deliver        DeliverFunc
+	onLinkChange   LinkChangeFunc
+	onParentChange ParentChangeFunc
+
+	gossipTimer   Timer
+	maintainTimer Timer
+	heartbeat     Timer
+	reclaimTimer  Timer
+
+	stats Counters
+}
+
+// distInfinity marks an unknown distance to the tree root.
+const distInfinity = time.Duration(math.MaxInt64)
+
+// neighbor is this node's record of one overlay neighbor.
+type neighbor struct {
+	entry     Entry
+	kind      LinkKind
+	rtt       time.Duration
+	deg       Degrees // last piggybacked degrees from the peer
+	degKnown  bool
+	lastHeard time.Duration
+	// advert is the peer's last tree advertisement, kept so a node whose
+	// parent vanishes can re-pick a parent without waiting for a wave.
+	advert    TreeAdvert
+	hasAdvert bool
+}
+
+// New constructs a node. The returned node is inert until Start is called.
+func New(id NodeID, cfg Config, env Env) *Node {
+	cfg = cfg.validate()
+	return &Node{
+		id:          id,
+		self:        Entry{ID: id},
+		cfg:         cfg,
+		env:         env,
+		maintenance: true,
+		members:     make(map[NodeID]Entry),
+		rtt:         make(map[NodeID]time.Duration),
+		pings:       make(map[uint32]*pingCtx),
+		neighbors:   make(map[NodeID]*neighbor),
+		pendingAdd:  make(map[NodeID]*addCtx),
+		seen:        make(map[MessageID]*msgState),
+		pending:     make(map[MessageID]*pullState),
+		children:    make(map[NodeID]bool),
+		treeRoot:    None,
+		parent:      None,
+		distToRoot:  distInfinity,
+	}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// SetAddr records the node's own transport address, advertised in
+// membership entries (live runtime only).
+func (n *Node) SetAddr(addr string) { n.self.Addr = addr }
+
+// OnDeliver registers the multicast delivery callback. Must be set before
+// Start.
+func (n *Node) OnDeliver(fn DeliverFunc) { n.deliver = fn }
+
+// OnLinkChange registers an observer of overlay link changes.
+func (n *Node) OnLinkChange(fn LinkChangeFunc) { n.onLinkChange = fn }
+
+// OnParentChange registers an observer of tree parent changes.
+func (n *Node) OnParentChange(fn ParentChangeFunc) { n.onParentChange = fn }
+
+// Start activates the node's periodic timers. Gossip and maintenance
+// phases are randomized so nodes do not synchronize.
+func (n *Node) Start() {
+	if n.running {
+		return
+	}
+	n.running = true
+	n.rootJitter = time.Duration(n.env.Rand(int(5 * time.Second)))
+	n.lastWaveAt = n.env.Now()
+	n.gossipTimer = n.env.After(time.Duration(n.env.Rand(int(n.cfg.GossipPeriod)+1)), n.gossipTick)
+	n.maintainTimer = n.env.After(time.Duration(n.env.Rand(int(n.cfg.MaintainPeriod)+1)), n.maintainTick)
+	n.reclaimTimer = n.env.After(reclaimScanPeriod, n.reclaimTick)
+	n.measureLandmarks()
+	if n.treeRoot == n.id {
+		n.scheduleHeartbeat(0)
+	}
+}
+
+// Stop deactivates the node's timers. The node keeps its state and can be
+// inspected afterwards; it will no longer react to anything.
+func (n *Node) Stop() {
+	n.running = false
+	for _, t := range []Timer{n.gossipTimer, n.maintainTimer, n.heartbeat, n.reclaimTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	for _, ps := range n.pending {
+		if ps.timer != nil {
+			ps.timer.Stop()
+		}
+	}
+}
+
+// Leave gracefully departs: notifies all overlay neighbors so they drop
+// the links immediately, then stops.
+func (n *Node) Leave() {
+	for _, id := range n.neighborOrder {
+		if n.neighbors[id] != nil {
+			n.env.Send(id, &Drop{Degrees: n.degrees()})
+		}
+	}
+	n.Stop()
+}
+
+// SetMaintenance enables or disables the overlay/tree maintenance
+// protocols (including neighbor failure detection). The paper's stress
+// tests (Figures 3b, 4b, 6) disable maintenance before killing nodes.
+func (n *Node) SetMaintenance(on bool) { n.maintenance = on }
+
+// BecomeRoot designates this node as the tree root (used for the first
+// node of the system).
+func (n *Node) BecomeRoot() {
+	n.treeRoot = n.id
+	n.treeEpoch++
+	n.parent = None
+	n.distToRoot = 0
+	n.lastWaveAt = n.env.Now()
+	if n.running && n.cfg.EnableTree {
+		n.scheduleHeartbeat(0)
+	}
+}
+
+// Join contacts a node already in the overlay and bootstraps membership
+// from its reply (Section 2.2.1). The contact must be reachable via Send.
+func (n *Node) Join(contact Entry) {
+	n.learnEntry(contact)
+	n.env.Send(contact.ID, &JoinRequest{From: n.self})
+}
+
+// HandleMessage dispatches one protocol message from peer `from`. It is
+// the substrate's job to call this on the node's logical thread.
+func (n *Node) HandleMessage(from NodeID, m Message) {
+	if !n.running {
+		return
+	}
+	if nb := n.neighbors[from]; nb != nil {
+		nb.lastHeard = n.env.Now()
+	}
+	switch msg := m.(type) {
+	case *JoinRequest:
+		n.handleJoinRequest(from, msg)
+	case *JoinReply:
+		n.handleJoinReply(from, msg)
+	case *Ping:
+		n.handlePing(from, msg)
+	case *Pong:
+		n.handlePong(from, msg)
+	case *AddRequest:
+		n.handleAddRequest(from, msg)
+	case *AddReply:
+		n.handleAddReply(from, msg)
+	case *Drop:
+		n.handleDrop(from, msg)
+	case *Rebalance:
+		n.handleRebalance(from, msg)
+	case *RebalanceReply:
+		n.handleRebalanceReply(from, msg)
+	case *Gossip:
+		n.handleGossip(from, msg)
+	case *PullRequest:
+		n.handlePullRequest(from, msg)
+	case *Multicast:
+		n.handleMulticast(from, msg)
+	case *TreeAdvert:
+		n.handleTreeAdvert(from, msg)
+	case *TreeParent:
+		n.handleTreeParent(from, msg)
+	case *TreeAdvertReq:
+		n.handleTreeAdvertReq(from)
+	}
+}
+
+// PeerDown tells the node that the reliable channel to peer broke (TCP
+// reset / connection loss). Ignored while maintenance is disabled, which
+// models the paper's "no repair" stress tests.
+func (n *Node) PeerDown(peer NodeID) {
+	if !n.running || !n.maintenance {
+		return
+	}
+	n.forgetMember(peer)
+	if n.neighbors[peer] != nil {
+		n.removeNeighbor(peer, false)
+	}
+	n.abortOpsWith(peer)
+}
+
+// handleJoinRequest answers with a membership sample, the landmark set,
+// and the current root.
+func (n *Node) handleJoinRequest(from NodeID, m *JoinRequest) {
+	n.learnEntry(m.From)
+	reply := &JoinReply{
+		Members:   n.sampleMembers(n.cfg.MemberViewSize, m.From.ID),
+		Landmarks: append([]Entry(nil), n.landmarks...),
+		Root:      n.treeRoot,
+	}
+	n.env.Send(from, reply)
+}
+
+// handleJoinReply installs the contact's view as our initial member list
+// and kicks off landmark measurement; the maintenance cycle then builds
+// our neighborhoods.
+func (n *Node) handleJoinReply(from NodeID, m *JoinReply) {
+	for _, e := range m.Members {
+		n.learnEntry(e)
+	}
+	if len(n.landmarks) == 0 && len(m.Landmarks) > 0 {
+		n.SetLandmarks(m.Landmarks)
+		n.measureLandmarks()
+	}
+	if m.Root != None && n.treeRoot == None {
+		n.treeRoot = m.Root
+	}
+}
+
+// degrees snapshots this node's current degrees for piggybacking.
+func (n *Node) degrees() Degrees {
+	var d Degrees
+	var maxNear time.Duration
+	for _, nb := range n.neighbors {
+		switch nb.kind {
+		case Random:
+			d.Rand++
+		case Nearby:
+			d.Near++
+			if nb.rtt > maxNear {
+				maxNear = nb.rtt
+			}
+		}
+	}
+	d.MaxNearbyRTT = maxNear
+	return d
+}
+
+// degreeOf counts this node's neighbors of one kind.
+func (n *Node) degreeOf(kind LinkKind) int {
+	c := 0
+	for _, nb := range n.neighbors {
+		if nb.kind == kind {
+			c++
+		}
+	}
+	return c
+}
+
+// maxNearbyRTT returns the worst nearby-link RTT (condition C3).
+func (n *Node) maxNearbyRTT() time.Duration {
+	var max time.Duration
+	for _, nb := range n.neighbors {
+		if nb.kind == Nearby && nb.rtt > max {
+			max = nb.rtt
+		}
+	}
+	return max
+}

@@ -1,0 +1,32 @@
+package core
+
+// Counters accumulates per-node protocol activity. All fields are event
+// counts since the node was created.
+type Counters struct {
+	// Dissemination.
+	Injected     int64 // multicasts started at this node
+	Delivered    int64 // messages delivered to the application
+	PayloadsRecv int64 // payloads received from peers (first copies)
+	Duplicates   int64 // redundant payload copies received
+	TreeForwards int64 // payloads pushed along tree links
+	GossipsSent  int64
+	GossipsRecv  int64
+	IDsAnnounced int64 // message IDs included in sent gossips
+	PullsSent    int64 // pull requests issued
+	PullsServed  int64 // payloads served to pullers
+	PullRetries  int64
+
+	// Overlay maintenance.
+	AddsSent      int64
+	AddsAccepted  int64 // add requests this node accepted
+	AddsRejected  int64 // add requests this node rejected
+	LinkAdds      int64 // links installed at this node
+	LinkDrops     int64 // links removed at this node
+	Rebalances    int64 // completed random-degree rebalance operations
+	PingsSent     int64
+	TreeAdverts   int64
+	RootTakeovers int64
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Counters { return n.stats }

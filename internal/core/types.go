@@ -1,0 +1,97 @@
+// Package core implements the GoCast protocol (Tang, Chang, Ward — DSN
+// 2005): a proximity-aware, degree-constrained overlay; an efficient
+// latency-based multicast tree embedded in the overlay; and gossip-enhanced
+// dissemination in which multicast messages propagate unconditionally along
+// tree links while message-ID summaries are gossiped between overlay
+// neighbors so that nodes can pull messages lost to tree disruptions.
+//
+// A Node is a single-threaded state machine driven entirely through the Env
+// interface: the discrete-event simulator (internal/netsim) and the
+// real-time runtime (internal/live) both drive the same code.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a node. IDs are assigned by the deployment (the
+// simulator uses dense indexes; the live runtime assigns them at join).
+type NodeID int32
+
+// None is the absent-node sentinel (e.g. "no parent").
+const None NodeID = -1
+
+// Entry is a partial-membership record: enough information to contact a
+// node and to estimate its network distance without measuring it.
+type Entry struct {
+	ID NodeID
+	// Addr is the node's transport address; unused in simulation.
+	Addr string
+	// Landmarks holds the node's measured RTTs to the system landmarks in
+	// milliseconds, used for triangulated latency estimation. May be empty
+	// if the node has not yet measured them.
+	Landmarks []uint16
+}
+
+// MessageID uniquely identifies a multicast message: the injecting node's
+// ID plus a sequence number local to that node.
+type MessageID struct {
+	Source NodeID
+	Seq    uint32
+}
+
+func (m MessageID) String() string { return fmt.Sprintf("%d/%d", m.Source, m.Seq) }
+
+// LinkKind distinguishes the two classes of overlay links.
+type LinkKind uint8
+
+const (
+	// Random links connect randomly chosen neighbors; they provide the
+	// long-range connectivity that keeps remote clusters attached.
+	Random LinkKind = iota + 1
+	// Nearby links are chosen by network proximity; they carry most
+	// traffic and keep latency low.
+	Nearby
+)
+
+func (k LinkKind) String() string {
+	switch k {
+	case Random:
+		return "random"
+	case Nearby:
+		return "nearby"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", uint8(k))
+	}
+}
+
+// Timer is a cancellable scheduled callback provided by the Env.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it prevented the callback.
+	Stop() bool
+}
+
+// Env is the substrate a Node runs on. Implementations must deliver all
+// callbacks (message handling, timer callbacks) on a single logical thread
+// per node; Node performs no internal locking.
+type Env interface {
+	// Now returns the current time on this substrate's clock.
+	Now() time.Duration
+	// Send delivers m to the given node over the reliable channel
+	// (pre-established TCP connections between overlay neighbors in the
+	// paper). Sends to unreachable nodes are dropped; the substrate may
+	// later surface the breakage via Node.PeerDown.
+	Send(to NodeID, m Message)
+	// SendDatagram delivers m best-effort (UDP in the paper), used for
+	// communication between non-neighbors such as RTT probes.
+	SendDatagram(to NodeID, m Message)
+	// After schedules fn to run after d on this node's event loop.
+	After(d time.Duration, fn func()) Timer
+	// Rand returns a uniform random value in [0, n). Substrates seed this
+	// deterministically in simulation.
+	Rand(n int) int
+	// Learn tells the substrate about another node's contact information
+	// (needed by live transports to resolve NodeIDs to addresses).
+	Learn(e Entry)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gocast/internal/core"
+)
+
+// AblateC1 compares the paper's C1 threshold (a neighbor is droppable
+// while D_near(U) >= C_near - 1) against the stricter D_near(U) >= C_near.
+// The paper reports the stricter variant yields dramatically higher link
+// latencies because too few neighbors qualify for replacement.
+func AblateC1(sc Scale) *Report {
+	rep := &Report{
+		Name:   "Ablation: condition C1 threshold",
+		Header: []string{"C1 threshold", "avg overlay latency", "avg tree latency", "connected"},
+	}
+	for _, c1 := range []int{1, 0} {
+		cfg := core.DefaultConfig()
+		cfg.C1Lower = c1
+		c := buildOverlayCluster(sc, cfg)
+		c.Run(sc.Warmup)
+		label := "C_near-1 (paper)"
+		if c1 == 0 {
+			label = "C_near (strict)"
+		}
+		rep.Rows = append(rep.Rows, []string{
+			label,
+			fmtDur(c.AvgOverlayLinkLatency()),
+			fmtDur(c.AvgTreeLinkLatency()),
+			fmt.Sprintf("%.3f", c.LargestComponentRatio()),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: the strict threshold produces dramatically higher link latencies")
+	return rep
+}
+
+// AblateDropTrigger compares dropping excess nearby links at C_near+2
+// (paper) against the aggressive C_near+1, which the paper reports
+// increases link changes by about a third and slows stabilization.
+func AblateDropTrigger(sc Scale) *Report {
+	rep := &Report{
+		Name:   "Ablation: nearby drop trigger",
+		Header: []string{"trigger", "total link changes", "avg overlay latency"},
+	}
+	for _, trig := range []int{2, 1} {
+		cfg := core.DefaultConfig()
+		cfg.DropTrigger = trig
+		c := buildOverlayCluster(sc, cfg)
+		c.Run(sc.Warmup)
+		cnt := c.SumCounters()
+		label := "C_near+2 (paper)"
+		if trig == 1 {
+			label = "C_near+1 (aggressive)"
+		}
+		rep.Rows = append(rep.Rows, []string{
+			label,
+			fmt.Sprintf("%d", cnt.LinkAdds+cnt.LinkDrops),
+			fmtDur(c.AvgOverlayLinkLatency()),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: the aggressive trigger increases link changes by about one third")
+	return rep
+}
+
+// AblateC4 compares the paper's significant-improvement rule
+// (RTT(X,Q) <= RTT(X,U)/2) against accepting any improvement, which
+// causes futile minor adaptations (more link churn for little latency
+// gain).
+func AblateC4(sc Scale) *Report {
+	rep := &Report{
+		Name:   "Ablation: condition C4 replacement ratio",
+		Header: []string{"ratio", "total link changes", "avg overlay latency"},
+	}
+	for _, ratio := range []float64{0.5, 0.99} {
+		cfg := core.DefaultConfig()
+		cfg.ReplaceRatio = ratio
+		c := buildOverlayCluster(sc, cfg)
+		c.Run(sc.Warmup)
+		cnt := c.SumCounters()
+		label := "1/2 (paper)"
+		if ratio > 0.5 {
+			label = "any improvement"
+		}
+		rep.Rows = append(rep.Rows, []string{
+			label,
+			fmt.Sprintf("%d", cnt.LinkAdds+cnt.LinkDrops),
+			fmtDur(c.AvgOverlayLinkLatency()),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper motivation: C4 avoids futile minor adaptations")
+	return rep
+}

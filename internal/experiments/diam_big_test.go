@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestDiameterSweepBig measures the overlay diameter at the paper's
+// largest scales. It takes many minutes, so it only runs when explicitly
+// requested:
+//
+//	GOCAST_BIG=1 go test ./internal/experiments -run TestDiameterSweepBig -v
+func TestDiameterSweepBig(t *testing.T) {
+	if os.Getenv("GOCAST_BIG") == "" {
+		t.Skip("set GOCAST_BIG=1 to run the 4096/8192-node diameter sweep")
+	}
+	rep := Diameter([]int{4096, 8192}, 300*time.Second, 1)
+	fmt.Println(rep.String())
+}

@@ -1,0 +1,187 @@
+// Package graph provides the small graph algorithms used by the GoCast
+// resilience and scalability experiments: union-find connected components
+// (largest-component ratio after failures, Figure 6) and BFS hop diameter
+// (overlay diameter versus system size).
+package graph
+
+// UnionFind is a disjoint-set structure over elements 0..n-1 with union by
+// rank and path compression.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// NewUnionFind returns a structure with n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &UnionFind{parent: p, rank: make([]int8, n), sets: n}
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	root := x
+	for int(u.parent[root]) != root {
+		root = int(u.parent[root])
+	}
+	for int(u.parent[x]) != root {
+		u.parent[x], x = int32(root), int(u.parent[x])
+	}
+	return root
+}
+
+// Union merges the sets containing x and y and reports whether they were
+// previously distinct.
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = int32(rx)
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.sets--
+	return true
+}
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }
+
+// Connected reports whether x and y are in the same set.
+func (u *UnionFind) Connected(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Undirected is an adjacency-list graph over nodes 0..n-1.
+type Undirected struct {
+	adj [][]int32
+}
+
+// NewUndirected returns an empty graph over n nodes.
+func NewUndirected(n int) *Undirected {
+	return &Undirected{adj: make([][]int32, n)}
+}
+
+// Nodes returns the number of nodes.
+func (g *Undirected) Nodes() int { return len(g.adj) }
+
+// AddEdge adds an undirected edge. Self-loops are ignored; parallel edges
+// are allowed (harmless for components and BFS).
+func (g *Undirected) AddEdge(a, b int) {
+	if a == b {
+		return
+	}
+	g.adj[a] = append(g.adj[a], int32(b))
+	g.adj[b] = append(g.adj[b], int32(a))
+}
+
+// Degree returns node a's degree (counting parallel edges).
+func (g *Undirected) Degree(a int) int { return len(g.adj[a]) }
+
+// LargestComponent returns the size of the largest connected component
+// restricted to nodes where alive[i] is true (edges incident to dead nodes
+// are ignored), along with the number of alive nodes. A nil alive slice
+// means all nodes are alive.
+func (g *Undirected) LargestComponent(alive []bool) (largest, aliveCount int) {
+	n := len(g.adj)
+	isAlive := func(i int) bool { return alive == nil || alive[i] }
+	uf := NewUnionFind(n)
+	for a := 0; a < n; a++ {
+		if !isAlive(a) {
+			continue
+		}
+		aliveCount++
+		for _, b := range g.adj[a] {
+			if isAlive(int(b)) {
+				uf.Union(a, int(b))
+			}
+		}
+	}
+	size := make(map[int]int)
+	for i := 0; i < n; i++ {
+		if isAlive(i) {
+			r := uf.Find(i)
+			size[r]++
+			if size[r] > largest {
+				largest = size[r]
+			}
+		}
+	}
+	return largest, aliveCount
+}
+
+// Components returns the number of connected components among alive nodes.
+func (g *Undirected) Components(alive []bool) int {
+	n := len(g.adj)
+	isAlive := func(i int) bool { return alive == nil || alive[i] }
+	uf := NewUnionFind(n)
+	aliveCount := 0
+	for a := 0; a < n; a++ {
+		if !isAlive(a) {
+			continue
+		}
+		aliveCount++
+		for _, b := range g.adj[a] {
+			if isAlive(int(b)) {
+				uf.Union(a, int(b))
+			}
+		}
+	}
+	// Sets() counts dead singletons too; subtract them.
+	return uf.Sets() - (n - aliveCount)
+}
+
+// Eccentricity returns the maximum BFS hop distance from src to any
+// reachable node, and the number of nodes reached (including src).
+func (g *Undirected) Eccentricity(src int) (ecc, reached int) {
+	n := len(g.adj)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	reached = 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				if int(dist[w]) > ecc {
+					ecc = int(dist[w])
+				}
+				reached++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return ecc, reached
+}
+
+// Diameter returns the exact hop diameter of the graph (max eccentricity
+// over all sources). It returns -1 if the graph is disconnected or empty.
+// Cost is O(V * E); intended for graphs up to ~10k nodes with small degree.
+func (g *Undirected) Diameter() int {
+	n := len(g.adj)
+	if n == 0 {
+		return -1
+	}
+	diam := 0
+	for v := 0; v < n; v++ {
+		ecc, reached := g.Eccentricity(v)
+		if reached != n {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}

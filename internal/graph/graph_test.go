@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Sets() != 5 {
+		t.Fatalf("Sets = %d, want 5", u.Sets())
+	}
+	if !u.Union(0, 1) || !u.Union(1, 2) {
+		t.Fatalf("fresh unions should report true")
+	}
+	if u.Union(0, 2) {
+		t.Fatalf("redundant union should report false")
+	}
+	if u.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", u.Sets())
+	}
+	if !u.Connected(0, 2) || u.Connected(0, 3) {
+		t.Fatalf("connectivity wrong")
+	}
+}
+
+func TestLargestComponentAllAlive(t *testing.T) {
+	g := NewUndirected(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	largest, alive := g.LargestComponent(nil)
+	if largest != 3 || alive != 6 {
+		t.Fatalf("largest=%d alive=%d, want 3, 6", largest, alive)
+	}
+	if c := g.Components(nil); c != 3 {
+		t.Fatalf("components = %d, want 3 ({0,1,2},{3,4},{5})", c)
+	}
+}
+
+func TestLargestComponentWithFailures(t *testing.T) {
+	// Path 0-1-2-3-4; killing node 2 splits it.
+	g := NewUndirected(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	alive := []bool{true, true, false, true, true}
+	largest, n := g.LargestComponent(alive)
+	if largest != 2 || n != 4 {
+		t.Fatalf("largest=%d alive=%d, want 2, 4", largest, n)
+	}
+	if c := g.Components(alive); c != 2 {
+		t.Fatalf("components = %d, want 2", c)
+	}
+}
+
+func TestSelfLoopsIgnored(t *testing.T) {
+	g := NewUndirected(2)
+	g.AddEdge(0, 0)
+	if g.Degree(0) != 0 {
+		t.Fatalf("self loop should be ignored")
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	// Path of 5 nodes: diameter 4.
+	g := NewUndirected(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	ecc, reached := g.Eccentricity(0)
+	if ecc != 4 || reached != 5 {
+		t.Fatalf("ecc=%d reached=%d, want 4, 5", ecc, reached)
+	}
+	ecc, _ = g.Eccentricity(2)
+	if ecc != 2 {
+		t.Fatalf("center ecc=%d, want 2", ecc)
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("diameter = %d, want 4", d)
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	if d := g.Diameter(); d != -1 {
+		t.Fatalf("diameter of disconnected graph = %d, want -1", d)
+	}
+}
+
+func TestDiameterCompleteGraph(t *testing.T) {
+	g := NewUndirected(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	if d := g.Diameter(); d != 1 {
+		t.Fatalf("diameter = %d, want 1", d)
+	}
+}
+
+// Property: union-find agrees with BFS reachability on random graphs.
+func TestPropertyUnionFindMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := NewUndirected(n)
+		u := NewUnionFind(n)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.AddEdge(a, b)
+				u.Union(a, b)
+			}
+		}
+		// BFS from node 0; every reached node must be Connected(0, v).
+		_, reached := g.Eccentricity(0)
+		cnt := 0
+		for v := 0; v < n; v++ {
+			if u.Connected(0, v) {
+				cnt++
+			}
+		}
+		return cnt == reached
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: largest component size is between ceil(alive/sets) and alive.
+func TestPropertyLargestComponentBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := NewUndirected(n)
+		for e := 0; e < rng.Intn(2*n); e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		alive := make([]bool, n)
+		aliveCount := 0
+		for i := range alive {
+			alive[i] = rng.Intn(4) > 0
+			if alive[i] {
+				aliveCount++
+			}
+		}
+		largest, gotAlive := g.LargestComponent(alive)
+		if gotAlive != aliveCount {
+			return false
+		}
+		if aliveCount == 0 {
+			return largest == 0
+		}
+		comps := g.Components(alive)
+		if comps <= 0 {
+			return false
+		}
+		minLargest := (aliveCount + comps - 1) / comps
+		return largest >= minLargest && largest <= aliveCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLargestComponent1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewUndirected(1024)
+	for i := 0; i < 1024*3; i++ {
+		g.AddEdge(rng.Intn(1024), rng.Intn(1024))
+	}
+	alive := make([]bool, 1024)
+	for i := range alive {
+		alive[i] = rng.Intn(5) > 0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.LargestComponent(alive)
+	}
+}

@@ -1,0 +1,58 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"gocast/internal/core"
+)
+
+func TestFastConfigKeepsPaperStructure(t *testing.T) {
+	cfg := FastConfig()
+	if cfg.CRand != 1 || cfg.CNear != 5 {
+		t.Fatalf("FastConfig changed degree targets: %d+%d", cfg.CRand, cfg.CNear)
+	}
+	if !cfg.EnableTree {
+		t.Fatalf("FastConfig disabled the tree")
+	}
+	if cfg.GossipPeriod >= 100*time.Millisecond {
+		t.Fatalf("FastConfig should tighten the gossip period, got %v", cfg.GossipPeriod)
+	}
+}
+
+func TestAwaitDegreeTimesOutHonestly(t *testing.T) {
+	// A single-node cluster can never reach degree 1.
+	c := NewCluster(ClusterOptions{Nodes: 1, Config: FastConfig(), Seed: 1})
+	defer c.Close()
+	start := time.Now()
+	if c.AwaitDegree(1, 300*time.Millisecond) {
+		t.Fatalf("AwaitDegree reported success on an isolated node")
+	}
+	if time.Since(start) < 250*time.Millisecond {
+		t.Fatalf("AwaitDegree returned before its timeout")
+	}
+}
+
+func TestClusterSizeAndAccessors(t *testing.T) {
+	c := NewCluster(ClusterOptions{Nodes: 3, Config: FastConfig(), Seed: 2})
+	defer c.Close()
+	if c.Size() != 3 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	for i := 0; i < 3; i++ {
+		n := c.Node(i)
+		if n.ID() != core.NodeID(i) {
+			t.Fatalf("node %d has ID %d", i, n.ID())
+		}
+		if n.Addr() == "" {
+			t.Fatalf("node %d has no address", i)
+		}
+		if n.Entry().Addr != n.Addr() {
+			t.Fatalf("entry address mismatch")
+		}
+	}
+	// Node 0 is the initial root.
+	if c.Node(0).Root() != 0 {
+		t.Fatalf("root = %d, want 0", c.Node(0).Root())
+	}
+}

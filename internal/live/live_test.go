@@ -1,0 +1,310 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gocast/internal/core"
+)
+
+func TestMemClusterConvergesAndDelivers(t *testing.T) {
+	var mu sync.Mutex
+	got := map[int][]byte{}
+	c := NewCluster(ClusterOptions{
+		Nodes:  12,
+		Config: FastConfig(),
+		Seed:   1,
+		OnDeliver: func(node int, _ core.MessageID, payload []byte) {
+			mu.Lock()
+			got[node] = payload
+			mu.Unlock()
+		},
+	})
+	defer c.Close()
+	if !c.AwaitDegree(2, 15*time.Second) {
+		t.Fatalf("cluster did not wire itself up")
+	}
+	c.Node(3).Multicast([]byte("live"))
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 12 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/12 nodes delivered", n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for node, payload := range got {
+		if string(payload) != "live" {
+			t.Fatalf("node %d got %q", node, payload)
+		}
+	}
+}
+
+func TestMemClusterSurvivesKills(t *testing.T) {
+	var mu sync.Mutex
+	delivered := map[int]int{}
+	c := NewCluster(ClusterOptions{
+		Nodes:  12,
+		Config: FastConfig(),
+		Seed:   2,
+		OnDeliver: func(node int, _ core.MessageID, _ []byte) {
+			mu.Lock()
+			delivered[node]++
+			mu.Unlock()
+		},
+	})
+	defer c.Close()
+	if !c.AwaitDegree(2, 15*time.Second) {
+		t.Fatalf("cluster did not wire itself up")
+	}
+	// Kill two non-root nodes abruptly (no goodbye).
+	c.Node(4).Kill()
+	c.Node(7).Kill()
+	time.Sleep(2 * time.Second) // let failure detection run
+	c.Node(1).Multicast([]byte("after-failure"))
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		n := len(delivered)
+		mu.Unlock()
+		if n >= 10 {
+			return // all 10 survivors delivered
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/10 survivors delivered", n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestMemNetworkPartitionTriggersFailure(t *testing.T) {
+	net := NewMemNetwork(time.Millisecond, 1)
+	a := net.Endpoint("a")
+	a.SetFrom(1)
+	b := net.Endpoint("b")
+	b.SetFrom(2)
+	failed := make(chan core.NodeID, 1)
+	a.SetHandlers(func(core.NodeID, core.Message) {}, func(peer core.NodeID) {
+		select {
+		case failed <- peer:
+		default:
+		}
+	})
+	b.SetHandlers(func(core.NodeID, core.Message) {}, nil)
+	b.Close()
+	a.Send("b", 2, &core.TreeParent{})
+	select {
+	case peer := <-failed:
+		if peer != 2 {
+			t.Fatalf("failure reported for %d, want 2", peer)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no failure notification for a closed endpoint")
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	ta, err := NewTCPTransport(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	tb, err := NewTCPTransport(2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	gotTCP := make(chan core.Message, 1)
+	gotUDP := make(chan core.Message, 1)
+	tb.SetHandlers(func(from core.NodeID, m core.Message) {
+		if from != 1 {
+			t.Errorf("from = %d, want 1", from)
+		}
+		switch m.(type) {
+		case *core.Multicast:
+			gotTCP <- m
+		case *core.Ping:
+			gotUDP <- m
+		}
+	}, nil)
+	ta.SetHandlers(func(core.NodeID, core.Message) {}, nil)
+
+	ta.Send(tb.Addr(), 2, &core.Multicast{ID: core.MessageID{Source: 1, Seq: 5}, Payload: []byte("x")})
+	select {
+	case m := <-gotTCP:
+		if string(m.(*core.Multicast).Payload) != "x" {
+			t.Fatalf("payload corrupted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("TCP frame not delivered")
+	}
+
+	ta.SendDatagram(tb.Addr(), 2, &core.Ping{From: core.Entry{ID: 1, Addr: ta.Addr()}, Nonce: 9})
+	select {
+	case m := <-gotUDP:
+		if m.(*core.Ping).Nonce != 9 {
+			t.Fatalf("nonce corrupted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("UDP datagram not delivered")
+	}
+}
+
+func TestTCPTransportFailureNotification(t *testing.T) {
+	ta, err := NewTCPTransport(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	failed := make(chan core.NodeID, 4)
+	ta.SetHandlers(func(core.NodeID, core.Message) {}, func(peer core.NodeID) {
+		failed <- peer
+	})
+	// Dial an address where nothing listens.
+	ta.Send("127.0.0.1:1", 42, &core.TreeParent{})
+	select {
+	case peer := <-failed:
+		if peer != 42 {
+			t.Fatalf("failure for %d, want 42", peer)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no failure notification for refused connection")
+	}
+}
+
+func TestTCPClusterDelivers(t *testing.T) {
+	const n = 6
+	cfg := FastConfig()
+	var mu sync.Mutex
+	got := map[core.NodeID]bool{}
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		tr, err := NewTCPTransport(core.NodeID(i), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := core.NodeID(i)
+		node := NewNode(NodeOptions{
+			ID:        id,
+			Config:    cfg,
+			Transport: tr,
+			Seed:      int64(100 + i),
+			OnDeliver: func(core.MessageID, []byte, time.Duration) {
+				mu.Lock()
+				got[id] = true
+				mu.Unlock()
+			},
+		})
+		nodes = append(nodes, node)
+	}
+	defer func() {
+		for _, node := range nodes {
+			node.Close()
+		}
+	}()
+	landmarks := []core.Entry{nodes[0].Entry(), nodes[1].Entry()}
+	for _, node := range nodes {
+		node.SetLandmarks(landmarks)
+	}
+	nodes[0].BecomeRoot()
+	for i := 1; i < n; i++ {
+		nodes[i].Join(nodes[0].Entry())
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		ok := true
+		for _, node := range nodes {
+			if node.Degree() < 2 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("TCP cluster did not converge")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	nodes[2].Multicast([]byte("tcp"))
+	for {
+		mu.Lock()
+		cnt := len(got)
+		mu.Unlock()
+		if cnt == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered to %d/%d over TCP", cnt, n)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func TestNodeCloseIsIdempotentAndGraceful(t *testing.T) {
+	c := NewCluster(ClusterOptions{Nodes: 4, Config: FastConfig(), Seed: 3})
+	if !c.AwaitDegree(1, 10*time.Second) {
+		t.Fatalf("cluster did not wire up")
+	}
+	n := c.Node(2)
+	n.Close()
+	n.Close() // idempotent
+	// The survivors should drop the departed node promptly (Leave sends
+	// Drop messages).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		gone := true
+		for _, i := range []int{0, 1, 3} {
+			for _, nb := range c.Node(i).Neighbors() {
+				if nb.ID == 2 {
+					gone = false
+				}
+			}
+		}
+		if gone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("departed node still someone's neighbor")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c.Close()
+}
+
+func TestMulticastFromAPIIsThreadSafe(t *testing.T) {
+	c := NewCluster(ClusterOptions{Nodes: 4, Config: FastConfig(), Seed: 4})
+	defer c.Close()
+	var wg sync.WaitGroup
+	ids := make(chan core.MessageID, 40)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				ids <- c.Node(g).Multicast(nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[core.MessageID]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate message ID %v", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != 40 {
+		t.Fatalf("got %d IDs, want 40", len(seen))
+	}
+}

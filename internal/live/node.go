@@ -1,0 +1,291 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gocast/internal/core"
+)
+
+// NodeOptions configures a live node.
+type NodeOptions struct {
+	// ID must be unique across the group.
+	ID core.NodeID
+	// Config is the protocol configuration; zero-ish values are repaired
+	// by core.
+	Config core.Config
+	// Transport carries the node's traffic. The runner takes ownership
+	// and closes it on Close.
+	Transport Transport
+	// Seed drives the node's local randomness (timer phases, sampling).
+	Seed int64
+	// OnDeliver receives each multicast exactly once. Called on the
+	// node's event loop: do not block, and do not call the node's own
+	// methods from inside it (hand work to another goroutine instead) —
+	// they wait on the same loop and would deadlock.
+	OnDeliver core.DeliverFunc
+}
+
+// Node hosts one GoCast protocol instance on real time. All protocol work
+// happens on a single mailbox goroutine; the exported methods are safe for
+// concurrent use.
+type Node struct {
+	opts  NodeOptions
+	coreN *core.Node
+	env   *liveEnv
+
+	mailbox chan func()
+	stopped chan struct{}
+	once    sync.Once
+}
+
+// NewNode builds and starts a live node. It is immediately ready to
+// Join a group (or to be joined, if it is the first).
+func NewNode(opts NodeOptions) *Node {
+	n := &Node{
+		opts:    opts,
+		mailbox: make(chan func(), 1024),
+		stopped: make(chan struct{}),
+	}
+	env := &liveEnv{
+		n:     n,
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(opts.Seed ^ int64(opts.ID)<<20)),
+		addrs: make(map[core.NodeID]string),
+	}
+	n.env = env
+	n.coreN = core.New(opts.ID, opts.Config, env)
+	n.coreN.SetAddr(opts.Transport.Addr())
+	if opts.OnDeliver != nil {
+		n.coreN.OnDeliver(opts.OnDeliver)
+	}
+	if mt, ok := opts.Transport.(*MemTransport); ok {
+		mt.SetFrom(opts.ID)
+	}
+	opts.Transport.SetHandlers(
+		func(from core.NodeID, m core.Message) {
+			n.post(func() {
+				// Messages teach us the peer's reachability implicitly via
+				// entries; core handles the rest.
+				n.coreN.HandleMessage(from, m)
+			})
+		},
+		func(peer core.NodeID) {
+			// Failure notifications may originate from the event loop
+			// itself (a send hitting a dead peer); never block on the
+			// mailbox or the loop deadlocks. A dropped notification is
+			// harmless: the keepalive timeout catches the failure.
+			n.tryPost(func() { n.coreN.PeerDown(peer) })
+		},
+	)
+	go n.loop()
+	n.post(func() { n.coreN.Start() })
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() core.NodeID { return n.opts.ID }
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.opts.Transport.Addr() }
+
+// Entry returns the node's contact entry for bootstrapping others.
+func (n *Node) Entry() core.Entry {
+	return core.Entry{ID: n.opts.ID, Addr: n.Addr()}
+}
+
+// BecomeRoot designates this node as the initial tree root.
+func (n *Node) BecomeRoot() {
+	n.call(func() { n.coreN.BecomeRoot() })
+}
+
+// Join bootstraps through a node already in the group.
+func (n *Node) Join(contact core.Entry) {
+	n.call(func() { n.coreN.Join(contact) })
+}
+
+// SetLandmarks installs the latency-estimation landmark set.
+func (n *Node) SetLandmarks(ls []core.Entry) {
+	n.call(func() { n.coreN.SetLandmarks(ls) })
+}
+
+// Multicast injects a message into the group and returns its ID.
+func (n *Node) Multicast(payload []byte) core.MessageID {
+	var id core.MessageID
+	n.call(func() { id = n.coreN.Multicast(payload) })
+	return id
+}
+
+// Degree returns the node's current overlay degree.
+func (n *Node) Degree() int {
+	var d int
+	n.call(func() { d = n.coreN.Degree() })
+	return d
+}
+
+// Neighbors snapshots the node's overlay links.
+func (n *Node) Neighbors() []core.NeighborInfo {
+	var out []core.NeighborInfo
+	n.call(func() { out = n.coreN.Neighbors() })
+	return out
+}
+
+// Root returns the node's view of the tree root.
+func (n *Node) Root() core.NodeID {
+	var r core.NodeID
+	n.call(func() { r = n.coreN.Root() })
+	return r
+}
+
+// Parent returns the node's tree parent.
+func (n *Node) Parent() core.NodeID {
+	var p core.NodeID
+	n.call(func() { p = n.coreN.Parent() })
+	return p
+}
+
+// Stats snapshots the node's protocol counters.
+func (n *Node) Stats() core.Counters {
+	var s core.Counters
+	n.call(func() { s = n.coreN.Stats() })
+	return s
+}
+
+// Seen reports whether the node has received the message.
+func (n *Node) Seen(id core.MessageID) bool {
+	var ok bool
+	n.call(func() { ok = n.coreN.Seen(id) })
+	return ok
+}
+
+// Close leaves the group gracefully and stops the node.
+func (n *Node) Close() {
+	n.once.Do(func() {
+		n.call(func() { n.coreN.Leave() })
+		close(n.stopped)
+		_ = n.opts.Transport.Close()
+	})
+}
+
+// Kill stops the node abruptly without notifying anyone (for failure
+// testing).
+func (n *Node) Kill() {
+	n.once.Do(func() {
+		n.call(func() { n.coreN.Stop() })
+		close(n.stopped)
+		_ = n.opts.Transport.Close()
+	})
+}
+
+// post enqueues work for the event loop; it drops work once stopped.
+func (n *Node) post(fn func()) {
+	select {
+	case <-n.stopped:
+	case n.mailbox <- fn:
+	}
+}
+
+// tryPost enqueues without ever blocking, dropping the work if the
+// mailbox is full or the node stopped.
+func (n *Node) tryPost(fn func()) {
+	select {
+	case <-n.stopped:
+	case n.mailbox <- fn:
+	default:
+	}
+}
+
+// call runs fn on the event loop and waits for it.
+func (n *Node) call(fn func()) {
+	done := make(chan struct{})
+	n.post(func() {
+		defer close(done)
+		fn()
+	})
+	select {
+	case <-done:
+	case <-n.stopped:
+	}
+}
+
+func (n *Node) loop() {
+	for {
+		select {
+		case <-n.stopped:
+			// Drain whatever was queued so callers blocked in call()
+			// observe their closure executed or the stop.
+			for {
+				select {
+				case fn := <-n.mailbox:
+					fn()
+				default:
+					return
+				}
+			}
+		case fn := <-n.mailbox:
+			fn()
+		}
+	}
+}
+
+// liveEnv adapts real time and the transport to core.Env. All methods are
+// invoked from the node's event loop.
+type liveEnv struct {
+	n     *Node
+	start time.Time
+	rng   *rand.Rand
+	addrs map[core.NodeID]string
+}
+
+var _ core.Env = (*liveEnv)(nil)
+
+func (e *liveEnv) Now() time.Duration { return time.Since(e.start) }
+
+func (e *liveEnv) Rand(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return e.rng.Intn(n)
+}
+
+func (e *liveEnv) Learn(entry core.Entry) {
+	if entry.Addr != "" {
+		e.addrs[entry.ID] = entry.Addr
+	}
+}
+
+func (e *liveEnv) Send(to core.NodeID, m core.Message) {
+	if addr, ok := e.addrs[to]; ok {
+		e.n.opts.Transport.Send(addr, to, m)
+	}
+}
+
+func (e *liveEnv) SendDatagram(to core.NodeID, m core.Message) {
+	if addr, ok := e.addrs[to]; ok {
+		e.n.opts.Transport.SendDatagram(addr, to, m)
+	}
+}
+
+func (e *liveEnv) After(d time.Duration, fn func()) core.Timer {
+	t := &liveTimer{}
+	t.t = time.AfterFunc(d, func() {
+		e.n.post(func() {
+			if !t.stopped.Load() {
+				fn()
+			}
+		})
+	})
+	return t
+}
+
+type liveTimer struct {
+	t       *time.Timer
+	stopped atomic.Bool
+}
+
+func (t *liveTimer) Stop() bool {
+	t.stopped.Store(true)
+	return t.t.Stop()
+}

@@ -1,0 +1,302 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"gocast/internal/core"
+	"gocast/internal/wire"
+)
+
+// TCPTransport carries reliable traffic over TCP connections (one per
+// peer, dialed on demand, as the paper's pre-established connections
+// between overlay neighbors) and datagrams over UDP on the same port
+// number.
+type TCPTransport struct {
+	id   core.NodeID
+	ln   net.Listener
+	udp  *net.UDPConn
+	addr string
+
+	mu      sync.Mutex
+	conns   map[string]*peerConn
+	inbound map[net.Conn]bool
+	handler Handler
+	failure FailureHandler
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// peerConn is an outbound connection with a writer goroutine, so the
+// node's event loop never blocks on the network.
+type peerConn struct {
+	addr  string
+	to    core.NodeID
+	queue chan []byte
+	done  chan struct{}
+	once  sync.Once
+	conn  net.Conn
+}
+
+func (pc *peerConn) stop() { pc.once.Do(func() { close(pc.done) }) }
+
+const outboundQueue = 256
+
+// NewTCPTransport listens on listenAddr (e.g. "127.0.0.1:0") for both TCP
+// and UDP. id is stamped on outgoing frames.
+func NewTCPTransport(id core.NodeID, listenAddr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen tcp: %w", err)
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	udp, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("live: listen udp: %w", err)
+	}
+	t := &TCPTransport{
+		id:      id,
+		ln:      ln,
+		udp:     udp,
+		addr:    ln.Addr().String(),
+		conns:   make(map[string]*peerConn),
+		inbound: make(map[net.Conn]bool),
+	}
+	t.wg.Add(2)
+	go t.acceptLoop()
+	go t.udpLoop()
+	return t, nil
+}
+
+// Addr returns the listening address.
+func (t *TCPTransport) Addr() string { return t.addr }
+
+// SetHandlers registers the inbound callbacks.
+func (t *TCPTransport) SetHandlers(h Handler, f FailureHandler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+	t.failure = f
+}
+
+func (t *TCPTransport) handlers() (Handler, FailureHandler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.handler, t.failure
+}
+
+// Send queues a reliable frame toward addr, dialing if needed.
+func (t *TCPTransport) Send(addr string, to core.NodeID, m core.Message) {
+	buf, err := wire.Append(nil, t.id, m)
+	if err != nil {
+		return
+	}
+	pc := t.peer(addr, to)
+	if pc == nil {
+		return
+	}
+	select {
+	case <-pc.done:
+	case pc.queue <- buf:
+	default:
+		// Peer writer saturated; treat like a broken pipe.
+		t.dropPeer(pc, true)
+	}
+}
+
+// SendDatagram sends one UDP packet; errors and oversized frames are
+// dropped silently, as UDP semantics dictate.
+func (t *TCPTransport) SendDatagram(addr string, to core.NodeID, m core.Message) {
+	buf, err := wire.Append(nil, t.id, m)
+	if err != nil || len(buf) > 60000 {
+		return
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return
+	}
+	_, _ = t.udp.WriteToUDP(buf, ua)
+}
+
+// peer returns (creating if necessary) the outbound connection state.
+func (t *TCPTransport) peer(addr string, to core.NodeID) *peerConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if pc, ok := t.conns[addr]; ok {
+		return pc
+	}
+	pc := &peerConn{
+		addr:  addr,
+		to:    to,
+		queue: make(chan []byte, outboundQueue),
+		done:  make(chan struct{}),
+	}
+	t.conns[addr] = pc
+	t.wg.Add(1)
+	go t.writeLoop(pc)
+	return pc
+}
+
+func (t *TCPTransport) writeLoop(pc *peerConn) {
+	defer t.wg.Done()
+	conn, err := net.Dial("tcp", pc.addr)
+	if err != nil {
+		t.dropPeer(pc, true)
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	pc.conn = conn
+	t.mu.Unlock()
+	// Inbound frames can arrive on outbound connections too.
+	t.wg.Add(1)
+	go t.readLoop(conn)
+	for {
+		select {
+		case <-pc.done:
+			conn.Close()
+			return
+		case buf := <-pc.queue:
+			if _, err := conn.Write(buf); err != nil {
+				t.dropPeer(pc, true)
+				return
+			}
+		}
+	}
+}
+
+// dropPeer removes the connection and reports the failure once.
+func (t *TCPTransport) dropPeer(pc *peerConn, notify bool) {
+	t.mu.Lock()
+	cur, ok := t.conns[pc.addr]
+	if ok && cur == pc {
+		delete(t.conns, pc.addr)
+	}
+	closed := t.closed
+	fail := t.failure
+	conn := pc.conn
+	t.mu.Unlock()
+	pc.stop()
+	if conn != nil {
+		conn.Close()
+	}
+	if ok && cur == pc && notify && !closed && fail != nil {
+		fail(pc.to)
+	}
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	t.inbound[conn] = true
+	t.mu.Unlock()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		from, m, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		h, _ := t.handlers()
+		if h != nil {
+			h(from, m)
+		}
+	}
+}
+
+func (t *TCPTransport) udpLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := t.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n < 4 {
+			continue
+		}
+		from, m, err := wire.Decode(buf[4:n])
+		if err != nil {
+			continue
+		}
+		h, _ := t.handlers()
+		if h != nil {
+			h(from, m)
+		}
+	}
+}
+
+// Close shuts the listeners and all connections down and waits for the
+// transport's goroutines to exit.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	type closing struct {
+		pc   *peerConn
+		conn net.Conn
+	}
+	conns := make([]closing, 0, len(t.conns))
+	for _, pc := range t.conns {
+		conns = append(conns, closing{pc: pc, conn: pc.conn})
+	}
+	t.conns = make(map[string]*peerConn)
+	ins := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		ins = append(ins, c)
+	}
+	t.mu.Unlock()
+
+	t.ln.Close()
+	t.udp.Close()
+	for _, c := range ins {
+		c.Close()
+	}
+	for _, c := range conns {
+		c.pc.stop()
+		if c.conn != nil {
+			c.conn.Close()
+		}
+	}
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"gocast/internal/core"
+)
+
+func TestAddNodeJoinsAndReceives(t *testing.T) {
+	cfg := core.DefaultConfig()
+	c := buildCluster(t, 48, cfg, 20)
+	c.Run(60 * time.Second)
+	idx := c.AddNode(5)
+	c.Run(60 * time.Second)
+	n := c.Node(idx)
+	if d := n.Degree(); d < cfg.TargetDegree()-1 {
+		t.Fatalf("joiner degree = %d, want near %d", d, cfg.TargetDegree())
+	}
+	if _, attached := n.DistToRoot(); !attached {
+		t.Fatalf("joiner never attached to the tree")
+	}
+	c.Inject(0, nil)
+	c.Run(5 * time.Second)
+	if rec := c.Delays(); rec.Misses() != 0 {
+		t.Fatalf("misses with joiner present = %d", rec.Misses())
+	}
+}
+
+func TestGracefulLeaveCleansNeighbors(t *testing.T) {
+	cfg := core.DefaultConfig()
+	c := buildCluster(t, 32, cfg, 21)
+	c.Run(60 * time.Second)
+	leaver := 9
+	peers := c.Node(leaver).Neighbors()
+	if len(peers) == 0 {
+		t.Fatalf("node %d has no neighbors to notify", leaver)
+	}
+	c.Leave(leaver)
+	c.Run(5 * time.Second)
+	for _, p := range peers {
+		for _, nb := range c.Node(int(p.ID)).Neighbors() {
+			if int(nb.ID) == leaver {
+				t.Fatalf("node %d still lists the departed node", p.ID)
+			}
+		}
+	}
+	c.Inject(c.randomLive(), nil)
+	c.Run(5 * time.Second)
+	if rec := c.Delays(); rec.Misses() != 0 {
+		t.Fatalf("misses after graceful leave = %d", rec.Misses())
+	}
+}
+
+func TestContinuousChurnKeepsDelivering(t *testing.T) {
+	cfg := core.DefaultConfig()
+	c := buildCluster(t, 48, cfg, 22)
+	c.Run(60 * time.Second)
+	// Interleave joins, graceful leaves, crashes, and messages.
+	for round := 0; round < 6; round++ {
+		switch round % 3 {
+		case 0:
+			c.AddNode(0)
+		case 1:
+			if v := c.randomLive(); v != 0 {
+				c.Leave(v)
+			}
+		case 2:
+			if v := c.randomLive(); v != 0 {
+				c.Kill(v)
+			}
+		}
+		c.Run(20 * time.Second)
+		c.Inject(c.randomLive(), nil)
+		c.Run(10 * time.Second)
+	}
+	rec := c.Delays()
+	if rec.Misses() != 0 {
+		t.Fatalf("misses under churn = %d (delivered %d)", rec.Misses(), rec.Count())
+	}
+	// Degrees must still be controlled after churn.
+	h := c.DegreeHistogram()
+	if h.Mean() > float64(cfg.TargetDegree())+1.5 {
+		t.Errorf("mean degree after churn = %.2f, want near %d", h.Mean(), cfg.TargetDegree())
+	}
+	if q := c.LargestComponentRatio(); q < 1 {
+		t.Errorf("overlay disconnected after churn: q=%.3f", q)
+	}
+}
+
+func TestJoinDuringMessageStream(t *testing.T) {
+	cfg := core.DefaultConfig()
+	c := buildCluster(t, 32, cfg, 23)
+	c.Run(60 * time.Second)
+	c.InjectStream(50, 50, nil)
+	c.Run(500 * time.Millisecond) // mid-stream
+	c.AddNode(3)
+	c.Run(30 * time.Second)
+	// Messages injected before the join must not count the newcomer as a
+	// miss; messages after it joined may reach it.
+	rec := c.Delays()
+	if rec.Misses() != 0 {
+		t.Fatalf("misses = %d; late joiner must not be charged for old messages", rec.Misses())
+	}
+}

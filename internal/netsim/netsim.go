@@ -1,0 +1,659 @@
+// Package netsim runs GoCast nodes (and baseline protocols) on the
+// discrete-event simulator over a wide-area latency matrix, reproducing
+// the methodology of the paper's evaluation: an event-driven simulation of
+// message propagation, node failure, topology, and link latency, without
+// packet-level detail.
+package netsim
+
+import (
+	"math/rand"
+	"time"
+
+	"gocast/internal/core"
+	"gocast/internal/graph"
+	"gocast/internal/latency"
+	"gocast/internal/metrics"
+	"gocast/internal/sim"
+	"gocast/internal/trace"
+)
+
+// Observer sees every simulated transmission, letting experiments account
+// traffic (e.g. per-underlay-link stress).
+type Observer func(from, to core.NodeID, m core.Message)
+
+// Options configures a simulated cluster.
+type Options struct {
+	// Nodes is the system size.
+	Nodes int
+	// Seed drives all randomness in the run.
+	Seed int64
+	// Config is the per-node protocol configuration.
+	Config core.Config
+	// Matrix provides pairwise latencies; synthesized from Seed when nil.
+	// When Nodes exceeds the number of sites, multiple nodes share a site
+	// (as in the paper, which had more nodes than measured DNS servers).
+	Matrix *latency.Matrix
+	// DetectionDelay is how long after a peer's death its overlay
+	// neighbors get a connection-break notification (TCP reset model).
+	DetectionDelay time.Duration
+	// Observer, if set, sees every transmission.
+	Observer Observer
+	// Tracer, if set, records protocol events (link changes, parent
+	// changes, deliveries) for debugging.
+	Tracer *trace.Buffer
+}
+
+// Cluster is a simulated GoCast deployment.
+type Cluster struct {
+	Engine *sim.Engine
+	Matrix *latency.Matrix
+
+	opts    Options
+	rng     *rand.Rand
+	siteOf  []int
+	nodes   []*core.Node
+	alive   []bool
+	joined  []time.Duration // when each node entered the system
+	detect  bool
+	linkLog *metrics.TimeSeries // optional link-change recording
+
+	// Delivery accounting.
+	msgIndex    map[core.MessageID]int
+	injectTimes []time.Duration
+	sources     []int
+	recv        [][]time.Duration // [msg][node] delivery time, -1 = never
+}
+
+// New builds a cluster; nodes are created but idle until Start.
+func New(opts Options) *Cluster {
+	if opts.Nodes <= 0 {
+		panic("netsim: cluster needs at least one node")
+	}
+	if opts.DetectionDelay <= 0 {
+		opts.DetectionDelay = time.Second
+	}
+	eng := sim.NewEngine(opts.Seed)
+	mat := opts.Matrix
+	if mat == nil {
+		sites := opts.Nodes
+		if sites > latency.KingSites {
+			sites = latency.KingSites
+		}
+		mat = latency.Synthesize(sites, opts.Seed)
+	}
+	c := &Cluster{
+		Engine:   eng,
+		Matrix:   mat,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed ^ 0x5ca1ab1e)),
+		siteOf:   make([]int, opts.Nodes),
+		nodes:    make([]*core.Node, opts.Nodes),
+		alive:    make([]bool, opts.Nodes),
+		joined:   make([]time.Duration, opts.Nodes),
+		detect:   true,
+		msgIndex: make(map[core.MessageID]int),
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		c.siteOf[i] = i % mat.Sites()
+		c.alive[i] = true
+		e := &env{c: c, id: core.NodeID(i), rng: rand.New(rand.NewSource(c.rng.Int63()))}
+		n := core.New(core.NodeID(i), opts.Config, e)
+		idx := i
+		n.OnDeliver(func(id core.MessageID, _ []byte, _ time.Duration) {
+			c.recordDelivery(id, idx)
+			if tb := c.opts.Tracer; tb != nil {
+				tb.Addf(eng.Now(), trace.KindDeliver, int32(idx), int32(id.Source), "msg=%s", id)
+			}
+		})
+		if tb := opts.Tracer; tb != nil {
+			n.OnLinkChange(func(added bool, kind core.LinkKind, peer core.NodeID, rtt time.Duration) {
+				k := trace.KindLinkDown
+				if added {
+					k = trace.KindLinkUp
+				}
+				tb.Addf(eng.Now(), k, int32(idx), int32(peer), "%s rtt=%v", kind, rtt)
+			})
+			n.OnParentChange(func(old, new core.NodeID) {
+				tb.Addf(eng.Now(), trace.KindParentChange, int32(idx), int32(new), "old=%d", old)
+			})
+		}
+		c.nodes[i] = n
+	}
+	// Landmarks: the first few nodes anchor latency estimation.
+	lc := opts.Config.LandmarkCount
+	if lc > opts.Nodes {
+		lc = opts.Nodes
+	}
+	lms := make([]core.Entry, lc)
+	for i := range lms {
+		lms[i] = core.Entry{ID: core.NodeID(i)}
+	}
+	for _, n := range c.nodes {
+		n.SetLandmarks(lms)
+	}
+	return c
+}
+
+// Node returns the i-th node (for inspection; drive it only through the
+// cluster to preserve determinism).
+func (c *Cluster) Node(i int) *core.Node { return c.nodes[i] }
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Alive reports whether node i is alive.
+func (c *Cluster) Alive(i int) bool { return c.alive[i] }
+
+// AliveCount returns the number of live nodes.
+func (c *Cluster) AliveCount() int {
+	n := 0
+	for _, a := range c.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// OneWay returns the simulated one-way latency between two nodes.
+func (c *Cluster) OneWay(i, j int) time.Duration {
+	return c.Matrix.OneWay(c.siteOf[i], c.siteOf[j])
+}
+
+// RTT returns the simulated round-trip time between two nodes.
+func (c *Cluster) RTT(i, j int) time.Duration { return 2 * c.OneWay(i, j) }
+
+// BootstrapMembership gives every node a uniformly random partial view of
+// the given size (distinct entries, sampled without replacement), as the
+// membership protocol would have established.
+func (c *Cluster) BootstrapMembership(viewSize int) {
+	n := len(c.nodes)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < n; i++ {
+		// Partial Fisher-Yates: the first viewSize entries of perm become
+		// a uniform sample without replacement.
+		k := viewSize
+		if k > n-1 {
+			k = n - 1
+		}
+		taken := 0
+		for pos := 0; taken < k && pos < n; pos++ {
+			swap := pos + c.rng.Intn(n-pos)
+			perm[pos], perm[swap] = perm[swap], perm[pos]
+			if perm[pos] == i {
+				continue
+			}
+			c.learn(i, perm[pos])
+			taken++
+		}
+	}
+}
+
+func (c *Cluster) learn(i, j int) {
+	c.nodes[i].SeedMembers([]core.Entry{{ID: core.NodeID(j)}})
+}
+
+// WireRandom creates the paper's initial topology: every node initiates
+// `initiate` connections to distinct random nodes, classified as random
+// links (the adaptation protocols then reshape the overlay). Average
+// degree after wiring is 2*initiate.
+func (c *Cluster) WireRandom(initiate int) {
+	n := len(c.nodes)
+	type pair struct{ a, b int }
+	linked := make(map[pair]bool)
+	for i := 0; i < n; i++ {
+		for k := 0; k < initiate; k++ {
+			j := c.rng.Intn(n)
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			if i == j || linked[pair{a, b}] {
+				k-- // retry
+				continue
+			}
+			linked[pair{a, b}] = true
+			c.WireLink(i, j, core.Random)
+		}
+	}
+}
+
+// WireLink installs one overlay link directly at both endpoints.
+func (c *Cluster) WireLink(i, j int, kind core.LinkKind) {
+	rtt := c.RTT(i, j)
+	c.nodes[i].AddNeighborDirect(core.Entry{ID: core.NodeID(j)}, kind, rtt)
+	c.nodes[j].AddNeighborDirect(core.Entry{ID: core.NodeID(i)}, kind, rtt)
+}
+
+// Start designates node `root` as the tree root and starts every node.
+func (c *Cluster) Start(root int) {
+	c.nodes[root].BecomeRoot()
+	for _, n := range c.nodes {
+		n.Start()
+	}
+}
+
+// Run advances the simulation by d.
+func (c *Cluster) Run(d time.Duration) {
+	c.Engine.Run(c.Engine.Now() + d)
+}
+
+// Now returns the current simulated time.
+func (c *Cluster) Now() time.Duration { return c.Engine.Now() }
+
+// SetMaintenance toggles maintenance on every live node; the paper's
+// stress tests disable all repair before killing nodes.
+func (c *Cluster) SetMaintenance(on bool) {
+	for i, n := range c.nodes {
+		if c.alive[i] {
+			n.SetMaintenance(on)
+		}
+	}
+}
+
+// SetDetection toggles connection-break notifications.
+func (c *Cluster) SetDetection(on bool) { c.detect = on }
+
+// Kill fails node i immediately: its timers stop, queued and future
+// traffic to and from it is dropped. If detection is enabled its overlay
+// neighbors learn of the break after DetectionDelay.
+func (c *Cluster) Kill(i int) {
+	if !c.alive[i] {
+		return
+	}
+	neighbors := c.nodes[i].Neighbors()
+	c.alive[i] = false
+	c.nodes[i].Stop()
+	if !c.detect {
+		return
+	}
+	for _, nb := range neighbors {
+		peer := int(nb.ID)
+		c.Engine.After(c.opts.DetectionDelay, func() {
+			if c.alive[peer] {
+				c.nodes[peer].PeerDown(core.NodeID(i))
+			}
+		})
+	}
+}
+
+// KillFraction kills ceil(frac*n) uniformly random live nodes and returns
+// their indexes.
+func (c *Cluster) KillFraction(frac float64) []int {
+	var live []int
+	for i, a := range c.alive {
+		if a {
+			live = append(live, i)
+		}
+	}
+	k := int(frac*float64(len(live)) + 0.5)
+	c.rng.Shuffle(len(live), func(a, b int) { live[a], live[b] = live[b], live[a] })
+	killed := live[:k]
+	for _, i := range killed {
+		c.Kill(i)
+	}
+	return killed
+}
+
+// AddNode grows the system at runtime: a fresh node is created, started,
+// and joins the overlay through `contact` using the join protocol
+// (Section 2.2.1). It returns the new node's index.
+func (c *Cluster) AddNode(contact int) int {
+	i := len(c.nodes)
+	c.siteOf = append(c.siteOf, i%c.Matrix.Sites())
+	c.alive = append(c.alive, true)
+	c.joined = append(c.joined, c.Engine.Now())
+	e := &env{c: c, id: core.NodeID(i), rng: rand.New(rand.NewSource(c.rng.Int63()))}
+	n := core.New(core.NodeID(i), c.opts.Config, e)
+	idx := i
+	n.OnDeliver(func(id core.MessageID, _ []byte, _ time.Duration) {
+		c.recordDelivery(id, idx)
+	})
+	// Extend existing delivery rows so the newcomer can be accounted for
+	// messages injected after it joined (rows injected before stay -1).
+	for m := range c.recv {
+		c.recv[m] = append(c.recv[m], -1)
+	}
+	c.nodes = append(c.nodes, n)
+	lc := c.opts.Config.LandmarkCount
+	if lc > len(c.nodes) {
+		lc = len(c.nodes)
+	}
+	lms := make([]core.Entry, lc)
+	for k := range lms {
+		lms[k] = core.Entry{ID: core.NodeID(k)}
+	}
+	n.SetLandmarks(lms)
+	n.Start()
+	n.Join(core.Entry{ID: core.NodeID(contact)})
+	return i
+}
+
+// Leave makes node i depart gracefully (Drop notifications to neighbors)
+// and marks it dead.
+func (c *Cluster) Leave(i int) {
+	if !c.alive[i] {
+		return
+	}
+	c.nodes[i].Leave()
+	c.alive[i] = false
+}
+
+// Inject starts a multicast at node `from` and tracks its deliveries.
+func (c *Cluster) Inject(from int, payload []byte) core.MessageID {
+	idx := len(c.injectTimes)
+	c.injectTimes = append(c.injectTimes, c.Engine.Now())
+	c.sources = append(c.sources, from)
+	row := make([]time.Duration, len(c.nodes))
+	for i := range row {
+		row[i] = -1
+	}
+	c.recv = append(c.recv, row)
+	// Register before Multicast: the source's own delivery is synchronous.
+	id := c.nodes[from].NextMessageID()
+	c.msgIndex[id] = idx
+	if got := c.nodes[from].Multicast(payload); got != id {
+		panic("netsim: message ID prediction mismatch")
+	}
+	return id
+}
+
+// InjectStream schedules `count` multicasts at the given rate from random
+// live source nodes, starting one interval from now.
+func (c *Cluster) InjectStream(count int, perSecond float64, payload []byte) {
+	interval := time.Duration(float64(time.Second) / perSecond)
+	for k := 1; k <= count; k++ {
+		c.Engine.After(time.Duration(k)*interval, func() {
+			src := c.randomLive()
+			if src >= 0 {
+				c.Inject(src, payload)
+			}
+		})
+	}
+}
+
+func (c *Cluster) randomLive() int {
+	n := len(c.nodes)
+	for tries := 0; tries < 4*n; tries++ {
+		i := c.rng.Intn(n)
+		if c.alive[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Cluster) recordDelivery(id core.MessageID, node int) {
+	idx, ok := c.msgIndex[id]
+	if !ok {
+		return
+	}
+	if c.recv[idx][node] < 0 {
+		c.recv[idx][node] = c.Engine.Now()
+	}
+}
+
+// Delays builds the delivery-delay distribution over every (message, live
+// node) pair, the quantity plotted in Figures 3 and 4. Dead nodes are
+// excluded; nodes that never received a message are recorded as misses.
+func (c *Cluster) Delays() *metrics.DelayRecorder {
+	rec := metrics.NewDelayRecorder()
+	for m := range c.recv {
+		for i := range c.nodes {
+			if !c.alive[i] || c.joined[i] > c.injectTimes[m] {
+				// Dead nodes and nodes that joined after the injection
+				// are not expected receivers.
+				continue
+			}
+			at := c.recv[m][i]
+			if at < 0 {
+				rec.AddMiss()
+				continue
+			}
+			rec.Add(at - c.injectTimes[m])
+		}
+	}
+	return rec
+}
+
+// ReceiveCounts returns, for each message, how many live nodes received it
+// (used by the reliability censuses).
+func (c *Cluster) ReceiveCounts() []int {
+	out := make([]int, len(c.recv))
+	for m := range c.recv {
+		for i := range c.nodes {
+			if c.alive[i] && c.recv[m][i] >= 0 {
+				out[m]++
+			}
+		}
+	}
+	return out
+}
+
+// Messages returns the number of injected (tracked) messages.
+func (c *Cluster) Messages() int { return len(c.injectTimes) }
+
+// DegreeHistogram returns the total-degree distribution over live nodes.
+func (c *Cluster) DegreeHistogram() *metrics.IntHistogram {
+	h := metrics.NewIntHistogram()
+	for i, n := range c.nodes {
+		if c.alive[i] {
+			h.Add(n.Degree())
+		}
+	}
+	return h
+}
+
+// RandDegreeHistogram returns the random-degree distribution (live nodes).
+func (c *Cluster) RandDegreeHistogram() *metrics.IntHistogram {
+	h := metrics.NewIntHistogram()
+	for i, n := range c.nodes {
+		if c.alive[i] {
+			h.Add(n.RandDegree())
+		}
+	}
+	return h
+}
+
+// NearDegreeHistogram returns the nearby-degree distribution (live nodes).
+func (c *Cluster) NearDegreeHistogram() *metrics.IntHistogram {
+	h := metrics.NewIntHistogram()
+	for i, n := range c.nodes {
+		if c.alive[i] {
+			h.Add(n.NearDegree())
+		}
+	}
+	return h
+}
+
+// OverlayGraph snapshots the overlay as an undirected graph (an edge per
+// link acknowledged by at least one endpoint).
+func (c *Cluster) OverlayGraph() *graph.Undirected {
+	g := graph.NewUndirected(len(c.nodes))
+	for i, n := range c.nodes {
+		for _, nb := range n.Neighbors() {
+			if int(nb.ID) > i {
+				g.AddEdge(i, int(nb.ID))
+			}
+		}
+	}
+	return g
+}
+
+// LargestComponentRatio returns q = |largest component| / |live nodes|
+// over the overlay restricted to live nodes (Figure 6's metric).
+func (c *Cluster) LargestComponentRatio() float64 {
+	largest, alive := c.OverlayGraph().LargestComponent(c.alive)
+	if alive == 0 {
+		return 0
+	}
+	return float64(largest) / float64(alive)
+}
+
+// AvgOverlayLinkLatency returns the mean one-way latency over distinct
+// overlay links among live nodes (Figure 5b, "overlay" curve).
+func (c *Cluster) AvgOverlayLinkLatency() time.Duration {
+	var sum time.Duration
+	count := 0
+	for i, n := range c.nodes {
+		if !c.alive[i] {
+			continue
+		}
+		for _, nb := range n.Neighbors() {
+			j := int(nb.ID)
+			if j > i && c.alive[j] {
+				sum += c.OneWay(i, j)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / time.Duration(count)
+}
+
+// AvgTreeLinkLatency returns the mean one-way latency over tree links
+// (parent edges) among live nodes (Figure 5b, "tree" curve).
+func (c *Cluster) AvgTreeLinkLatency() time.Duration {
+	var sum time.Duration
+	count := 0
+	for i, n := range c.nodes {
+		if !c.alive[i] {
+			continue
+		}
+		p := n.Parent()
+		if p == core.None || !c.alive[int(p)] {
+			continue
+		}
+		sum += c.OneWay(i, int(p))
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / time.Duration(count)
+}
+
+// TreeSpans reports whether parent pointers connect every live node to the
+// root (i.e. the tree covers the system).
+func (c *Cluster) TreeSpans(root int) bool {
+	g := graph.NewUndirected(len(c.nodes))
+	for i, n := range c.nodes {
+		if !c.alive[i] {
+			continue
+		}
+		if p := n.Parent(); p != core.None && c.alive[int(p)] {
+			g.AddEdge(i, int(p))
+		}
+	}
+	uf := graph.NewUnionFind(len(c.nodes))
+	for i, n := range c.nodes {
+		if !c.alive[i] {
+			continue
+		}
+		if p := n.Parent(); p != core.None && c.alive[int(p)] {
+			uf.Union(i, int(p))
+		}
+	}
+	for i := range c.nodes {
+		if c.alive[i] && !uf.Connected(i, root) {
+			return false
+		}
+	}
+	return true
+}
+
+// SumCounters aggregates all nodes' protocol counters.
+func (c *Cluster) SumCounters() core.Counters {
+	var t core.Counters
+	for _, n := range c.nodes {
+		s := n.Stats()
+		t.Injected += s.Injected
+		t.Delivered += s.Delivered
+		t.PayloadsRecv += s.PayloadsRecv
+		t.Duplicates += s.Duplicates
+		t.TreeForwards += s.TreeForwards
+		t.GossipsSent += s.GossipsSent
+		t.GossipsRecv += s.GossipsRecv
+		t.IDsAnnounced += s.IDsAnnounced
+		t.PullsSent += s.PullsSent
+		t.PullsServed += s.PullsServed
+		t.PullRetries += s.PullRetries
+		t.AddsSent += s.AddsSent
+		t.AddsAccepted += s.AddsAccepted
+		t.AddsRejected += s.AddsRejected
+		t.LinkAdds += s.LinkAdds
+		t.LinkDrops += s.LinkDrops
+		t.Rebalances += s.Rebalances
+		t.PingsSent += s.PingsSent
+		t.TreeAdverts += s.TreeAdverts
+		t.RootTakeovers += s.RootTakeovers
+	}
+	return t
+}
+
+// env adapts the cluster to core.Env for one node.
+type env struct {
+	c   *Cluster
+	id  core.NodeID
+	rng *rand.Rand
+}
+
+var _ core.Env = (*env)(nil)
+
+func (e *env) Now() time.Duration { return e.c.Engine.Now() }
+
+func (e *env) Rand(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return e.rng.Intn(n)
+}
+
+func (e *env) Learn(core.Entry) {}
+
+func (e *env) After(d time.Duration, fn func()) core.Timer {
+	id := int(e.id)
+	return e.c.Engine.After(d, func() {
+		if e.c.alive[id] {
+			fn()
+		}
+	})
+}
+
+func (e *env) Send(to core.NodeID, m core.Message) { e.c.send(e.id, to, m, true) }
+
+func (e *env) SendDatagram(to core.NodeID, m core.Message) { e.c.send(e.id, to, m, false) }
+
+func (c *Cluster) send(from, to core.NodeID, m core.Message, reliable bool) {
+	if int(to) < 0 || int(to) >= len(c.nodes) || from == to {
+		return
+	}
+	if !c.alive[from] {
+		return
+	}
+	if c.opts.Observer != nil {
+		c.opts.Observer(from, to, m)
+	}
+	if !c.alive[to] {
+		if reliable && c.detect {
+			// The sender's TCP connection to the dead peer resets.
+			c.Engine.After(c.opts.DetectionDelay, func() {
+				if c.alive[from] {
+					c.nodes[from].PeerDown(to)
+				}
+			})
+		}
+		return
+	}
+	d := c.OneWay(int(from), int(to))
+	c.Engine.After(d, func() {
+		if c.alive[to] {
+			c.nodes[to].HandleMessage(from, m)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"gocast/internal/core"
+	"gocast/internal/latency"
+	"gocast/internal/trace"
+)
+
+func TestLatencySymmetryAndSiteMapping(t *testing.T) {
+	c := New(Options{Nodes: 20, Seed: 1, Config: core.DefaultConfig(),
+		Matrix: latency.Synthesize(8, 1)})
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if c.OneWay(i, j) != c.OneWay(j, i) {
+				t.Fatalf("asymmetric latency between %d and %d", i, j)
+			}
+			if c.RTT(i, j) != 2*c.OneWay(i, j) {
+				t.Fatalf("RTT != 2x one-way for %d,%d", i, j)
+			}
+		}
+	}
+	// Nodes 20 > sites 8: co-located nodes see the local latency.
+	if got := c.OneWay(0, 8); got != latency.LocalOneWay {
+		t.Fatalf("co-located latency = %v, want %v", got, latency.LocalOneWay)
+	}
+}
+
+func TestBootstrapMembershipPopulatesViews(t *testing.T) {
+	cfg := core.DefaultConfig()
+	c := New(Options{Nodes: 40, Seed: 2, Config: cfg})
+	c.BootstrapMembership(16)
+	for i := 0; i < 40; i++ {
+		if got := c.Node(i).MemberCount(); got < 8 {
+			t.Fatalf("node %d has %d members after bootstrap, want >= 8", i, got)
+		}
+	}
+}
+
+func TestWireRandomDegreeAndSymmetry(t *testing.T) {
+	cfg := core.DefaultConfig()
+	c := New(Options{Nodes: 30, Seed: 3, Config: cfg})
+	c.WireRandom(3)
+	total := 0
+	for i := 0; i < 30; i++ {
+		n := c.Node(i)
+		total += n.Degree()
+		for _, nb := range n.Neighbors() {
+			found := false
+			for _, back := range c.Node(int(nb.ID)).Neighbors() {
+				if int(back.ID) == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric wired link %d-%d", i, nb.ID)
+			}
+			if nb.Kind != core.Random {
+				t.Fatalf("initial links must be random, got %v", nb.Kind)
+			}
+		}
+	}
+	if mean := float64(total) / 30; mean != 6 {
+		t.Fatalf("mean initial degree = %v, want exactly 6 (3 initiated each)", mean)
+	}
+}
+
+func TestObserverSeesAllTraffic(t *testing.T) {
+	cfg := core.DefaultConfig()
+	var msgs, bytes int64
+	c := New(Options{Nodes: 16, Seed: 4, Config: cfg,
+		Observer: func(from, to core.NodeID, m core.Message) {
+			msgs++
+			bytes += int64(m.WireSize())
+			if from == to {
+				t.Errorf("self-transmission observed")
+			}
+		}})
+	c.BootstrapMembership(12)
+	c.WireRandom(3)
+	c.Start(0)
+	c.Run(10 * time.Second)
+	if msgs == 0 || bytes == 0 {
+		t.Fatalf("observer saw nothing: %d msgs, %d bytes", msgs, bytes)
+	}
+}
+
+func TestKillDropsInFlightDelivery(t *testing.T) {
+	cfg := core.DefaultConfig()
+	c := buildCluster(t, 24, cfg, 5)
+	c.Run(30 * time.Second)
+	victim := 7
+	before := c.Node(victim).Stats().GossipsRecv
+	c.Kill(victim)
+	c.Kill(victim) // idempotent
+	c.Run(10 * time.Second)
+	if got := c.Node(victim).Stats().GossipsRecv; got != before {
+		t.Fatalf("dead node kept receiving gossips: %d -> %d", before, got)
+	}
+	if c.AliveCount() != 23 {
+		t.Fatalf("alive = %d, want 23", c.AliveCount())
+	}
+}
+
+func TestDetectionDelayGovernsPeerDown(t *testing.T) {
+	cfg := core.DefaultConfig()
+	c := New(Options{Nodes: 8, Seed: 6, Config: cfg, DetectionDelay: 2 * time.Second})
+	c.BootstrapMembership(6)
+	c.WireRandom(2)
+	c.Start(0)
+	c.Run(20 * time.Second)
+	victim := 3
+	peers := c.Node(victim).Neighbors()
+	if len(peers) == 0 {
+		t.Fatalf("victim has no neighbors")
+	}
+	c.Kill(victim)
+	// Before the detection delay the survivors still list the victim.
+	c.Run(time.Second)
+	still := false
+	for _, p := range peers {
+		for _, nb := range c.Node(int(p.ID)).Neighbors() {
+			if int(nb.ID) == victim {
+				still = true
+			}
+		}
+	}
+	if !still {
+		t.Fatalf("link dropped before the detection delay elapsed")
+	}
+	// Well after the delay, the victim must be gone everywhere.
+	c.Run(10 * time.Second)
+	for _, p := range peers {
+		for _, nb := range c.Node(int(p.ID)).Neighbors() {
+			if int(nb.ID) == victim {
+				t.Fatalf("node %d still lists the dead victim", p.ID)
+			}
+		}
+	}
+}
+
+func TestReceiveCountsAndMessages(t *testing.T) {
+	cfg := core.DefaultConfig()
+	c := buildCluster(t, 16, cfg, 7)
+	c.Run(30 * time.Second)
+	c.Inject(0, nil)
+	c.Inject(1, nil)
+	c.Run(5 * time.Second)
+	if c.Messages() != 2 {
+		t.Fatalf("messages = %d", c.Messages())
+	}
+	for m, got := range c.ReceiveCounts() {
+		if got != 16 {
+			t.Fatalf("message %d reached %d/16", m, got)
+		}
+	}
+}
+
+func TestTreeSpansAfterWarmup(t *testing.T) {
+	c := buildCluster(t, 48, core.DefaultConfig(), 8)
+	c.Run(120 * time.Second)
+	if !c.TreeSpans(0) {
+		t.Fatalf("tree does not span at steady state")
+	}
+}
+
+func TestTracerRecordsProtocolEvents(t *testing.T) {
+	cfg := core.DefaultConfig()
+	tb := trace.NewBuffer(4096)
+	c := New(Options{Nodes: 16, Seed: 9, Config: cfg, Tracer: tb})
+	c.BootstrapMembership(12)
+	c.WireRandom(3)
+	c.Start(0)
+	c.Run(30 * time.Second)
+	c.Inject(2, nil)
+	c.Run(5 * time.Second)
+	if got := tb.Query(trace.Filter{Kinds: []trace.Kind{trace.KindDeliver}, Node: -1}); len(got) == 0 {
+		t.Errorf("no delivery events traced")
+	}
+	if got := tb.Query(trace.Filter{Kinds: []trace.Kind{trace.KindParentChange}, Node: -1}); len(got) == 0 {
+		t.Errorf("no parent-change events traced")
+	}
+	if got := tb.Query(trace.Filter{Kinds: []trace.Kind{trace.KindLinkUp, trace.KindLinkDown}, Node: -1}); len(got) == 0 {
+		t.Errorf("no link events traced")
+	}
+}
+
+func TestPanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("want panic for zero-node cluster")
+		}
+	}()
+	New(Options{Nodes: 0, Seed: 1, Config: core.DefaultConfig()})
+}

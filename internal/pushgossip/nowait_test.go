@@ -1,0 +1,74 @@
+package pushgossip
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNoWaitAnnouncesExactlyFanout(t *testing.T) {
+	// In the no-wait variant the source announces to exactly Fanout
+	// distinct nodes immediately; with a single message and no relays yet,
+	// the first wave of gossips equals the fanout.
+	gossips := 0
+	s := New(Options{
+		Nodes: 64, Seed: 1, Fanout: 5, GossipPeriod: 0,
+		Observer: func(_, _, bytes int) {
+			if bytes == 8+12*1 { // a gossip frame carrying exactly one ID
+				gossips++
+			}
+		},
+	})
+	s.Inject(0)
+	// Run just long enough for the first wave (one-way latency < 400 ms)
+	// but not for second-generation announcements: receivers only gossip
+	// after pulling the payload (3 more hops).
+	s.Run(300 * time.Millisecond)
+	if gossips < 5 {
+		t.Fatalf("first-wave gossips = %d, want >= fanout 5", gossips)
+	}
+}
+
+func TestPeriodicAnnouncesSpreadOverRounds(t *testing.T) {
+	// In the periodic variant a holder announces a message to one random
+	// node per period, F times: the source's announcements take F periods.
+	s := New(Options{Nodes: 32, Seed: 2, Fanout: 4, GossipPeriod: 200 * time.Millisecond})
+	s.Inject(0)
+	s.Run(time.Second) // ~5 periods, enough for the source's 4 rounds
+	h := s.HearHistogram()
+	total := 0
+	for v := 1; v <= h.Max(); v++ {
+		total += int(float64(h.Total()) * h.Fraction(v) * float64(v) / 1)
+	}
+	if h.Mean() == 0 {
+		t.Fatalf("no announcements observed")
+	}
+}
+
+func TestInjectFromDeadNodeImpossibleViaStream(t *testing.T) {
+	s := New(Options{Nodes: 16, Seed: 3, Fanout: 3, GossipPeriod: 100 * time.Millisecond})
+	for i := 1; i < 16; i++ {
+		s.Kill(i)
+	}
+	s.InjectStream(5, 100)
+	s.Run(5 * time.Second)
+	// Only node 0 is alive: it must be the source of every message, and
+	// each message reaches exactly the one live node.
+	for m, row := range s.recv {
+		if row[0] < 0 {
+			t.Fatalf("message %d not delivered to its live source", m)
+		}
+	}
+	if got := s.Delays().DeliveryRatio(); got != 1 {
+		t.Fatalf("delivery ratio over live nodes = %v", got)
+	}
+}
+
+func TestHearHistogramCountsOnlyTrackedMessages(t *testing.T) {
+	s := New(Options{Nodes: 32, Seed: 4, Fanout: 3, GossipPeriod: 50 * time.Millisecond})
+	s.Inject(0)
+	s.Run(10 * time.Second)
+	h := s.HearHistogram()
+	if h.Total() != 32 {
+		t.Fatalf("histogram entries = %d, want one per live node", h.Total())
+	}
+}

@@ -1,0 +1,422 @@
+// Package pushgossip implements the baseline protocols GoCast is compared
+// against in Section 3: a push-based gossip multicast in the style of
+// Bimodal Multicast, and its "no-wait" variant.
+//
+// In the push-based protocol every node, once per gossip period t, sends a
+// summary of recently received message IDs to one uniformly random node;
+// each message ID is gossiped to Fanout random nodes in total (one per
+// period). A receiver that learns of an unknown message requests it from
+// the gossip's sender. In the no-wait variant (t = 0) a node announces a
+// freshly received message to Fanout random nodes immediately, revealing
+// the protocol's fundamental delay floor. Both variants are oblivious to
+// network topology — the property responsible for their high bottleneck
+// link stress and their e^{-e^{ln n - F}} reliability.
+package pushgossip
+
+import (
+	"math/rand"
+	"time"
+
+	"gocast/internal/latency"
+	"gocast/internal/metrics"
+	"gocast/internal/sim"
+)
+
+// Options configures a push-gossip simulation.
+type Options struct {
+	// Nodes is the system size.
+	Nodes int
+	// Seed drives all randomness.
+	Seed int64
+	// Fanout is F: how many random nodes hear each message ID from each
+	// holder.
+	Fanout int
+	// GossipPeriod is t. Zero selects the no-wait variant.
+	GossipPeriod time.Duration
+	// PullRetry re-requests an unanswered pull after this long.
+	PullRetry time.Duration
+	// PayloadSize is the modeled payload size in bytes (accounting only).
+	PayloadSize int
+	// Matrix provides latencies; synthesized from Seed when nil.
+	Matrix *latency.Matrix
+	// Observer, if set, sees every transmission (for traffic accounting).
+	Observer func(from, to, wireBytes int)
+}
+
+// Sim is a running push-gossip system.
+type Sim struct {
+	Engine *sim.Engine
+	Matrix *latency.Matrix
+
+	opts   Options
+	rng    *rand.Rand
+	siteOf []int
+	nodes  []*node
+	alive  []bool
+
+	injectTimes []time.Duration
+	recv        [][]time.Duration // [msg][node] delivery time, -1 = never
+	hears       [][]int32         // [msg][node] times the ID was heard
+}
+
+type node struct {
+	s   *Sim
+	id  int
+	rng *rand.Rand
+
+	// have[m] = true once the payload of message m was received.
+	have map[int]bool
+	// announce[m] = remaining number of random targets to gossip m to.
+	announce map[int]int
+	// pending pulls: message -> holders known to have it.
+	pending map[int]*pull
+}
+
+type pull struct {
+	holders []int
+	next    int
+	timer   *sim.Timer
+}
+
+// message types (modelled, not serialized)
+type gossipMsg struct{ ids []int }
+type pullMsg struct{ ids []int }
+type payloadMsg struct{ id int }
+
+// New builds and starts a push-gossip simulation.
+func New(opts Options) *Sim {
+	if opts.Nodes <= 0 {
+		panic("pushgossip: need at least one node")
+	}
+	if opts.Fanout <= 0 {
+		opts.Fanout = 5
+	}
+	if opts.PullRetry <= 0 {
+		opts.PullRetry = time.Second
+	}
+	eng := sim.NewEngine(opts.Seed)
+	mat := opts.Matrix
+	if mat == nil {
+		sites := opts.Nodes
+		if sites > latency.KingSites {
+			sites = latency.KingSites
+		}
+		mat = latency.Synthesize(sites, opts.Seed)
+	}
+	s := &Sim{
+		Engine: eng,
+		Matrix: mat,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed ^ 0x90551b)),
+		siteOf: make([]int, opts.Nodes),
+		nodes:  make([]*node, opts.Nodes),
+		alive:  make([]bool, opts.Nodes),
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		s.siteOf[i] = i % mat.Sites()
+		s.alive[i] = true
+		s.nodes[i] = &node{
+			s:        s,
+			id:       i,
+			rng:      rand.New(rand.NewSource(s.rng.Int63())),
+			have:     make(map[int]bool),
+			announce: make(map[int]int),
+			pending:  make(map[int]*pull),
+		}
+	}
+	if opts.GossipPeriod > 0 {
+		for _, n := range s.nodes {
+			n := n
+			phase := time.Duration(n.rng.Int63n(int64(opts.GossipPeriod) + 1))
+			eng.After(phase, n.gossipTick)
+		}
+	}
+	return s
+}
+
+// Run advances the simulation by d.
+func (s *Sim) Run(d time.Duration) { s.Engine.Run(s.Engine.Now() + d) }
+
+// Now returns the simulated time.
+func (s *Sim) Now() time.Duration { return s.Engine.Now() }
+
+// Kill fails node i.
+func (s *Sim) Kill(i int) { s.alive[i] = false }
+
+// KillFraction kills ceil(frac*live) uniformly random live nodes.
+func (s *Sim) KillFraction(frac float64) []int {
+	var live []int
+	for i, a := range s.alive {
+		if a {
+			live = append(live, i)
+		}
+	}
+	k := int(frac*float64(len(live)) + 0.5)
+	s.rng.Shuffle(len(live), func(a, b int) { live[a], live[b] = live[b], live[a] })
+	killed := live[:k]
+	for _, i := range killed {
+		s.Kill(i)
+	}
+	return killed
+}
+
+// AliveCount returns the number of live nodes.
+func (s *Sim) AliveCount() int {
+	c := 0
+	for _, a := range s.alive {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+// Inject starts a multicast at node from and returns its message index.
+func (s *Sim) Inject(from int) int {
+	m := len(s.injectTimes)
+	s.injectTimes = append(s.injectTimes, s.Engine.Now())
+	row := make([]time.Duration, len(s.nodes))
+	for i := range row {
+		row[i] = -1
+	}
+	s.recv = append(s.recv, row)
+	s.hears = append(s.hears, make([]int32, len(s.nodes)))
+	s.nodes[from].receivePayload(m, true)
+	return m
+}
+
+// InjectStream schedules `count` multicasts at the given rate from random
+// live sources.
+func (s *Sim) InjectStream(count int, perSecond float64) {
+	interval := time.Duration(float64(time.Second) / perSecond)
+	for k := 1; k <= count; k++ {
+		s.Engine.After(time.Duration(k)*interval, func() {
+			if src := s.randomLive(); src >= 0 {
+				s.Inject(src)
+			}
+		})
+	}
+}
+
+func (s *Sim) randomLive() int {
+	n := len(s.nodes)
+	for tries := 0; tries < 4*n; tries++ {
+		if i := s.rng.Intn(n); s.alive[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// Delays builds the delay distribution over (message, live node) pairs.
+func (s *Sim) Delays() *metrics.DelayRecorder {
+	rec := metrics.NewDelayRecorder()
+	for m := range s.recv {
+		for i := range s.nodes {
+			if !s.alive[i] {
+				continue
+			}
+			if at := s.recv[m][i]; at >= 0 {
+				rec.Add(at - s.injectTimes[m])
+			} else {
+				rec.AddMiss()
+			}
+		}
+	}
+	return rec
+}
+
+// HearHistogram returns the distribution of how many times live nodes
+// heard gossip announcements for each message (Section 1: with F=5 about
+// 0.7% of nodes never hear a message while some hear it ~19 times).
+func (s *Sim) HearHistogram() *metrics.IntHistogram {
+	h := metrics.NewIntHistogram()
+	for m := range s.hears {
+		for i := range s.nodes {
+			if s.alive[i] {
+				h.Add(int(s.hears[m][i]))
+			}
+		}
+	}
+	return h
+}
+
+// Messages returns the number of injected messages.
+func (s *Sim) Messages() int { return len(s.injectTimes) }
+
+// send models a transmission with one-way latency.
+func (s *Sim) send(from, to, bytes int, deliver func()) {
+	if from == to || !s.alive[from] {
+		return
+	}
+	if s.opts.Observer != nil {
+		s.opts.Observer(from, to, bytes)
+	}
+	if !s.alive[to] {
+		return
+	}
+	d := s.Matrix.OneWay(s.siteOf[from], s.siteOf[to])
+	s.Engine.After(d, func() {
+		if s.alive[to] {
+			deliver()
+		}
+	})
+}
+
+// --- node behaviour ---
+
+// receivePayload handles a payload arriving (or being injected).
+func (n *node) receivePayload(m int, injected bool) {
+	if n.have[m] {
+		return
+	}
+	n.have[m] = true
+	if p, ok := n.pending[m]; ok {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		delete(n.pending, m)
+	}
+	n.s.recv[m][n.id] = n.s.Engine.Now()
+	_ = injected
+	if n.s.opts.GossipPeriod == 0 {
+		n.announceNoWait(m)
+	} else {
+		n.announce[m] = n.s.opts.Fanout
+	}
+}
+
+// announceNoWait gossips the ID to Fanout distinct random nodes at once.
+func (n *node) announceNoWait(m int) {
+	targets := n.randomTargets(n.s.opts.Fanout)
+	for _, t := range targets {
+		n.sendGossip(t, []int{m})
+	}
+}
+
+// gossipTick is the periodic gossip in the Bimodal-like variant: one
+// random target per period, carrying every ID with announcements left.
+func (n *node) gossipTick() {
+	if !n.s.alive[n.id] {
+		return
+	}
+	n.s.Engine.After(n.s.opts.GossipPeriod, n.gossipTick)
+	if len(n.announce) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(n.announce))
+	for m, left := range n.announce {
+		if left > 0 {
+			ids = append(ids, m)
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sortInts(ids)
+	for _, m := range ids {
+		if n.announce[m]--; n.announce[m] <= 0 {
+			delete(n.announce, m)
+		}
+	}
+	target := n.randomTargets(1)
+	if len(target) == 0 {
+		return
+	}
+	n.sendGossip(target[0], ids)
+}
+
+// randomTargets picks k distinct uniform nodes other than self. The choice
+// is oblivious: dead nodes can be chosen (the sender cannot know).
+func (n *node) randomTargets(k int) []int {
+	total := len(n.s.nodes)
+	if k > total-1 {
+		k = total - 1
+	}
+	out := make([]int, 0, k)
+	seen := map[int]bool{n.id: true}
+	for len(out) < k {
+		t := n.rng.Intn(total)
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+func (n *node) sendGossip(to int, ids []int) {
+	bytes := 8 + 12*len(ids)
+	n.s.send(n.id, to, bytes, func() {
+		n.s.nodes[to].handleGossip(n.id, ids)
+	})
+}
+
+func (n *node) handleGossip(from int, ids []int) {
+	var want []int
+	for _, m := range ids {
+		if m < len(n.s.hears) {
+			n.s.hears[m][n.id]++
+		}
+		if n.have[m] {
+			continue
+		}
+		if p, ok := n.pending[m]; ok {
+			p.holders = append(p.holders, from)
+			continue
+		}
+		p := &pull{holders: []int{from}, next: 1}
+		n.pending[m] = p
+		want = append(want, m)
+		p.timer = n.startRetry(m)
+	}
+	if len(want) > 0 {
+		n.sendPull(from, want)
+	}
+}
+
+func (n *node) sendPull(to int, ids []int) {
+	bytes := 8 + 8*len(ids)
+	n.s.send(n.id, to, bytes, func() {
+		n.s.nodes[to].handlePull(n.id, ids)
+	})
+}
+
+func (n *node) handlePull(from int, ids []int) {
+	for _, m := range ids {
+		if !n.have[m] {
+			continue
+		}
+		m := m
+		bytes := 16 + n.s.opts.PayloadSize
+		n.s.send(n.id, from, bytes, func() {
+			n.s.nodes[from].receivePayload(m, false)
+		})
+	}
+}
+
+func (n *node) startRetry(m int) *sim.Timer {
+	return n.s.Engine.After(n.s.opts.PullRetry, func() {
+		p, ok := n.pending[m]
+		if !ok || !n.s.alive[n.id] {
+			return
+		}
+		if p.next >= len(p.holders)+3 {
+			delete(n.pending, m) // give up; a later gossip may revive it
+			return
+		}
+		holder := p.holders[p.next%len(p.holders)]
+		p.next++
+		n.sendPull(holder, []int{m})
+		p.timer = n.startRetry(m)
+	})
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

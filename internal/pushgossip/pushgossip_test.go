@@ -1,0 +1,121 @@
+package pushgossip
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSingleMessageSpreads(t *testing.T) {
+	s := New(Options{Nodes: 128, Seed: 1, Fanout: 8, GossipPeriod: 100 * time.Millisecond})
+	s.Inject(0)
+	s.Run(30 * time.Second)
+	rec := s.Delays()
+	if got := rec.DeliveryRatio(); got < 0.99 {
+		t.Fatalf("delivery ratio = %.3f with fanout 8, want >= 0.99", got)
+	}
+}
+
+func TestLowFanoutMissesSomeNodes(t *testing.T) {
+	// With fanout 2 on 256 nodes, some nodes should miss some of many
+	// messages (ln 256 ≈ 5.5 > 2): the paper's core criticism.
+	s := New(Options{Nodes: 256, Seed: 2, Fanout: 2, GossipPeriod: 50 * time.Millisecond})
+	for i := 0; i < 20; i++ {
+		s.Inject(i % 256)
+	}
+	s.Run(60 * time.Second)
+	if rec := s.Delays(); rec.Misses() == 0 {
+		t.Fatalf("fanout 2 delivered everything; expected misses")
+	}
+}
+
+func TestNoWaitIsFasterThanPeriodic(t *testing.T) {
+	mean := func(period time.Duration) time.Duration {
+		s := New(Options{Nodes: 128, Seed: 3, Fanout: 6, GossipPeriod: period})
+		s.Inject(0)
+		s.Run(30 * time.Second)
+		return s.Delays().CDF().Mean()
+	}
+	periodic := mean(100 * time.Millisecond)
+	noWait := mean(0)
+	if noWait >= periodic {
+		t.Fatalf("no-wait mean %v should beat periodic mean %v", noWait, periodic)
+	}
+}
+
+func TestHearHistogramVariance(t *testing.T) {
+	// Complete randomness: hear counts should range from 0 to far above
+	// the fanout (Section 1 cites 0 to ~19 for F=5, n=1024).
+	s := New(Options{Nodes: 512, Seed: 4, Fanout: 5, GossipPeriod: 100 * time.Millisecond})
+	for i := 0; i < 20; i++ {
+		s.Inject(i)
+	}
+	s.Run(60 * time.Second)
+	h := s.HearHistogram()
+	if h.Max() < 10 {
+		t.Errorf("max hear count = %d, want heavy tail >= 10", h.Max())
+	}
+	if h.Fraction(0) == 0 {
+		t.Logf("note: no node missed every gossip in this run (possible)")
+	}
+	if mean := h.Mean(); mean < 4 || mean > 6 {
+		t.Errorf("mean hear count = %.2f, want ~Fanout (5)", mean)
+	}
+}
+
+func TestFailuresReduceDelivery(t *testing.T) {
+	run := func(kill float64) float64 {
+		s := New(Options{Nodes: 256, Seed: 5, Fanout: 4, GossipPeriod: 100 * time.Millisecond})
+		s.KillFraction(kill)
+		for i := 0; i < 10; i++ {
+			if src := s.randomLive(); src >= 0 {
+				s.Inject(src)
+			}
+		}
+		s.Run(60 * time.Second)
+		return s.Delays().DeliveryRatio()
+	}
+	healthy := run(0)
+	faulty := run(0.3)
+	if faulty > healthy {
+		t.Fatalf("delivery with 30%% failures (%.4f) should not beat healthy (%.4f)", faulty, healthy)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (time.Duration, int) {
+		s := New(Options{Nodes: 128, Seed: 7, Fanout: 5, GossipPeriod: 100 * time.Millisecond})
+		s.Inject(3)
+		s.Run(20 * time.Second)
+		return s.Delays().CDF().Max(), s.Delays().Misses()
+	}
+	d1, m1 := run()
+	d2, m2 := run()
+	if d1 != d2 || m1 != m2 {
+		t.Fatalf("same seed diverged: %v/%d vs %v/%d", d1, m1, d2, m2)
+	}
+}
+
+func TestObserverSeesTraffic(t *testing.T) {
+	var transmissions, bytes int
+	s := New(Options{
+		Nodes: 64, Seed: 8, Fanout: 5, GossipPeriod: 100 * time.Millisecond,
+		PayloadSize: 1000,
+		Observer:    func(_, _, b int) { transmissions++; bytes += b },
+	})
+	s.Inject(0)
+	s.Run(10 * time.Second)
+	if transmissions == 0 || bytes == 0 {
+		t.Fatalf("observer saw no traffic")
+	}
+}
+
+func TestKillFractionCounts(t *testing.T) {
+	s := New(Options{Nodes: 100, Seed: 9, Fanout: 5, GossipPeriod: time.Second})
+	killed := s.KillFraction(0.2)
+	if len(killed) != 20 {
+		t.Fatalf("killed %d nodes, want 20", len(killed))
+	}
+	if got := s.AliveCount(); got != 80 {
+		t.Fatalf("alive = %d, want 80", got)
+	}
+}

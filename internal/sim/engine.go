@@ -1,0 +1,183 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in scheduling order, so a run
+// is fully reproducible given the same seed and the same sequence of
+// scheduling calls. All protocol randomness should be drawn from the
+// engine's RNG (or RNGs derived from it) to keep runs reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// Executed counts events that have fired, for diagnostics and tests.
+	executed uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose RNG is
+// seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's RNG. It must only be used from event callbacks
+// (the engine is single-threaded).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Executed returns the number of events that have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled timers that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Timer is a handle to a scheduled event; Stop cancels it.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the event
+// from firing (false if the event already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// After schedules fn to run d after the current time and returns a Timer
+// that can cancel it. Negative d is treated as zero.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// At schedules fn to run at absolute virtual time at. Times in the past are
+// clamped to the current time (the event fires after all events already
+// scheduled for the current instant).
+func (e *Engine) At(at time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty or the next event
+// is strictly after until. The clock is left at the time of the last fired
+// event, or advanced to until if no event fired at/after it.
+func (e *Engine) Run(until time.Duration) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at < e.now {
+			// Cannot happen: heap order plus clamping in At.
+			panic(fmt.Sprintf("sim: event at %v in the past (now %v)", ev.at, e.now))
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.executed++
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes events until the queue is empty. Use with care: recurring
+// timers make this non-terminating.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.executed++
+		ev.fn()
+	}
+}
+
+// Step fires the next pending event, if any, and reports whether one fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

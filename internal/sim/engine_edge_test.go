@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPendingCountsScheduledEvents(t *testing.T) {
+	e := NewEngine(1)
+	if e.Pending() != 0 {
+		t.Fatalf("fresh engine pending = %d", e.Pending())
+	}
+	tm := e.After(time.Second, func() {})
+	e.After(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	tm.Stop()
+	// Cancelled events stay queued until popped.
+	e.RunAll()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after drain = %d", e.Pending())
+	}
+	if e.Executed() != 1 {
+		t.Fatalf("executed = %d, want 1 (cancelled event skipped)", e.Executed())
+	}
+}
+
+func TestRunAllSkipsCancelled(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	var timers []*Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, e.After(time.Duration(i)*time.Millisecond, func() { fired++ }))
+	}
+	for i := 0; i < 10; i += 2 {
+		timers[i].Stop()
+	}
+	e.RunAll()
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+}
+
+func TestClockNeverMovesBackward(t *testing.T) {
+	e := NewEngine(2)
+	var last time.Duration
+	for i := 0; i < 50; i++ {
+		d := time.Duration(e.Rand().Intn(100)) * time.Millisecond
+		e.After(d, func() {
+			if e.Now() < last {
+				t.Fatalf("clock went backward: %v after %v", e.Now(), last)
+			}
+			last = e.Now()
+			// Nested schedules at time zero delay.
+			e.After(0, func() {})
+		})
+	}
+	e.RunAll()
+}
+
+func TestStepOnEmptyEngine(t *testing.T) {
+	e := NewEngine(1)
+	if e.Step() {
+		t.Fatalf("Step on empty engine reported an event")
+	}
+}
+
+func TestNilTimerStopIsSafe(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() {
+		t.Fatalf("nil timer Stop returned true")
+	}
+}

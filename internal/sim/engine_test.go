@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []time.Duration
+	for _, d := range []time.Duration{30, 10, 20, 10, 0} {
+		d := d
+		e.After(d*time.Millisecond, func() { got = append(got, e.Now()) })
+	}
+	e.RunAll()
+	want := []time.Duration{0, 10 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineTieBreaksBySchedulingOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v, want ascending scheduling order", order)
+		}
+	}
+}
+
+func TestEngineRunUntilStopsBeforeLaterEvents(t *testing.T) {
+	e := NewEngine(1)
+	fired := map[time.Duration]bool{}
+	for _, d := range []time.Duration{1, 2, 3} {
+		d := d * time.Second
+		e.After(d, func() { fired[d] = true })
+	}
+	e.Run(2 * time.Second)
+	if !fired[time.Second] || !fired[2*time.Second] {
+		t.Errorf("events at or before the horizon should fire: %v", fired)
+	}
+	if fired[3*time.Second] {
+		t.Errorf("event after the horizon fired early")
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now() = %v, want clock advanced to horizon 2s", e.Now())
+	}
+	e.Run(5 * time.Second)
+	if !fired[3*time.Second] {
+		t.Errorf("resumed run should fire remaining events")
+	}
+}
+
+func TestEngineRunAdvancesClockToHorizonWithoutEvents(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(42 * time.Second)
+	if e.Now() != 42*time.Second {
+		t.Fatalf("Now() = %v, want 42s", e.Now())
+	}
+}
+
+func TestTimerStopPreventsFiring(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatalf("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Fatalf("second Stop should report false")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatalf("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFiringReportsFalse(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.After(0, func() {})
+	e.RunAll()
+	if tm.Stop() {
+		t.Fatalf("Stop after firing should report false")
+	}
+}
+
+func TestEventsScheduledDuringRunFire(t *testing.T) {
+	e := NewEngine(1)
+	var seen []time.Duration
+	e.After(time.Second, func() {
+		e.After(time.Second, func() { seen = append(seen, e.Now()) })
+	})
+	e.Run(3 * time.Second)
+	if len(seen) != 1 || seen[0] != 2*time.Second {
+		t.Fatalf("nested event = %v, want fired at 2s", seen)
+	}
+}
+
+func TestRecurringTimerPattern(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(100*time.Millisecond, tick)
+		}
+	}
+	e.After(100*time.Millisecond, tick)
+	e.Run(time.Minute)
+	if count != 5 {
+		t.Fatalf("ticked %d times, want 5", count)
+	}
+	if e.Now() != time.Minute {
+		t.Fatalf("Now() = %v, want 1m", e.Now())
+	}
+}
+
+func TestNegativeAndPastTimesClampToNow(t *testing.T) {
+	e := NewEngine(1)
+	e.After(time.Second, func() {
+		fired := false
+		e.At(0, func() { fired = true }) // in the past: clamp to now
+		e.After(-time.Hour, func() {
+			if !fired {
+				t.Errorf("past-clamped events should fire in scheduling order")
+			}
+		})
+	})
+	e.RunAll()
+	if e.Executed() != 3 {
+		t.Fatalf("executed %d events, want 3", e.Executed())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.After(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(time.Second)
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestStepFiresExactlyOne(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 3; i++ {
+		e.After(time.Millisecond, func() { count++ })
+	}
+	if !e.Step() || count != 1 {
+		t.Fatalf("Step fired %d events, want 1", count)
+	}
+	if !e.Step() || !e.Step() || e.Step() {
+		t.Fatalf("Step over-reported pending events")
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []int {
+		e := NewEngine(seed)
+		var out []int
+		for i := 0; i < 100; i++ {
+			i := i
+			d := time.Duration(e.Rand().Intn(1000)) * time.Millisecond
+			e.After(d, func() { out = append(out, i) })
+		}
+		e.RunAll()
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and every scheduled event fires exactly once.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(3)
+		var fired []time.Duration
+		for _, d := range delays {
+			e.After(time.Duration(d)*time.Millisecond, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		want := make([]time.Duration, len(delays))
+		for i, d := range delays {
+			want[i] = time.Duration(d) * time.Millisecond
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset of timers fires exactly the rest.
+func TestPropertyCancellation(t *testing.T) {
+	f := func(delays []uint16, cancelMask []bool) bool {
+		e := NewEngine(5)
+		fired := make([]bool, len(delays))
+		timers := make([]*Timer, len(delays))
+		for i, d := range delays {
+			i := i
+			timers[i] = e.After(time.Duration(d)*time.Millisecond, func() { fired[i] = true })
+		}
+		cancelled := make([]bool, len(delays))
+		for i := range timers {
+			if i < len(cancelMask) && cancelMask[i] {
+				timers[i].Stop()
+				cancelled[i] = true
+			}
+		}
+		e.RunAll()
+		for i := range fired {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicOnNilCallback(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("scheduling a nil callback should panic")
+		}
+	}()
+	NewEngine(1).After(time.Second, nil)
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := NewEngine(1)
+	rng := rand.New(rand.NewSource(42))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(rng.Intn(1000))*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}

@@ -1,0 +1,299 @@
+// Package underlay models an AS-level physical network for the paper's
+// bottleneck-link-stress experiment ("GoCast reduces the traffic imposed on
+// bottleneck network links by a factor of 4-7 compared with a push-based
+// gossip protocol using fanout 5"; the paper used Internet AS snapshots).
+//
+// The synthetic underlay is a preferential-attachment graph (the standard
+// stand-in for AS topologies) with per-link latencies. Overlay nodes are
+// placed on ASes, end-to-end latencies are the shortest-path distances
+// through the underlay, and every overlay transmission is routed along its
+// shortest path, accumulating per-physical-link traffic. Deriving the
+// latency matrix from the same underlay guarantees that latency proximity
+// coincides with topological proximity, exactly the property the paper's
+// experiment exploits.
+package underlay
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"time"
+
+	"gocast/internal/latency"
+)
+
+// Graph is an undirected AS-level topology with per-edge latencies.
+type Graph struct {
+	n   int
+	adj [][]edge // adjacency: adj[u] sorted by peer id
+}
+
+type edge struct {
+	to int32
+	// us is the one-way latency of the physical link in microseconds.
+	us int32
+}
+
+// Generate builds a preferential-attachment graph over n ASes where each
+// new AS attaches to m existing ones. Link latencies mix short regional
+// links with long transit links, deterministic in seed.
+func Generate(n, m int, seed int64) *Graph {
+	if n < 2 {
+		panic("underlay: need at least two ASes")
+	}
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{n: n, adj: make([][]edge, n)}
+	// Repeated-endpoint list drives preferential attachment.
+	var ends []int
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		lat := linkLatency(rng)
+		g.adj[a] = append(g.adj[a], edge{to: int32(b), us: lat})
+		g.adj[b] = append(g.adj[b], edge{to: int32(a), us: lat})
+		ends = append(ends, a, b)
+	}
+	addEdge(0, 1)
+	for v := 2; v < n; v++ {
+		attached := map[int]bool{}
+		for len(attached) < m && len(attached) < v {
+			t := ends[rng.Intn(len(ends))]
+			if t != v && !attached[t] {
+				attached[t] = true
+			}
+		}
+		targets := make([]int, 0, len(attached))
+		for t := range attached {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets) // deterministic order despite map iteration
+		for _, t := range targets {
+			addEdge(v, t)
+		}
+	}
+	for u := range g.adj {
+		sort.Slice(g.adj[u], func(i, j int) bool { return g.adj[u][i].to < g.adj[u][j].to })
+	}
+	return g
+}
+
+// linkLatency draws a physical link latency: mostly short regional links
+// with a tail of long-haul transit links.
+func linkLatency(rng *rand.Rand) int32 {
+	ms := 2 + rng.ExpFloat64()*8
+	if rng.Float64() < 0.15 {
+		ms += 30 + rng.Float64()*60 // long-haul
+	}
+	return int32(ms * 1000)
+}
+
+// Nodes returns the number of ASes.
+func (g *Graph) Nodes() int { return g.n }
+
+// Edges returns the number of undirected physical links.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Router precomputes shortest paths (by latency) between all AS pairs.
+type Router struct {
+	g *Graph
+	// next[u*n+v] is u's next hop toward v (-1 when unreachable or u==v).
+	next []int32
+	// dist[u*n+v] is the shortest one-way latency in microseconds.
+	dist []int64
+}
+
+// NewRouter runs Dijkstra from every AS. O(n * E log n): fine for the few
+// hundred ASes the experiments use.
+func NewRouter(g *Graph) *Router {
+	n := g.n
+	r := &Router{g: g, next: make([]int32, n*n), dist: make([]int64, n*n)}
+	for src := 0; src < n; src++ {
+		dist, parent := g.dijkstra(src)
+		for v := 0; v < n; v++ {
+			r.dist[src*n+v] = dist[v]
+			r.next[src*n+v] = -1
+		}
+		// next hop from src toward v: walk v's parent chain back to src.
+		for v := 0; v < n; v++ {
+			if v == src || parent[v] < 0 {
+				continue
+			}
+			hop := v
+			for parent[hop] != int32(src) {
+				hop = int(parent[hop])
+			}
+			r.next[src*n+v] = int32(hop)
+		}
+	}
+	return r
+}
+
+func (g *Graph) dijkstra(src int) ([]int64, []int32) {
+	const inf = int64(1) << 62
+	dist := make([]int64, g.n)
+	parent := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{id: int32(src), d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(item)
+		if it.d > dist[it.id] {
+			continue
+		}
+		for _, e := range g.adj[it.id] {
+			nd := it.d + int64(e.us)
+			if nd < dist[e.to] || (nd == dist[e.to] && parent[e.to] > it.id) {
+				// Tie-break deterministically toward smaller parent IDs.
+				if nd < dist[e.to] {
+					dist[e.to] = nd
+					heap.Push(pq, item{id: e.to, d: nd})
+				}
+				parent[e.to] = it.id
+			}
+		}
+	}
+	return dist, parent
+}
+
+// Latency returns the shortest one-way latency between two ASes.
+func (r *Router) Latency(a, b int) time.Duration {
+	return time.Duration(r.dist[a*r.g.n+b]) * time.Microsecond
+}
+
+// Path returns the AS sequence of the shortest path from a to b,
+// inclusive. It returns nil when unreachable.
+func (r *Router) Path(a, b int) []int {
+	if a == b {
+		return []int{a}
+	}
+	if r.next[a*r.g.n+b] < 0 {
+		return nil
+	}
+	path := []int{a}
+	cur := a
+	for cur != b {
+		cur = int(r.next[cur*r.g.n+b])
+		path = append(path, cur)
+		if len(path) > r.g.n {
+			return nil // defensive: routing loop
+		}
+	}
+	return path
+}
+
+// Matrix converts the routed latencies into a latency.Matrix usable by the
+// simulators, so overlay latency proximity equals underlay proximity.
+func (r *Router) Matrix() *latency.Matrix {
+	m := latency.NewMatrix(r.g.n)
+	for i := 0; i < r.g.n; i++ {
+		for j := i + 1; j < r.g.n; j++ {
+			m.Set(i, j, r.Latency(i, j))
+		}
+	}
+	return m
+}
+
+// Stress accumulates traffic per physical link.
+type Stress struct {
+	n      int
+	router *Router
+	bytes  map[int64]int64 // key: canonical edge id a*n+b with a<b
+}
+
+// NewStress returns an empty accumulator for the router's topology.
+func NewStress(r *Router) *Stress {
+	return &Stress{n: r.g.n, router: r, bytes: make(map[int64]int64)}
+}
+
+// AddTransmission routes one overlay transmission of the given size from
+// AS a to AS b and charges every physical link on the path.
+func (s *Stress) AddTransmission(a, b, size int) {
+	if a == b {
+		return
+	}
+	path := s.router.Path(a, b)
+	for i := 0; i+1 < len(path); i++ {
+		u, v := path[i], path[i+1]
+		if u > v {
+			u, v = v, u
+		}
+		s.bytes[int64(u)*int64(s.n)+int64(v)] += int64(size)
+	}
+}
+
+// Reset clears the accumulated traffic (e.g. to exclude an adaptation
+// warmup from a steady-state comparison).
+func (s *Stress) Reset() { s.bytes = make(map[int64]int64) }
+
+// Total returns the total bytes carried by all physical links.
+func (s *Stress) Total() int64 {
+	var t int64
+	for _, b := range s.bytes {
+		t += b
+	}
+	return t
+}
+
+// Max returns the load on the most stressed physical link.
+func (s *Stress) Max() int64 {
+	var m int64
+	for _, b := range s.bytes {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// TopK returns the loads of the k most stressed links, descending.
+func (s *Stress) TopK(k int) []int64 {
+	loads := make([]int64, 0, len(s.bytes))
+	for _, b := range s.bytes {
+		loads = append(loads, b)
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i] > loads[j] })
+	if k > len(loads) {
+		k = len(loads)
+	}
+	return loads[:k]
+}
+
+// Links returns how many physical links carried any traffic.
+func (s *Stress) Links() int { return len(s.bytes) }
+
+type item struct {
+	id int32
+	d  int64
+}
+
+type nodeHeap []item
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	return h[i].id < h[j].id
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

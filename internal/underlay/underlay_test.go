@@ -1,0 +1,172 @@
+package underlay
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGenerateConnectivityAndSize(t *testing.T) {
+	g := Generate(100, 2, 1)
+	if g.Nodes() != 100 {
+		t.Fatalf("nodes = %d", g.Nodes())
+	}
+	// PA with m=2: roughly 2 edges per added node.
+	if e := g.Edges(); e < 100 || e > 250 {
+		t.Fatalf("edges = %d, want about 2n", e)
+	}
+	r := NewRouter(g)
+	for v := 1; v < 100; v++ {
+		if r.Path(0, v) == nil {
+			t.Fatalf("AS %d unreachable: PA graphs must be connected", v)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(60, 2, 7), Generate(60, 2, 7)
+	ra, rb := NewRouter(a), NewRouter(b)
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 60; j++ {
+			if ra.Latency(i, j) != rb.Latency(i, j) {
+				t.Fatalf("same-seed underlays differ at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPowerLawishDegrees(t *testing.T) {
+	g := Generate(400, 2, 3)
+	maxDeg := 0
+	for u := 0; u < 400; u++ {
+		if d := len(g.adj[u]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Preferential attachment produces hubs far above the mean degree (~4).
+	if maxDeg < 15 {
+		t.Fatalf("max degree = %d, want hub formation", maxDeg)
+	}
+}
+
+func TestPathsAreConsistentWithLatencies(t *testing.T) {
+	g := Generate(80, 2, 5)
+	r := NewRouter(g)
+	for a := 0; a < 80; a += 7 {
+		for b := 0; b < 80; b += 11 {
+			path := r.Path(a, b)
+			if a == b {
+				if len(path) != 1 || path[0] != a {
+					t.Fatalf("self path = %v", path)
+				}
+				continue
+			}
+			if path == nil {
+				t.Fatalf("no path %d->%d", a, b)
+			}
+			if path[0] != a || path[len(path)-1] != b {
+				t.Fatalf("path endpoints wrong: %v", path)
+			}
+			var sum time.Duration
+			for i := 0; i+1 < len(path); i++ {
+				sum += edgeLatency(t, g, path[i], path[i+1])
+			}
+			if sum != r.Latency(a, b) {
+				t.Fatalf("path latency %v != routed latency %v for %d->%d",
+					sum, r.Latency(a, b), a, b)
+			}
+		}
+	}
+}
+
+func edgeLatency(t *testing.T, g *Graph, u, v int) time.Duration {
+	t.Helper()
+	for _, e := range g.adj[u] {
+		if int(e.to) == v {
+			return time.Duration(e.us) * time.Microsecond
+		}
+	}
+	t.Fatalf("path uses non-edge %d-%d", u, v)
+	return 0
+}
+
+func TestMatrixMatchesRouter(t *testing.T) {
+	g := Generate(50, 2, 9)
+	r := NewRouter(g)
+	m := r.Matrix()
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50; j++ {
+			if i == j {
+				continue
+			}
+			if m.OneWay(i, j) != r.Latency(i, j) {
+				t.Fatalf("matrix (%d,%d) = %v, router %v", i, j, m.OneWay(i, j), r.Latency(i, j))
+			}
+		}
+	}
+}
+
+func TestStressAccounting(t *testing.T) {
+	g := Generate(40, 2, 11)
+	r := NewRouter(g)
+	s := NewStress(r)
+	s.AddTransmission(0, 39, 100)
+	hops := len(r.Path(0, 39)) - 1
+	if got := s.Total(); got != int64(100*hops) {
+		t.Fatalf("total = %d, want %d (100 bytes x %d hops)", got, 100*hops, hops)
+	}
+	if s.Max() != 100 {
+		t.Fatalf("max = %d, want 100", s.Max())
+	}
+	if s.Links() != hops {
+		t.Fatalf("links touched = %d, want %d", s.Links(), hops)
+	}
+	s.AddTransmission(39, 0, 100) // reverse direction hits the same links
+	if s.Max() != 200 {
+		t.Fatalf("max after reverse = %d, want 200", s.Max())
+	}
+	s.AddTransmission(5, 5, 1000) // self transmissions are free
+	if s.Max() != 200 {
+		t.Fatalf("self transmission changed stress")
+	}
+	top := s.TopK(3)
+	if len(top) == 0 || top[0] != s.Max() {
+		t.Fatalf("TopK(3) = %v, want led by max", top)
+	}
+}
+
+// Property: routed latency satisfies the triangle inequality through any
+// relay (it is a shortest-path metric).
+func TestPropertyShortestPathTriangle(t *testing.T) {
+	g := Generate(60, 2, 13)
+	r := NewRouter(g)
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%60, int(b)%60, int(c)%60
+		return r.Latency(x, z) <= r.Latency(x, y)+r.Latency(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: latency is symmetric.
+func TestPropertyLatencySymmetric(t *testing.T) {
+	g := Generate(60, 2, 17)
+	r := NewRouter(g)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%60, int(b)%60
+		return r.Latency(x, y) == r.Latency(y, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRouter300(b *testing.B) {
+	g := Generate(300, 2, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewRouter(g)
+	}
+}

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The decoder must never panic or over-allocate on adversarial input —
+// live nodes read frames from the network.
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on %x: %v", buf, r)
+				}
+			}()
+			_, _, _ = Decode(buf)
+		}()
+	}
+}
+
+// Mutating valid frames must never panic either (bit flips in transit are
+// caught by TCP checksums in practice, but a hostile peer can send
+// anything).
+func TestDecodeNeverPanicsOnMutatedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range sampleMessages() {
+		frame, err := Append(nil, 3, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := frame[4:]
+		for trial := 0; trial < 200; trial++ {
+			mut := append([]byte(nil), payload...)
+			for flips := 1 + rng.Intn(4); flips > 0; flips-- {
+				mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%T: Decode panicked on mutation %x: %v", m, mut, r)
+					}
+				}()
+				_, _, _ = Decode(mut)
+			}()
+		}
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	for _, m := range sampleMessages() {
+		frame, err := Append(nil, 1, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		_, _, _ = Decode(payload) // must not panic
+	})
+}

@@ -1,0 +1,479 @@
+// Package wire serializes GoCast protocol messages for the live transport
+// (internal/live). Frames are length-prefixed:
+//
+//	uint32  payload length (not counting this prefix)
+//	int32   sender node ID
+//	uint8   message kind
+//	...     kind-specific fields, little-endian
+//
+// Strings carry a uint16 length; slices a uint16 count. The format is
+// symmetric and fully covered by round-trip tests against the in-memory
+// message structs used by the simulator, so simulated and live deployments
+// run byte-compatible protocols.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"gocast/internal/core"
+)
+
+// MaxFrame bounds a frame's payload, protecting receivers from bogus
+// length prefixes.
+const MaxFrame = 1 << 22 // 4 MiB
+
+var (
+	// ErrFrameTooLarge reports a length prefix above MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	// ErrTruncated reports a frame shorter than its fields require.
+	ErrTruncated = errors.New("wire: truncated frame")
+)
+
+// Append serializes one message (with its sender) onto buf and returns
+// the extended slice, frame prefix included.
+func Append(buf []byte, from core.NodeID, m core.Message) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	var e encoder
+	e.buf = buf
+	e.i32(int32(from))
+	e.u8(uint8(m.Kind()))
+	if err := e.message(m); err != nil {
+		return buf[:start], err
+	}
+	payload := len(e.buf) - start - 4
+	if payload > MaxFrame {
+		return buf[:start], ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(e.buf[start:], uint32(payload))
+	return e.buf, nil
+}
+
+// WriteFrame serializes and writes one framed message.
+func WriteFrame(w io.Writer, from core.NodeID, m core.Message) error {
+	buf, err := Append(nil, from, m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one framed message from r.
+func ReadFrame(r io.Reader) (core.NodeID, core.Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return core.None, nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return core.None, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return core.None, nil, err
+	}
+	return Decode(payload)
+}
+
+// Decode parses a frame payload (without the length prefix).
+func Decode(payload []byte) (core.NodeID, core.Message, error) {
+	d := decoder{buf: payload}
+	from := core.NodeID(d.i32())
+	kind := core.MsgKind(d.u8())
+	m, err := d.message(kind)
+	if err != nil {
+		return core.None, nil, err
+	}
+	if d.err != nil {
+		return core.None, nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return core.None, nil, fmt.Errorf("wire: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return from, m, nil
+}
+
+// --- encoding ---
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)          { e.buf = append(e.buf, v) }
+func (e *encoder) b(v bool)            { e.u8(boolByte(v)) }
+func (e *encoder) u16(v uint16)        { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32)        { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) i32(v int32)         { e.u32(uint32(v)) }
+func (e *encoder) i64(v int64)         { e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v)) }
+func (e *encoder) dur(d time.Duration) { e.i64(int64(d)) }
+
+func (e *encoder) str(s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("wire: string too long (%d bytes)", len(s))
+	}
+	e.u16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+	return nil
+}
+
+func (e *encoder) bytes(b []byte) error {
+	if len(b) > MaxFrame/2 {
+		return fmt.Errorf("wire: byte slice too long (%d)", len(b))
+	}
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+	return nil
+}
+
+func (e *encoder) entry(en core.Entry) error {
+	e.i32(int32(en.ID))
+	if err := e.str(en.Addr); err != nil {
+		return err
+	}
+	if len(en.Landmarks) > math.MaxUint16 {
+		return errors.New("wire: landmark vector too long")
+	}
+	e.u16(uint16(len(en.Landmarks)))
+	for _, v := range en.Landmarks {
+		e.u16(v)
+	}
+	return nil
+}
+
+func (e *encoder) entries(es []core.Entry) error {
+	if len(es) > math.MaxUint16 {
+		return errors.New("wire: too many entries")
+	}
+	e.u16(uint16(len(es)))
+	for _, en := range es {
+		if err := e.entry(en); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *encoder) degrees(d core.Degrees) {
+	e.u16(uint16(d.Rand))
+	e.u16(uint16(d.Near))
+	e.dur(d.MaxNearbyRTT)
+}
+
+func (e *encoder) msgID(id core.MessageID) {
+	e.i32(int32(id.Source))
+	e.u32(id.Seq)
+}
+
+func (e *encoder) message(m core.Message) error {
+	switch v := m.(type) {
+	case *core.JoinRequest:
+		return e.entry(v.From)
+	case *core.JoinReply:
+		if err := e.entries(v.Members); err != nil {
+			return err
+		}
+		if err := e.entries(v.Landmarks); err != nil {
+			return err
+		}
+		e.i32(int32(v.Root))
+	case *core.Ping:
+		if err := e.entry(v.From); err != nil {
+			return err
+		}
+		e.u32(v.Nonce)
+	case *core.Pong:
+		if err := e.entry(v.From); err != nil {
+			return err
+		}
+		e.u32(v.Nonce)
+		e.degrees(v.Degrees)
+	case *core.AddRequest:
+		if err := e.entry(v.From); err != nil {
+			return err
+		}
+		e.u8(uint8(v.LinkKind))
+		e.dur(v.RTT)
+		e.degrees(v.Degrees)
+		e.b(v.ForRebalance)
+	case *core.AddReply:
+		if err := e.entry(v.From); err != nil {
+			return err
+		}
+		e.u8(uint8(v.LinkKind))
+		e.b(v.Accepted)
+		e.dur(v.RTT)
+		e.degrees(v.Degrees)
+		e.b(v.ForRebalance)
+	case *core.Drop:
+		e.degrees(v.Degrees)
+	case *core.Rebalance:
+		return e.entry(v.Target)
+	case *core.RebalanceReply:
+		e.i32(int32(v.Target))
+		e.b(v.OK)
+	case *core.Gossip:
+		if len(v.IDs) > math.MaxUint16 {
+			return errors.New("wire: too many gossip IDs")
+		}
+		e.u16(uint16(len(v.IDs)))
+		for _, g := range v.IDs {
+			e.msgID(g.ID)
+			e.dur(g.Age)
+		}
+		if err := e.entries(v.Members); err != nil {
+			return err
+		}
+		e.degrees(v.Degrees)
+	case *core.PullRequest:
+		if len(v.IDs) > math.MaxUint16 {
+			return errors.New("wire: too many pull IDs")
+		}
+		e.u16(uint16(len(v.IDs)))
+		for _, id := range v.IDs {
+			e.msgID(id)
+		}
+	case *core.Multicast:
+		e.msgID(v.ID)
+		e.dur(v.Age)
+		if err := e.bytes(v.Payload); err != nil {
+			return err
+		}
+		e.b(v.ViaTree)
+	case *core.TreeAdvert:
+		e.i32(int32(v.Root))
+		e.u32(v.Epoch)
+		e.u32(v.Wave)
+		e.dur(v.Dist)
+	case *core.TreeParent:
+		e.b(v.On)
+	case *core.TreeAdvertReq:
+		// No fields.
+	default:
+		return fmt.Errorf("wire: unknown message type %T", m)
+	}
+	return nil
+}
+
+// --- decoding ---
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) b() bool { return d.u8() != 0 }
+
+func (d *decoder) u16() uint16 {
+	if d.off+2 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) i32() int32 { return int32(d.u32()) }
+
+func (d *decoder) i64() int64 {
+	if d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return int64(v)
+}
+
+func (d *decoder) dur() time.Duration { return time.Duration(d.i64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if d.off+n > len(d.buf) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if n == 0 {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:])
+	d.off += n
+	return b
+}
+
+func (d *decoder) entry() core.Entry {
+	var en core.Entry
+	en.ID = core.NodeID(d.i32())
+	en.Addr = d.str()
+	n := int(d.u16())
+	if n > 0 {
+		if d.off+2*n > len(d.buf) {
+			d.fail()
+			return en
+		}
+		en.Landmarks = make([]uint16, n)
+		for i := range en.Landmarks {
+			en.Landmarks[i] = d.u16()
+		}
+	}
+	return en
+}
+
+func (d *decoder) entries() []core.Entry {
+	n := int(d.u16())
+	if n == 0 {
+		return nil
+	}
+	// Each entry needs at least 8 bytes; reject absurd counts early.
+	if d.off+8*n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	es := make([]core.Entry, n)
+	for i := range es {
+		es[i] = d.entry()
+	}
+	return es
+}
+
+func (d *decoder) degrees() core.Degrees {
+	var deg core.Degrees
+	deg.Rand = int16(d.u16())
+	deg.Near = int16(d.u16())
+	deg.MaxNearbyRTT = d.dur()
+	return deg
+}
+
+func (d *decoder) msgID() core.MessageID {
+	var id core.MessageID
+	id.Source = core.NodeID(d.i32())
+	id.Seq = d.u32()
+	return id
+}
+
+func (d *decoder) message(kind core.MsgKind) (core.Message, error) {
+	switch kind {
+	case core.KindJoinRequest:
+		return &core.JoinRequest{From: d.entry()}, nil
+	case core.KindJoinReply:
+		m := &core.JoinReply{}
+		m.Members = d.entries()
+		m.Landmarks = d.entries()
+		m.Root = core.NodeID(d.i32())
+		return m, nil
+	case core.KindPing:
+		return &core.Ping{From: d.entry(), Nonce: d.u32()}, nil
+	case core.KindPong:
+		return &core.Pong{From: d.entry(), Nonce: d.u32(), Degrees: d.degrees()}, nil
+	case core.KindAddRequest:
+		return &core.AddRequest{
+			From: d.entry(), LinkKind: core.LinkKind(d.u8()), RTT: d.dur(),
+			Degrees: d.degrees(), ForRebalance: d.b(),
+		}, nil
+	case core.KindAddReply:
+		return &core.AddReply{
+			From: d.entry(), LinkKind: core.LinkKind(d.u8()), Accepted: d.b(),
+			RTT: d.dur(), Degrees: d.degrees(), ForRebalance: d.b(),
+		}, nil
+	case core.KindDrop:
+		return &core.Drop{Degrees: d.degrees()}, nil
+	case core.KindRebalance:
+		return &core.Rebalance{Target: d.entry()}, nil
+	case core.KindRebalanceReply:
+		return &core.RebalanceReply{Target: core.NodeID(d.i32()), OK: d.b()}, nil
+	case core.KindGossip:
+		m := &core.Gossip{}
+		n := int(d.u16())
+		if n > 0 {
+			if d.off+16*n > len(d.buf) {
+				d.fail()
+				return m, d.err
+			}
+			m.IDs = make([]core.GossipID, n)
+			for i := range m.IDs {
+				m.IDs[i] = core.GossipID{ID: d.msgID(), Age: d.dur()}
+			}
+		}
+		m.Members = d.entries()
+		m.Degrees = d.degrees()
+		return m, nil
+	case core.KindPullRequest:
+		m := &core.PullRequest{}
+		n := int(d.u16())
+		if n > 0 {
+			if d.off+8*n > len(d.buf) {
+				d.fail()
+				return m, d.err
+			}
+			m.IDs = make([]core.MessageID, n)
+			for i := range m.IDs {
+				m.IDs[i] = d.msgID()
+			}
+		}
+		return m, nil
+	case core.KindMulticast:
+		return &core.Multicast{ID: d.msgID(), Age: d.dur(), Payload: d.bytes(), ViaTree: d.b()}, nil
+	case core.KindTreeAdvert:
+		return &core.TreeAdvert{
+			Root: core.NodeID(d.i32()), Epoch: d.u32(), Wave: d.u32(), Dist: d.dur(),
+		}, nil
+	case core.KindTreeParent:
+		return &core.TreeParent{On: d.b()}, nil
+	case core.KindTreeAdvertReq:
+		return &core.TreeAdvertReq{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+}
+
+func boolByte(v bool) uint8 {
+	if v {
+		return 1
+	}
+	return 0
+}

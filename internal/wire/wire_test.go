@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"gocast/internal/core"
+)
+
+func sampleMessages() []core.Message {
+	entry := core.Entry{ID: 7, Addr: "10.0.0.7:9000", Landmarks: []uint16{12, 99, 4}}
+	bare := core.Entry{ID: 3}
+	return []core.Message{
+		&core.JoinRequest{From: entry},
+		&core.JoinReply{
+			Members:   []core.Entry{entry, bare},
+			Landmarks: []core.Entry{bare},
+			Root:      5,
+		},
+		&core.JoinReply{Root: core.None},
+		&core.Ping{From: entry, Nonce: 42},
+		&core.Pong{From: bare, Nonce: 42, Degrees: core.Degrees{Rand: 1, Near: 5, MaxNearbyRTT: 80 * time.Millisecond}},
+		&core.AddRequest{From: entry, LinkKind: core.Nearby, RTT: 33 * time.Millisecond, Degrees: core.Degrees{Near: 4}, ForRebalance: true},
+		&core.AddReply{From: entry, LinkKind: core.Random, Accepted: true, RTT: time.Second, Degrees: core.Degrees{Rand: 2}},
+		&core.Drop{Degrees: core.Degrees{Rand: 1, Near: 5}},
+		&core.Rebalance{Target: entry},
+		&core.RebalanceReply{Target: 9, OK: true},
+		&core.Gossip{
+			IDs: []core.GossipID{
+				{ID: core.MessageID{Source: 1, Seq: 2}, Age: 50 * time.Millisecond},
+				{ID: core.MessageID{Source: 3, Seq: 0}},
+			},
+			Members: []core.Entry{entry},
+			Degrees: core.Degrees{Rand: 1, Near: 6, MaxNearbyRTT: time.Millisecond},
+		},
+		&core.Gossip{},
+		&core.PullRequest{IDs: []core.MessageID{{Source: 4, Seq: 9}}},
+		&core.PullRequest{},
+		&core.Multicast{ID: core.MessageID{Source: 2, Seq: 7}, Age: 123 * time.Millisecond, Payload: []byte("payload"), ViaTree: true},
+		&core.Multicast{ID: core.MessageID{Source: 2, Seq: 8}},
+		&core.TreeAdvert{Root: 0, Epoch: 3, Wave: 17, Dist: 45 * time.Millisecond},
+		&core.TreeParent{On: true},
+		&core.TreeParent{},
+		&core.TreeAdvertReq{},
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, m := range sampleMessages() {
+		buf, err := Append(nil, 11, m)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", m, err)
+		}
+		from, got, err := Decode(buf[4:])
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if from != 11 {
+			t.Fatalf("%T: sender = %d, want 11", m, from)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%T round trip mismatch:\n in: %#v\nout: %#v", m, m, got)
+		}
+	}
+}
+
+func TestStreamReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, 3, m); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for i, want := range msgs {
+		from, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if from != 3 || !reflect.DeepEqual(want, got) {
+			t.Fatalf("frame %d mismatch: %#v vs %#v", i, want, got)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d leftover bytes", buf.Len())
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	for _, m := range sampleMessages() {
+		buf, err := Append(nil, 1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := buf[4:]
+		for cut := 0; cut < len(payload); cut++ {
+			if _, _, err := Decode(payload[:cut]); err == nil {
+				// Cutting after all required fields of a message with no
+				// trailing data cannot happen: Decode checks for exact
+				// consumption, so any strict prefix must fail.
+				t.Fatalf("%T: truncation to %d/%d bytes accepted", m, cut, len(payload))
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	buf, err := Append(nil, 1, &core.TreeParent{On: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append(buf[4:], 0xEE)
+	if _, _, err := Decode(payload); err == nil {
+		t.Fatalf("trailing garbage accepted")
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	payload := []byte{1, 0, 0, 0, 0xFF}
+	if _, _, err := Decode(payload); err == nil {
+		t.Fatalf("unknown kind accepted")
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestDecodeRejectsAbsurdCounts(t *testing.T) {
+	// A gossip claiming 65535 IDs in a tiny frame must fail fast, not
+	// allocate.
+	payload := []byte{1, 0, 0, 0, byte(core.KindGossip), 0xFF, 0xFF}
+	if _, _, err := Decode(payload); err == nil {
+		t.Fatalf("absurd ID count accepted")
+	}
+}
+
+// Property: random gossips and multicasts round-trip.
+func TestPropertyRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		var m core.Message
+		switch rng.Intn(3) {
+		case 0:
+			g := &core.Gossip{Degrees: core.Degrees{
+				Rand:         int16(rng.Intn(8)),
+				Near:         int16(rng.Intn(8)),
+				MaxNearbyRTT: time.Duration(rng.Intn(1e9)),
+			}}
+			for i := 0; i < rng.Intn(5); i++ {
+				g.IDs = append(g.IDs, core.GossipID{
+					ID:  core.MessageID{Source: core.NodeID(rng.Intn(1000)), Seq: rng.Uint32()},
+					Age: time.Duration(rng.Intn(1e9)),
+				})
+			}
+			for i := 0; i < rng.Intn(3); i++ {
+				e := core.Entry{ID: core.NodeID(rng.Intn(1000))}
+				if rng.Intn(2) == 0 {
+					e.Addr = "127.0.0.1:1"
+				}
+				for j := 0; j < rng.Intn(4); j++ {
+					e.Landmarks = append(e.Landmarks, uint16(rng.Intn(1000)))
+				}
+				g.Members = append(g.Members, e)
+			}
+			m = g
+		case 1:
+			mc := &core.Multicast{
+				ID:      core.MessageID{Source: core.NodeID(rng.Intn(1000)), Seq: rng.Uint32()},
+				Age:     time.Duration(rng.Intn(1e9)),
+				ViaTree: rng.Intn(2) == 0,
+			}
+			if n := rng.Intn(64); n > 0 {
+				mc.Payload = make([]byte, n)
+				rng.Read(mc.Payload)
+			}
+			m = mc
+		default:
+			pr := &core.PullRequest{}
+			for i := 0; i < rng.Intn(6); i++ {
+				pr.IDs = append(pr.IDs, core.MessageID{Source: core.NodeID(rng.Intn(100)), Seq: rng.Uint32()})
+			}
+			m = pr
+		}
+		buf, err := Append(nil, core.NodeID(rng.Intn(1000)), m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, got, err := Decode(buf[4:])
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("trial %d mismatch:\n%#v\n%#v", trial, m, got)
+		}
+	}
+}
+
+func BenchmarkEncodeGossip(b *testing.B) {
+	g := &core.Gossip{
+		IDs: []core.GossipID{
+			{ID: core.MessageID{Source: 1, Seq: 2}, Age: time.Millisecond},
+			{ID: core.MessageID{Source: 5, Seq: 9}, Age: time.Second},
+		},
+		Members: []core.Entry{{ID: 4, Addr: "127.0.0.1:4", Landmarks: []uint16{1, 2, 3}}},
+	}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Append(buf[:0], 1, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeGossip(b *testing.B) {
+	g := &core.Gossip{
+		IDs:     []core.GossipID{{ID: core.MessageID{Source: 1, Seq: 2}, Age: time.Millisecond}},
+		Members: []core.Entry{{ID: 4, Addr: "127.0.0.1:4"}},
+	}
+	buf, err := Append(nil, 1, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
