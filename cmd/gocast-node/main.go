@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -38,12 +39,26 @@ func run(args []string) error {
 		join   = fs.String("join", "", "contact as id@host:port (empty for the first node)")
 		root   = fs.Bool("root", false, "become the initial tree root")
 		quiet  = fs.Bool("quiet", false, "do not echo received messages")
+
+		dialTimeout    = fs.Duration("dial-timeout", 0, "per-connection dial timeout (0 = default 5s)")
+		writeTimeout   = fs.Duration("write-timeout", 0, "per-frame write deadline (0 = default 10s)")
+		redialAttempts = fs.Int("redial-attempts", 0, "failed dials tolerated before a peer is reported down (0 = default 3, negative disables redial)")
+		redialBackoff  = fs.Duration("redial-backoff", 0, "initial redial backoff, doubled per failure with jitter (0 = default 100ms)")
+		redialMax      = fs.Duration("redial-backoff-max", 0, "redial backoff cap (0 = default 3s)")
+		idleTimeout    = fs.Duration("idle-timeout", 0, "reap outbound connections idle this long (0 = default 5m, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	tr, err := gocast.NewTCPTransport(gocast.NodeID(*id), *listen)
+	tr, err := gocast.NewTCPTransportWithOptions(gocast.NodeID(*id), *listen, gocast.TCPOptions{
+		DialTimeout:      *dialTimeout,
+		WriteTimeout:     *writeTimeout,
+		RedialAttempts:   *redialAttempts,
+		RedialBackoff:    *redialBackoff,
+		RedialBackoffMax: *redialMax,
+		IdleTimeout:      *idleTimeout,
+	})
 	if err != nil {
 		return err
 	}
@@ -87,6 +102,21 @@ func run(args []string) error {
 			if line == "/status" {
 				fmt.Printf("degree=%d root=%d parent=%d\n",
 					node.Degree(), node.Root(), node.Parent())
+				continue
+			}
+			if line == "/stats" {
+				s := node.Stats()
+				fmt.Printf("delivered=%d injected=%d duplicates=%d pulls=%d peer_downs=%d\n",
+					s.Delivered, s.Injected, s.Duplicates, s.PullsSent, s.PeerDowns)
+				ts := node.TransportStats()
+				names := make([]string, 0, len(ts))
+				for name := range ts {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					fmt.Printf("%s=%d\n", name, ts[name])
+				}
 				continue
 			}
 			mid := node.Multicast([]byte(line))

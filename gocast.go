@@ -77,10 +77,28 @@ type (
 	NodeOptions = live.NodeOptions
 	// Transport moves protocol messages for live nodes.
 	Transport = live.Transport
-	// TCPTransport is the TCP+UDP transport.
+	// TCPTransport is the TCP+UDP transport with backoff redial, write
+	// deadlines, and idle reaping.
 	TCPTransport = live.TCPTransport
+	// TCPOptions tunes the TCP transport's resilience behavior.
+	TCPOptions = live.TCPOptions
 	// MemNetwork is an in-memory transport fabric for in-process groups.
 	MemNetwork = live.MemNetwork
+	// FaultPlan declares a schedule of injected network faults.
+	FaultPlan = live.FaultPlan
+	// FaultPhase is one time window of injected faults (drops, delays,
+	// duplicates, reorders, partitions, slow links).
+	FaultPhase = live.FaultPhase
+	// FaultController evaluates a FaultPlan consistently across a group of
+	// wrapped transports.
+	FaultController = live.FaultController
+	// FaultTransport applies a FaultController's verdicts on top of any
+	// Transport.
+	FaultTransport = live.FaultTransport
+	// Direction names an ordered endpoint pair for asymmetric fault rules.
+	Direction = live.Direction
+	// SlowLink adds extra delay to traffic matching one direction.
+	SlowLink = live.SlowLink
 	// Cluster is an in-process group of live nodes.
 	Cluster = live.Cluster
 	// ClusterOptions configures an in-process cluster.
@@ -114,9 +132,26 @@ func FastConfig() Config { return live.FastConfig() }
 // NewNode starts a live GoCast node.
 func NewNode(opts NodeOptions) *Node { return live.NewNode(opts) }
 
-// NewTCPTransport listens for the group's TCP and UDP traffic.
+// ErrStopped reports an API call against a live node after Close or Kill.
+var ErrStopped = live.ErrStopped
+
+// NewTCPTransport listens for the group's TCP and UDP traffic with
+// default resilience options.
 func NewTCPTransport(id NodeID, listenAddr string) (*TCPTransport, error) {
 	return live.NewTCPTransport(id, listenAddr)
+}
+
+// NewTCPTransportWithOptions listens with explicit reconnect/deadline
+// tuning.
+func NewTCPTransportWithOptions(id NodeID, listenAddr string, opts TCPOptions) (*TCPTransport, error) {
+	return live.NewTCPTransportWithOptions(id, listenAddr, opts)
+}
+
+// NewFaultController starts a fault-injection controller; wrap every
+// transport of a test group through it so pairwise rules (partitions) are
+// consistent.
+func NewFaultController(plan FaultPlan) *FaultController {
+	return live.NewFaultController(plan)
 }
 
 // NewMemNetwork creates an in-memory transport fabric with the given base

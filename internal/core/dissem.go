@@ -187,6 +187,34 @@ func (n *Node) compactRecent() {
 	n.recent = out
 }
 
+// reannounceTo re-opens gossip announcement of buffered messages when a
+// new neighbor appears. Without this, a message fully announced to the
+// neighbors of the moment is retired (announceDone) and a link installed
+// later — e.g. across a healed partition — would never hear its ID, so
+// the two sides could never reconcile. A neighbor can only be (re)added
+// when it is not currently linked, so anything sent to it earlier went
+// over a link that has since broken and may never have arrived: both the
+// announcedTo mark and the heardFrom mark are scrubbed (heardFrom also
+// records served pulls whose response may have died with the link; a
+// redundant re-announcement is deduplicated by the receiver). Messages
+// whose payload was already reclaimed stay retired.
+func (n *Node) reannounceTo(peer NodeID) {
+	for id, st := range n.seen {
+		if st.reclaimed {
+			continue
+		}
+		removeID(&st.announcedTo, peer)
+		removeID(&st.heardFrom, peer)
+		if !st.announceDone {
+			continue
+		}
+		st.announceDone = false
+		st.reclaimAt = 0
+		n.recent = append(n.recent, id)
+		n.stats.Reannounced++
+	}
+}
+
 // handleGossip ingests a summary from neighbor `from`.
 func (n *Node) handleGossip(from NodeID, g *Gossip) {
 	n.stats.GossipsRecv++
@@ -325,5 +353,15 @@ func containsID(s []NodeID, id NodeID) bool {
 func addID(s *[]NodeID, id NodeID) {
 	if !containsID(*s, id) {
 		*s = append(*s, id)
+	}
+}
+
+// removeID deletes id from the slice if present.
+func removeID(s *[]NodeID, id NodeID) {
+	for i, v := range *s {
+		if v == id {
+			*s = append((*s)[:i], (*s)[i+1:]...)
+			return
+		}
 	}
 }

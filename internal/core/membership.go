@@ -38,6 +38,7 @@ func (n *Node) forgetMember(id NodeID) {
 		return
 	}
 	delete(n.members, id)
+	delete(n.lastPong, id)
 	for i, v := range n.order {
 		if v == id {
 			n.order = append(n.order[:i], n.order[i+1:]...)

@@ -43,6 +43,10 @@ type Node struct {
 	landVec   []uint16 // my RTT to each landmark, ms; 0 = unmeasured
 	pings     map[uint32]*pingCtx
 	pingNonce uint32
+	// lastPong remembers when each member last answered a ping, so a stale
+	// ping lost to a transient fault does not evict a member that has since
+	// proven alive (see expirePings).
+	lastPong map[NodeID]time.Duration
 
 	// Overlay neighbors and in-flight maintenance operations.
 	neighbors     map[NodeID]*neighbor
@@ -112,6 +116,7 @@ func New(id NodeID, cfg Config, env Env) *Node {
 		members:     make(map[NodeID]Entry),
 		rtt:         make(map[NodeID]time.Duration),
 		pings:       make(map[uint32]*pingCtx),
+		lastPong:    make(map[NodeID]time.Duration),
 		neighbors:   make(map[NodeID]*neighbor),
 		pendingAdd:  make(map[NodeID]*addCtx),
 		seen:        make(map[MessageID]*msgState),
@@ -256,13 +261,17 @@ func (n *Node) HandleMessage(from NodeID, m Message) {
 	}
 }
 
-// PeerDown tells the node that the reliable channel to peer broke (TCP
-// reset / connection loss). Ignored while maintenance is disabled, which
-// models the paper's "no repair" stress tests.
+// PeerDown tells the node that the reliable channel to peer broke
+// persistently. With the resilient TCP transport this fires only after
+// redial attempts with backoff were exhausted (or a writer queue
+// overflowed) — transient connection losses are absorbed by the transport
+// and never reach the protocol. Ignored while maintenance is disabled,
+// which models the paper's "no repair" stress tests.
 func (n *Node) PeerDown(peer NodeID) {
 	if !n.running || !n.maintenance {
 		return
 	}
+	n.stats.PeerDowns++
 	n.forgetMember(peer)
 	if n.neighbors[peer] != nil {
 		n.removeNeighbor(peer, false)

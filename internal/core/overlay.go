@@ -503,6 +503,7 @@ func (n *Node) addNeighbor(e Entry, kind LinkKind, rtt time.Duration) {
 	n.neighbors[e.ID] = nb
 	n.neighborOrder = append(n.neighborOrder, e.ID)
 	n.stats.LinkAdds++
+	n.reannounceTo(e.ID)
 	if n.onLinkChange != nil {
 		n.onLinkChange(true, kind, e.ID, rtt)
 	}

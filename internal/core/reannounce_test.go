@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReannounceToLateNeighbor models the dissemination side of a healed
+// partition: a message that was fully announced (and therefore retired)
+// while a node was unreachable must be re-opened when a link to that node
+// is installed later, so the two sides reconcile.
+func TestReannounceToLateNeighbor(t *testing.T) {
+	f := newFixture(11)
+	cfg := DefaultConfig()
+	a := f.addNode(1, cfg)
+	b := f.addNode(2, cfg)
+	c := f.addNode(3, cfg)
+	for _, n := range []*Node{a, b, c} {
+		n.Start()
+	}
+	a.BecomeRoot()
+	f.link(1, 2, Random)
+
+	id := a.Multicast([]byte("before-heal"))
+	f.run(3 * time.Second)
+	if !b.Seen(id) {
+		t.Fatalf("linked neighbor never received the multicast")
+	}
+	if c.Seen(id) {
+		t.Fatalf("isolated node received the multicast with no link")
+	}
+	if st := a.seen[id]; st == nil || !st.announceDone {
+		t.Fatalf("message not retired at the source; the test setup is wrong")
+	}
+
+	// The "heal": node 3 becomes a neighbor of the source well after the
+	// message was retired.
+	f.link(1, 3, Random)
+	f.run(5 * time.Second)
+	if !c.Seen(id) {
+		t.Fatalf("late neighbor never received the retired message")
+	}
+	if a.Stats().Reannounced == 0 {
+		t.Fatalf("Reannounced counter not incremented")
+	}
+}
+
+// TestReannounceScrubsStaleAnnouncedTo covers the re-linked-peer case: an
+// announcement sent over a link that broke may never have arrived, so when
+// the same peer is linked again the message must be announced once more.
+func TestReannounceScrubsStaleAnnouncedTo(t *testing.T) {
+	f := newFixture(12)
+	cfg := DefaultConfig()
+	a := f.addNode(1, cfg)
+	b := f.addNode(2, cfg)
+	a.Start()
+	b.Start()
+	a.BecomeRoot()
+	f.link(1, 2, Random)
+
+	id := a.Multicast([]byte("x"))
+	f.run(2 * time.Second)
+	st := a.seen[id]
+	if st == nil || !st.announceDone || !containsID(st.announcedTo, 2) {
+		t.Fatalf("message not retired with the announcement on record; setup wrong")
+	}
+
+	// Simulate the announcement having been lost in flight: b never kept
+	// the message, but a believes it told b.
+	delete(b.seen, id)
+	delete(b.pending, id)
+
+	a.removeNeighbor(2, false)
+	b.removeNeighbor(1, false)
+	f.link(1, 2, Random)
+	f.run(3 * time.Second)
+	if !b.Seen(id) {
+		t.Fatalf("re-linked peer never recovered the lost announcement")
+	}
+}
+
+// TestStalePingExpiryKeepsAnsweredMember checks that a ping swallowed by a
+// transient fault does not evict a member that answered a later ping.
+func TestStalePingExpiryKeepsAnsweredMember(t *testing.T) {
+	f := newFixture(13)
+	a := f.addNode(1, DefaultConfig())
+	a.learnEntry(Entry{ID: 2})
+
+	// Advance the simulated clock past the ping timeout (the engine's clock
+	// only moves through events).
+	a.env.After(pingTimeout+time.Second, func() {})
+	f.run(pingTimeout + time.Second)
+
+	// A stale ping context that predates a successful pong must not evict.
+	a.lastPong[2] = a.env.Now()
+	a.pings[1] = &pingCtx{target: 2, purpose: pingProbeReplace, sentAt: 0}
+	a.expirePings()
+	if _, ok := a.members[2]; !ok {
+		t.Fatalf("member evicted despite a pong newer than the stale ping")
+	}
+	if len(a.pings) != 0 {
+		t.Fatalf("stale ping context not discarded")
+	}
+
+	// Control: with no fresh pong the same stale context does evict.
+	delete(a.lastPong, 2)
+	a.pings[2] = &pingCtx{target: 2, purpose: pingProbeReplace, sentAt: 0}
+	a.expirePings()
+	if _, ok := a.members[2]; ok {
+		t.Fatalf("member not evicted for an unanswered stale ping")
+	}
+}

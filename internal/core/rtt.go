@@ -138,6 +138,7 @@ func (n *Node) handlePong(from NodeID, m *Pong) {
 		rtt = time.Millisecond
 	}
 	n.rtt[from] = rtt
+	n.lastPong[from] = n.env.Now()
 	n.learnEntry(m.From)
 	if nb := n.neighbors[from]; nb != nil {
 		nb.deg = m.Degrees
@@ -189,9 +190,15 @@ func (n *Node) expirePings() {
 	for _, nonce := range expired {
 		ctx := n.pings[nonce]
 		delete(n.pings, nonce)
-		if ctx.purpose != pingLandmark && ctx.purpose != pingMeasureLink {
-			n.forgetMember(ctx.target)
+		if ctx.purpose == pingLandmark || ctx.purpose == pingMeasureLink {
+			continue
 		}
+		// A ping swallowed by a transient fault (e.g. a partition that has
+		// since healed) must not evict a member that answered a later ping.
+		if n.lastPong[ctx.target] > ctx.sentAt {
+			continue
+		}
+		n.forgetMember(ctx.target)
 	}
 }
 

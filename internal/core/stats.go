@@ -15,6 +15,7 @@ type Counters struct {
 	PullsSent    int64 // pull requests issued
 	PullsServed  int64 // payloads served to pullers
 	PullRetries  int64
+	Reannounced  int64 // retired messages re-opened for a new neighbor
 
 	// Overlay maintenance.
 	AddsSent      int64
@@ -26,6 +27,7 @@ type Counters struct {
 	PingsSent     int64
 	TreeAdverts   int64
 	RootTakeovers int64
+	PeerDowns     int64 // transport-reported persistent channel failures
 }
 
 // Stats returns a snapshot of the node's counters.

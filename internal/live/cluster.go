@@ -21,6 +21,11 @@ type ClusterOptions struct {
 	// OnDeliver, if set, observes every delivery as (node index, message,
 	// payload). Called on node event loops: do not block.
 	OnDeliver func(node int, id core.MessageID, payload []byte)
+	// Faults, if set, wraps every endpoint in the controller's fault
+	// injection layer (drops, delays, partitions, ...). Endpoint
+	// addresses are "mem-<index>", which is what FaultPhase rules match
+	// against.
+	Faults *FaultController
 }
 
 // Cluster is a group of live nodes connected by an in-memory network —
@@ -60,6 +65,10 @@ func NewCluster(opts ClusterOptions) *Cluster {
 	for i := 0; i < opts.Nodes; i++ {
 		idx := i
 		ep := c.Net.Endpoint(fmt.Sprintf("mem-%d", i))
+		var tr Transport = ep
+		if opts.Faults != nil {
+			tr = opts.Faults.Wrap(ep)
+		}
 		var deliver core.DeliverFunc
 		if opts.OnDeliver != nil {
 			deliver = func(id core.MessageID, payload []byte, _ time.Duration) {
@@ -69,7 +78,7 @@ func NewCluster(opts ClusterOptions) *Cluster {
 		n := NewNode(NodeOptions{
 			ID:        core.NodeID(i),
 			Config:    opts.Config,
-			Transport: ep,
+			Transport: tr,
 			Seed:      opts.Seed + int64(i),
 			OnDeliver: deliver,
 		})

@@ -1,0 +1,220 @@
+package live
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gocast/internal/core"
+)
+
+// --- judge unit tests: deterministic, no sleeps -------------------------
+
+func TestFaultPhasePartitionBlocksBothWays(t *testing.T) {
+	ctl := NewFaultController(FaultPlan{Seed: 7, Phases: []FaultPhase{{
+		Partition: [][]string{{"a", "b"}, {"c"}},
+	}}})
+	if !ctl.judge("a", "c", true).drop {
+		t.Errorf("a->c not blocked across the partition")
+	}
+	if !ctl.judge("c", "a", false).drop {
+		t.Errorf("c->a not blocked across the partition")
+	}
+	if ctl.judge("a", "b", true).drop {
+		t.Errorf("same-group traffic blocked")
+	}
+	if ctl.judge("a", "zzz", true).drop {
+		t.Errorf("traffic to an unlisted address blocked")
+	}
+	if got := ctl.Counters()[CtrFaultBlocked]; got != 2 {
+		t.Errorf("fault_blocked = %d, want 2", got)
+	}
+}
+
+func TestFaultPhaseOneWayIsAsymmetric(t *testing.T) {
+	ctl := NewFaultController(FaultPlan{Phases: []FaultPhase{{
+		OneWay: []Direction{{From: "a", To: "b"}},
+	}}})
+	if !ctl.judge("a", "b", true).drop {
+		t.Errorf("a->b not blocked by one-way rule")
+	}
+	if ctl.judge("b", "a", true).drop {
+		t.Errorf("reverse direction blocked by one-way rule")
+	}
+	// Wildcard: empty From matches any sender.
+	ctl = NewFaultController(FaultPlan{Phases: []FaultPhase{{
+		OneWay: []Direction{{To: "b"}},
+	}}})
+	if !ctl.judge("anyone", "b", false).drop {
+		t.Errorf("wildcard one-way rule did not match")
+	}
+}
+
+func TestFaultPhaseSlowLinkAddsDelay(t *testing.T) {
+	ctl := NewFaultController(FaultPlan{Phases: []FaultPhase{{
+		Slow: []SlowLink{{From: "a", Extra: 50 * time.Millisecond}},
+	}}})
+	if d := ctl.judge("a", "b", true).delay; d != 50*time.Millisecond {
+		t.Errorf("a->b delay = %v, want 50ms", d)
+	}
+	if d := ctl.judge("b", "a", true).delay; d != 0 {
+		t.Errorf("b->a delay = %v, want 0", d)
+	}
+}
+
+func TestFaultPhaseWindowing(t *testing.T) {
+	ctl := NewFaultController(FaultPlan{Phases: []FaultPhase{{
+		Start: time.Hour, End: 2 * time.Hour, Drop: 1,
+	}}})
+	if ctl.judge("a", "b", false).drop {
+		t.Errorf("phase applied before its Start")
+	}
+	// End <= Start means the phase never expires.
+	ctl = NewFaultController(FaultPlan{Phases: []FaultPhase{{Drop: 1}}})
+	if !ctl.judge("a", "b", false).drop {
+		t.Errorf("open-ended phase not applied")
+	}
+	if ctl.judge("a", "b", true).drop {
+		t.Errorf("Drop applied to a reliable send (DropReliable is separate)")
+	}
+}
+
+func TestFaultPhaseDropReliableSeparateFromDrop(t *testing.T) {
+	ctl := NewFaultController(FaultPlan{Phases: []FaultPhase{{DropReliable: 1}}})
+	if !ctl.judge("a", "b", true).drop {
+		t.Errorf("DropReliable=1 did not drop a reliable send")
+	}
+	if ctl.judge("a", "b", false).drop {
+		t.Errorf("DropReliable applied to a datagram")
+	}
+}
+
+// --- shared conformance suite over both transports ----------------------
+
+// The acceptance criterion: the fault layer behaves identically whether it
+// wraps MemTransport or TCPTransport. One scenario, two factories.
+func testFaultTransportConformance(t *testing.T, mk func(t *testing.T, ctl *FaultController) (a, b Transport, cleanup func())) {
+	t.Helper()
+	ctl := NewFaultController(FaultPlan{Seed: 42})
+	a, b, cleanup := mk(t, ctl)
+	defer cleanup()
+
+	var rel, dg atomic.Int64
+	b.SetHandlers(func(from core.NodeID, m core.Message) {
+		switch m.(type) {
+		case *core.TreeParent:
+			rel.Add(1)
+		case *core.Ping:
+			dg.Add(1)
+		}
+	}, nil)
+	a.SetHandlers(func(core.NodeID, core.Message) {}, nil)
+
+	relMsg := &core.TreeParent{On: true}
+	dgMsg := &core.Ping{From: core.Entry{ID: 1, Addr: a.Addr()}, Nonce: 1}
+
+	// 1. Clean fabric: both channels deliver.
+	a.Send(b.Addr(), 2, relMsg)
+	waitCount(t, &rel, 1, "reliable send through a clean fault layer")
+	sendUntilCount(t, &dg, 1, func() { a.SendDatagram(b.Addr(), 2, dgMsg) })
+
+	// 2. Full datagram loss: datagrams stop, reliable unaffected.
+	ctl.AddPhase(FaultPhase{Drop: 1})
+	dgBase := dg.Load()
+	for i := 0; i < 10; i++ {
+		a.SendDatagram(b.Addr(), 2, dgMsg)
+	}
+	a.Send(b.Addr(), 2, relMsg)
+	waitCount(t, &rel, 2, "reliable send during datagram loss")
+	time.Sleep(150 * time.Millisecond)
+	if got := dg.Load(); got != dgBase {
+		t.Errorf("datagrams leaked through Drop=1: %d extra", got-dgBase)
+	}
+
+	// 3. Partition: reliable sends blackholed silently.
+	ctl.Clear()
+	ctl.AddPhase(FaultPhase{Partition: [][]string{{a.Addr()}, {b.Addr()}}})
+	a.Send(b.Addr(), 2, relMsg)
+	time.Sleep(250 * time.Millisecond)
+	if got := rel.Load(); got != 2 {
+		t.Errorf("reliable send crossed a partition (count %d)", got)
+	}
+	if ctl.Counters()[CtrFaultBlocked] == 0 {
+		t.Errorf("partition block not counted")
+	}
+
+	// 4. Heal: traffic flows again.
+	ctl.Clear()
+	a.Send(b.Addr(), 2, relMsg)
+	waitCount(t, &rel, 3, "reliable send after heal")
+
+	// 5. Duplication: one send, two deliveries.
+	ctl.AddPhase(FaultPhase{Duplicate: 1})
+	a.Send(b.Addr(), 2, relMsg)
+	waitCount(t, &rel, 5, "duplicated reliable send")
+
+	// 6. The wrapper surfaces the controller's counters through Stats.
+	if ft, ok := a.(*FaultTransport); ok {
+		if ft.Stats()[CtrFaultDuplicated] == 0 {
+			t.Errorf("FaultTransport.Stats missing fault counters")
+		}
+	} else {
+		t.Errorf("factory did not return a *FaultTransport")
+	}
+}
+
+func TestFaultTransportOverMem(t *testing.T) {
+	testFaultTransportConformance(t, func(t *testing.T, ctl *FaultController) (Transport, Transport, func()) {
+		net := NewMemNetwork(0, 1)
+		ea := net.Endpoint("a")
+		ea.SetFrom(1)
+		eb := net.Endpoint("b")
+		eb.SetFrom(2)
+		return ctl.Wrap(ea), ctl.Wrap(eb), func() {
+			ea.Close()
+			eb.Close()
+		}
+	})
+}
+
+func TestFaultTransportOverTCP(t *testing.T) {
+	testFaultTransportConformance(t, func(t *testing.T, ctl *FaultController) (Transport, Transport, func()) {
+		ta, err := NewTCPTransport(1, "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen a: %v", err)
+		}
+		tb, err := NewTCPTransport(2, "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen b: %v", err)
+		}
+		return ctl.Wrap(ta), ctl.Wrap(tb), func() {
+			ta.Close()
+			tb.Close()
+		}
+	})
+}
+
+// waitCount polls until the counter reaches at least want.
+func waitCount(t *testing.T, c *atomic.Int64, want int64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: count %d, want >= %d", what, c.Load(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// sendUntilCount retries a lossy send (e.g. UDP) until the counter moves.
+func sendUntilCount(t *testing.T, c *atomic.Int64, want int64, send func()) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("datagram never arrived (count %d, want >= %d)", c.Load(), want)
+		}
+		send()
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,9 @@ import (
 
 	"gocast/internal/core"
 )
+
+// ErrStopped reports an API call against a node after Close or Kill.
+var ErrStopped = errors.New("live: node stopped")
 
 // NodeOptions configures a live node.
 type NodeOptions struct {
@@ -30,7 +34,9 @@ type NodeOptions struct {
 
 // Node hosts one GoCast protocol instance on real time. All protocol work
 // happens on a single mailbox goroutine; the exported methods are safe for
-// concurrent use.
+// concurrent use. After Close or Kill, accessors return zero values —
+// Stopped reports that state, and the internal call path yields
+// ErrStopped — and never block.
 type Node struct {
 	opts  NodeOptions
 	coreN *core.Node
@@ -61,7 +67,17 @@ func NewNode(opts NodeOptions) *Node {
 	if opts.OnDeliver != nil {
 		n.coreN.OnDeliver(opts.OnDeliver)
 	}
-	if mt, ok := opts.Transport.(*MemTransport); ok {
+	// Unwrap fault-injection layers so the underlying MemTransport still
+	// learns its owning node ID.
+	inner := opts.Transport
+	for {
+		ft, ok := inner.(*FaultTransport)
+		if !ok {
+			break
+		}
+		inner = ft.Inner()
+	}
+	if mt, ok := inner.(*MemTransport); ok {
 		mt.SetFrom(opts.ID)
 	}
 	opts.Transport.SetHandlers(
@@ -111,7 +127,8 @@ func (n *Node) SetLandmarks(ls []core.Entry) {
 	n.call(func() { n.coreN.SetLandmarks(ls) })
 }
 
-// Multicast injects a message into the group and returns its ID.
+// Multicast injects a message into the group and returns its ID. On a
+// stopped node nothing is sent and the zero MessageID is returned.
 func (n *Node) Multicast(payload []byte) core.MessageID {
 	var id core.MessageID
 	n.call(func() { id = n.coreN.Multicast(payload) })
@@ -151,6 +168,16 @@ func (n *Node) Stats() core.Counters {
 	var s core.Counters
 	n.call(func() { s = n.coreN.Stats() })
 	return s
+}
+
+// TransportStats snapshots the transport's counters, if the transport
+// exposes them (TCPTransport and FaultTransport do); otherwise nil. It
+// remains available after the node stops.
+func (n *Node) TransportStats() map[string]int64 {
+	if s, ok := n.opts.Transport.(interface{ Stats() map[string]int64 }); ok {
+		return s.Stats()
+	}
+	return nil
 }
 
 // Seen reports whether the node has received the message.
@@ -197,16 +224,56 @@ func (n *Node) tryPost(fn func()) {
 	}
 }
 
-// call runs fn on the event loop and waits for it.
-func (n *Node) call(fn func()) {
+// call runs fn on the event loop and waits for it. After Close or Kill it
+// returns ErrStopped without running fn (best effort: a call already
+// queued when the node stops may still execute during the stop drain, in
+// which case nil is returned). Public accessors built on call therefore
+// return their documented zero values once the node has stopped.
+func (n *Node) call(fn func()) error {
+	// Priority check: once stopped, never enqueue — the loop may already
+	// have drained and exited, and the dual select below picks randomly
+	// between ready cases.
+	select {
+	case <-n.stopped:
+		return ErrStopped
+	default:
+	}
 	done := make(chan struct{})
-	n.post(func() {
+	posted := false
+	select {
+	case <-n.stopped:
+	case n.mailbox <- func() {
 		defer close(done)
 		fn()
-	})
+	}:
+		posted = true
+	}
+	if !posted {
+		return ErrStopped
+	}
 	select {
 	case <-done:
+		return nil
 	case <-n.stopped:
+		// The stop drain may still run the queued fn; report whichever
+		// outcome is already decided without blocking.
+		select {
+		case <-done:
+			return nil
+		default:
+			return ErrStopped
+		}
+	}
+}
+
+// Stopped reports whether Close or Kill has been called. API calls on a
+// stopped node return zero values (internally ErrStopped).
+func (n *Node) Stopped() bool {
+	select {
+	case <-n.stopped:
+		return true
+	default:
+		return false
 	}
 }
 

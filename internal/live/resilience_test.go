@@ -1,0 +1,80 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gocast/internal/core"
+)
+
+// TestNodeAPIAfterKillReturnsZeroValues pins the documented post-stop
+// semantics: accessors return zero values promptly, never hang, and
+// Multicast injects nothing.
+func TestNodeAPIAfterKillReturnsZeroValues(t *testing.T) {
+	net := NewMemNetwork(time.Millisecond, 9)
+	n := NewNode(NodeOptions{ID: 1, Config: FastConfig(), Transport: net.Endpoint("n1"), Seed: 1})
+	n.BecomeRoot()
+	if n.Stopped() {
+		t.Fatalf("fresh node reports stopped")
+	}
+	if id := n.Multicast([]byte("x")); id == (core.MessageID{}) {
+		t.Fatalf("live multicast returned the zero MessageID")
+	}
+
+	n.Kill()
+	if !n.Stopped() {
+		t.Fatalf("killed node does not report stopped")
+	}
+	if id := n.Multicast([]byte("y")); id != (core.MessageID{}) {
+		t.Errorf("post-kill Multicast returned %v, want zero", id)
+	}
+	if d := n.Degree(); d != 0 {
+		t.Errorf("post-kill Degree = %d, want 0", d)
+	}
+	if nbs := n.Neighbors(); nbs != nil {
+		t.Errorf("post-kill Neighbors = %v, want nil", nbs)
+	}
+	if n.Seen(core.MessageID{Source: 1, Seq: 0}) {
+		t.Errorf("post-kill Seen leaked state")
+	}
+	if s := n.Stats(); s != (core.Counters{}) {
+		t.Errorf("post-kill Stats = %+v, want zero", s)
+	}
+	// Stopping again is idempotent, in either form.
+	n.Kill()
+	n.Close()
+}
+
+// TestSetDatagramLossConcurrentWithTraffic exercises the satellite race
+// fix: retuning loss while delivery goroutines evaluate the drop function
+// must be safe (validated under -race).
+func TestSetDatagramLossConcurrentWithTraffic(t *testing.T) {
+	net := NewMemNetwork(0, 5)
+	a := net.Endpoint("a")
+	a.SetFrom(1)
+	b := net.Endpoint("b")
+	b.SetFrom(2)
+	a.SetHandlers(func(core.NodeID, core.Message) {}, nil)
+	b.SetHandlers(func(core.NodeID, core.Message) {}, nil)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			net.SetDatagramLoss(float64(i%3) / 3)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			a.SendDatagram("b", 2, &core.TreeParent{})
+		}
+	}()
+	wg.Wait()
+	// Let in-flight deliveries finish before the endpoints close.
+	time.Sleep(50 * time.Millisecond)
+	a.Close()
+	b.Close()
+}

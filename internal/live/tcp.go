@@ -1,53 +1,157 @@
 package live
 
 import (
+	"errors"
 	"fmt"
+	"log"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gocast/internal/core"
+	"gocast/internal/metrics"
 	"gocast/internal/wire"
 )
+
+// Transport counter names, visible in Stats snapshots. The redial counters
+// are how soak tests (and operators) verify that a broken link was
+// re-established by backoff rather than torn down.
+const (
+	CtrDials         = "tcp_dials"          // successful outbound connections
+	CtrDialErrors    = "tcp_dial_errors"    // failed dial attempts
+	CtrRedials       = "tcp_redials"        // successful dials that replaced a prior connection or retry
+	CtrBackoffResets = "tcp_backoff_resets" // backoff returned to its base after a successful redial
+	CtrWriteErrors   = "tcp_write_errors"   // frame writes that failed (broken pipe, deadline)
+	CtrFramesRequeue = "tcp_frames_requeued" // frames salvaged from a broken connection and resent
+	CtrFramesDropped = "tcp_frames_dropped" // reliable frames abandoned (peer declared down or queue overflow)
+	CtrQueueOverflow = "tcp_queue_overflows" // times a peer queue saturated and the peer was dropped
+	CtrEncodeErrors  = "tcp_encode_errors"  // frames that failed wire serialization
+	CtrIdleReaped    = "tcp_idle_reaped"    // outbound connections reaped for inactivity
+	CtrPeersFailed   = "tcp_peers_failed"   // peers reported down after redial attempts were exhausted
+)
+
+// TCPOptions tunes the transport's resilience behavior. The zero value is
+// replaced field-by-field with the defaults documented below.
+type TCPOptions struct {
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline; a peer that stalls
+	// longer than this has its connection broken and redialed so the
+	// writer goroutine can never wedge forever (default 10s).
+	WriteTimeout time.Duration
+	// RedialAttempts is how many consecutive failed dials are tolerated
+	// before the peer is reported to the FailureHandler (default 3;
+	// negative disables redial entirely — first failure reports).
+	RedialAttempts int
+	// RedialBackoff is the initial redial backoff; each failed attempt
+	// doubles it, jittered to [0.5x, 1.5x) (default 100ms).
+	RedialBackoff time.Duration
+	// RedialBackoffMax caps the exponential backoff (default 3s).
+	RedialBackoffMax time.Duration
+	// IdleTimeout reaps outbound connections with no traffic for this
+	// long; reaping is silent (no failure report) and the next Send
+	// redials (default 5m; negative disables reaping).
+	IdleTimeout time.Duration
+	// Logf receives rare diagnostic lines, e.g. the once-per-peer encode
+	// error report (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	switch {
+	case o.RedialAttempts == 0:
+		o.RedialAttempts = 3
+	case o.RedialAttempts < 0:
+		o.RedialAttempts = 0
+	}
+	if o.RedialBackoff <= 0 {
+		o.RedialBackoff = 100 * time.Millisecond
+	}
+	if o.RedialBackoffMax <= 0 {
+		o.RedialBackoffMax = 3 * time.Second
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
 
 // TCPTransport carries reliable traffic over TCP connections (one per
 // peer, dialed on demand, as the paper's pre-established connections
 // between overlay neighbors) and datagrams over UDP on the same port
 // number.
+//
+// The transport is resilient: a broken or stalled connection is redialed
+// with exponential backoff, and frames queued (or caught mid-write) when
+// the pipe broke are resent on the new connection. Only after
+// RedialAttempts consecutive failed dials is the peer reported to the
+// FailureHandler — so the protocol layer hears about persistent failures,
+// not transient network blips.
 type TCPTransport struct {
 	id   core.NodeID
 	ln   net.Listener
 	udp  *net.UDPConn
 	addr string
+	opts TCPOptions
 
-	mu      sync.Mutex
-	conns   map[string]*peerConn
-	inbound map[net.Conn]bool
-	handler Handler
-	failure FailureHandler
-	closed  bool
-	wg      sync.WaitGroup
+	counters *metrics.AtomicCounter
+
+	mu         sync.Mutex
+	conns      map[string]*peerConn
+	inbound    map[net.Conn]bool
+	handler    Handler
+	failure    FailureHandler
+	closed     bool
+	encLogged  map[string]bool // peers whose encode errors were already logged
+	wg         sync.WaitGroup
+	stopReaper chan struct{}
 }
 
 var _ Transport = (*TCPTransport)(nil)
 
 // peerConn is an outbound connection with a writer goroutine, so the
-// node's event loop never blocks on the network.
+// node's event loop never blocks on the network. The queue survives
+// redials: frames enqueued while the connection is down are delivered
+// once it is re-established.
 type peerConn struct {
-	addr  string
-	to    core.NodeID
-	queue chan []byte
-	done  chan struct{}
-	once  sync.Once
-	conn  net.Conn
+	addr     string
+	to       core.NodeID
+	queue    chan []byte
+	done     chan struct{}
+	once     sync.Once
+	conn     net.Conn     // guarded by the transport mutex
+	lastUsed atomic.Int64 // unix nanos of the last Send toward this peer
 }
 
 func (pc *peerConn) stop() { pc.once.Do(func() { close(pc.done) }) }
 
 const outboundQueue = 256
 
+// errPeerStopped signals the writer loop that its peer was dropped or the
+// transport closed.
+var errPeerStopped = errors.New("live: peer stopped")
+
 // NewTCPTransport listens on listenAddr (e.g. "127.0.0.1:0") for both TCP
-// and UDP. id is stamped on outgoing frames.
+// and UDP with default resilience options. id is stamped on outgoing
+// frames.
 func NewTCPTransport(id core.NodeID, listenAddr string) (*TCPTransport, error) {
+	return NewTCPTransportWithOptions(id, listenAddr, TCPOptions{})
+}
+
+// NewTCPTransportWithOptions listens on listenAddr with explicit
+// reconnect/deadline tuning.
+func NewTCPTransportWithOptions(id core.NodeID, listenAddr string, opts TCPOptions) (*TCPTransport, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("live: listen tcp: %w", err)
@@ -63,21 +167,33 @@ func NewTCPTransport(id core.NodeID, listenAddr string) (*TCPTransport, error) {
 		return nil, fmt.Errorf("live: listen udp: %w", err)
 	}
 	t := &TCPTransport{
-		id:      id,
-		ln:      ln,
-		udp:     udp,
-		addr:    ln.Addr().String(),
-		conns:   make(map[string]*peerConn),
-		inbound: make(map[net.Conn]bool),
+		id:         id,
+		ln:         ln,
+		udp:        udp,
+		addr:       ln.Addr().String(),
+		opts:       opts.withDefaults(),
+		counters:   metrics.NewAtomicCounter(),
+		conns:      make(map[string]*peerConn),
+		inbound:    make(map[net.Conn]bool),
+		encLogged:  make(map[string]bool),
+		stopReaper: make(chan struct{}),
 	}
 	t.wg.Add(2)
 	go t.acceptLoop()
 	go t.udpLoop()
+	if t.opts.IdleTimeout > 0 {
+		t.wg.Add(1)
+		go t.reapLoop()
+	}
 	return t, nil
 }
 
 // Addr returns the listening address.
 func (t *TCPTransport) Addr() string { return t.addr }
+
+// Stats returns a snapshot of the transport's counters (see the Ctr*
+// constants for the names).
+func (t *TCPTransport) Stats() map[string]int64 { return t.counters.Snapshot() }
 
 // SetHandlers registers the inbound callbacks.
 func (t *TCPTransport) SetHandlers(h Handler, f FailureHandler) {
@@ -93,30 +209,56 @@ func (t *TCPTransport) handlers() (Handler, FailureHandler) {
 	return t.handler, t.failure
 }
 
+// encodeError counts a wire serialization failure and logs it once per
+// peer (they indicate a bug or an oversized payload, not a network issue).
+func (t *TCPTransport) encodeError(addr string, err error) {
+	t.counters.Inc(CtrEncodeErrors, 1)
+	t.mu.Lock()
+	logged := t.encLogged[addr]
+	if !logged {
+		t.encLogged[addr] = true
+	}
+	t.mu.Unlock()
+	if !logged {
+		t.opts.Logf("live: node %d: dropping unencodable frame for %s: %v", t.id, addr, err)
+	}
+}
+
 // Send queues a reliable frame toward addr, dialing if needed.
 func (t *TCPTransport) Send(addr string, to core.NodeID, m core.Message) {
 	buf, err := wire.Append(nil, t.id, m)
 	if err != nil {
+		t.encodeError(addr, err)
 		return
 	}
 	pc := t.peer(addr, to)
 	if pc == nil {
 		return
 	}
+	pc.lastUsed.Store(time.Now().UnixNano())
 	select {
 	case <-pc.done:
 	case pc.queue <- buf:
 	default:
-		// Peer writer saturated; treat like a broken pipe.
+		// Peer writer saturated beyond the queue bound; treat like a
+		// broken pipe so the protocol reacts instead of the caller
+		// blocking. The queued frames are lost with the peer.
+		t.counters.Inc(CtrQueueOverflow, 1)
+		t.counters.Inc(CtrFramesDropped, int64(len(pc.queue))+1)
 		t.dropPeer(pc, true)
 	}
 }
 
-// SendDatagram sends one UDP packet; errors and oversized frames are
-// dropped silently, as UDP semantics dictate.
+// SendDatagram sends one UDP packet; network errors and oversized frames
+// are dropped silently, as UDP semantics dictate, but serialization
+// failures are counted.
 func (t *TCPTransport) SendDatagram(addr string, to core.NodeID, m core.Message) {
 	buf, err := wire.Append(nil, t.id, m)
-	if err != nil || len(buf) > 60000 {
+	if err != nil {
+		t.encodeError(addr, err)
+		return
+	}
+	if len(buf) > 60000 {
 		return
 	}
 	ua, err := net.ResolveUDPAddr("udp", addr)
@@ -142,42 +284,161 @@ func (t *TCPTransport) peer(addr string, to core.NodeID) *peerConn {
 		queue: make(chan []byte, outboundQueue),
 		done:  make(chan struct{}),
 	}
+	pc.lastUsed.Store(time.Now().UnixNano())
 	t.conns[addr] = pc
 	t.wg.Add(1)
 	go t.writeLoop(pc)
 	return pc
 }
 
+// writeLoop owns one peer's connection lifecycle: dial (with backoff
+// across failures), drain the frame queue onto the connection, and on a
+// broken pipe salvage the failed frame and redial. It exits when the peer
+// is stopped or redial attempts are exhausted.
 func (t *TCPTransport) writeLoop(pc *peerConn) {
 	defer t.wg.Done()
-	conn, err := net.Dial("tcp", pc.addr)
+	backoff := t.opts.RedialBackoff
+	failures := 0
+	hadConn := false
+	var pending []byte // frame that failed mid-write, resent first
+	for {
+		conn, err := t.dialPeer(pc)
+		if err != nil {
+			if errors.Is(err, errPeerStopped) {
+				return
+			}
+			t.counters.Inc(CtrDialErrors, 1)
+			failures++
+			if failures > t.opts.RedialAttempts {
+				t.counters.Inc(CtrPeersFailed, 1)
+				dropped := int64(len(pc.queue))
+				if pending != nil {
+					dropped++
+				}
+				if dropped > 0 {
+					t.counters.Inc(CtrFramesDropped, dropped)
+				}
+				t.dropPeer(pc, true)
+				return
+			}
+			if !t.pause(pc, withJitter(backoff)) {
+				return
+			}
+			backoff *= 2
+			if backoff > t.opts.RedialBackoffMax {
+				backoff = t.opts.RedialBackoffMax
+			}
+			continue
+		}
+		t.counters.Inc(CtrDials, 1)
+		if hadConn || failures > 0 {
+			t.counters.Inc(CtrRedials, 1)
+		}
+		if failures > 0 {
+			t.counters.Inc(CtrBackoffResets, 1)
+		}
+		failures = 0
+		backoff = t.opts.RedialBackoff
+		hadConn = true
+		if !t.writeFrames(pc, conn, &pending) {
+			return
+		}
+		// Connection broke; loop redials. Frames still queued (and the
+		// salvaged pending frame) survive for the next connection. The
+		// short pause keeps a flapping peer from inducing a dial hot-loop.
+		if !t.pause(pc, withJitter(backoff)) {
+			return
+		}
+	}
+}
+
+// dialPeer dials with the configured timeout, registers the connection,
+// and starts its read loop. Inbound frames can arrive on outbound
+// connections too.
+func (t *TCPTransport) dialPeer(pc *peerConn) (net.Conn, error) {
+	select {
+	case <-pc.done:
+		return nil, errPeerStopped
+	default:
+	}
+	d := net.Dialer{Timeout: t.opts.DialTimeout}
+	conn, err := d.Dial("tcp", pc.addr)
 	if err != nil {
-		t.dropPeer(pc, true)
-		return
+		return nil, err
 	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		conn.Close()
-		return
+		return nil, errPeerStopped
+	}
+	select {
+	case <-pc.done:
+		t.mu.Unlock()
+		conn.Close()
+		return nil, errPeerStopped
+	default:
 	}
 	pc.conn = conn
 	t.mu.Unlock()
-	// Inbound frames can arrive on outbound connections too.
 	t.wg.Add(1)
 	go t.readLoop(conn)
+	return conn, nil
+}
+
+// writeFrames pumps queued frames onto conn until the peer stops (returns
+// false) or a write fails (returns true to redial; the failed frame is
+// left in *pending for resend).
+func (t *TCPTransport) writeFrames(pc *peerConn, conn net.Conn, pending *[]byte) bool {
 	for {
-		select {
-		case <-pc.done:
-			conn.Close()
-			return
-		case buf := <-pc.queue:
-			if _, err := conn.Write(buf); err != nil {
-				t.dropPeer(pc, true)
-				return
+		buf := *pending
+		if buf == nil {
+			select {
+			case <-pc.done:
+				conn.Close()
+				return false
+			case buf = <-pc.queue:
 			}
 		}
+		conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+		if _, err := conn.Write(buf); err != nil {
+			// A partial write is fine to retry: the broken connection is
+			// discarded wholesale, so the remote never sees a frame
+			// spliced across connections.
+			*pending = buf
+			t.counters.Inc(CtrWriteErrors, 1)
+			t.counters.Inc(CtrFramesRequeue, 1)
+			conn.Close()
+			t.mu.Lock()
+			if pc.conn == conn {
+				pc.conn = nil
+			}
+			t.mu.Unlock()
+			return true
+		}
+		*pending = nil
 	}
+}
+
+// pause sleeps d or until the peer stops; it reports whether to continue.
+func (t *TCPTransport) pause(pc *peerConn, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-pc.done:
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+// withJitter spreads d uniformly over [0.5d, 1.5d) so redial storms from
+// many peers decorrelate.
+func withJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // dropPeer removes the connection and reports the failure once.
@@ -197,6 +458,62 @@ func (t *TCPTransport) dropPeer(pc *peerConn, notify bool) {
 	}
 	if ok && cur == pc && notify && !closed && fail != nil {
 		fail(pc.to)
+	}
+}
+
+// DropConnections abruptly closes every open TCP connection (outbound and
+// inbound) without touching peer state — simulating a transient network
+// reset for chaos tests. Queued and in-flight frames are resent after the
+// automatic backoff redial; no failure is reported. It returns how many
+// connections were cut.
+func (t *TCPTransport) DropConnections() int {
+	t.mu.Lock()
+	var conns []net.Conn
+	for _, pc := range t.conns {
+		if pc.conn != nil {
+			conns = append(conns, pc.conn)
+		}
+	}
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return len(conns)
+}
+
+// reapLoop periodically stops outbound connections that have carried no
+// Send for IdleTimeout. Reaping is silent: the peer is not reported down,
+// and the next Send toward it simply redials.
+func (t *TCPTransport) reapLoop() {
+	defer t.wg.Done()
+	period := t.opts.IdleTimeout / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stopReaper:
+			return
+		case <-ticker.C:
+		}
+		cutoff := time.Now().Add(-t.opts.IdleTimeout).UnixNano()
+		t.mu.Lock()
+		var idle []*peerConn
+		for _, pc := range t.conns {
+			if pc.lastUsed.Load() < cutoff && len(pc.queue) == 0 {
+				idle = append(idle, pc)
+			}
+		}
+		t.mu.Unlock()
+		for _, pc := range idle {
+			t.counters.Inc(CtrIdleReaped, 1)
+			t.dropPeer(pc, false)
+		}
 	}
 }
 
@@ -286,6 +603,7 @@ func (t *TCPTransport) Close() error {
 	}
 	t.mu.Unlock()
 
+	close(t.stopReaper)
 	t.ln.Close()
 	t.udp.Close()
 	for _, c := range ins {

@@ -1,0 +1,218 @@
+package live
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gocast/internal/core"
+)
+
+// fastTCPOptions returns resilience tuning suitable for tests: quick
+// redials, no idle reaping.
+func fastTCPOptions() TCPOptions {
+	return TCPOptions{
+		DialTimeout:   time.Second,
+		RedialBackoff: 20 * time.Millisecond,
+		IdleTimeout:   -1,
+	}
+}
+
+func mustTCP(t *testing.T, id core.NodeID, opts TCPOptions) *TCPTransport {
+	t.Helper()
+	tr, err := NewTCPTransportWithOptions(id, "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	return tr
+}
+
+// TestTCPRedialRestoresLinkAfterCut cuts every open connection and checks
+// the next send transparently re-establishes the link: delivery succeeds,
+// the redial counters move, and no failure is reported to the protocol.
+func TestTCPRedialRestoresLinkAfterCut(t *testing.T) {
+	a := mustTCP(t, 1, fastTCPOptions())
+	defer a.Close()
+	b := mustTCP(t, 2, fastTCPOptions())
+	defer b.Close()
+
+	var got, failed atomic.Int64
+	b.SetHandlers(func(core.NodeID, core.Message) { got.Add(1) }, nil)
+	a.SetHandlers(func(core.NodeID, core.Message) {}, func(core.NodeID) { failed.Add(1) })
+
+	a.Send(b.Addr(), 2, &core.TreeParent{On: true})
+	waitCount(t, &got, 1, "initial send")
+
+	if n := a.DropConnections(); n == 0 {
+		t.Fatalf("no connections to cut")
+	}
+	a.Send(b.Addr(), 2, &core.TreeParent{On: true})
+	waitCount(t, &got, 2, "send after the connection was cut")
+
+	s := a.Stats()
+	if s[CtrRedials] < 1 {
+		t.Errorf("tcp_redials = %d, want >= 1", s[CtrRedials])
+	}
+	if s[CtrWriteErrors] < 1 {
+		t.Errorf("tcp_write_errors = %d, want >= 1", s[CtrWriteErrors])
+	}
+	if s[CtrFramesRequeue] < 1 {
+		t.Errorf("tcp_frames_requeued = %d, want >= 1", s[CtrFramesRequeue])
+	}
+	if failed.Load() != 0 {
+		t.Errorf("transient connection cut reported as a peer failure")
+	}
+}
+
+// TestTCPRedialExhaustionReportsPeerDown sends toward a dead address and
+// checks the failure is reported only after the configured attempts.
+func TestTCPRedialExhaustionReportsPeerDown(t *testing.T) {
+	opts := fastTCPOptions()
+	opts.RedialAttempts = 2
+	a := mustTCP(t, 1, opts)
+	defer a.Close()
+
+	failures := make(chan core.NodeID, 1)
+	a.SetHandlers(func(core.NodeID, core.Message) {}, func(p core.NodeID) { failures <- p })
+
+	// A port that was just freed: connection refused, instantly.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	a.Send(dead, 9, &core.TreeParent{})
+	select {
+	case p := <-failures:
+		if p != 9 {
+			t.Fatalf("failure reported for peer %d, want 9", p)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("peer never reported down")
+	}
+	s := a.Stats()
+	if s[CtrDialErrors] != 3 { // initial attempt + RedialAttempts retries
+		t.Errorf("tcp_dial_errors = %d, want 3", s[CtrDialErrors])
+	}
+	if s[CtrPeersFailed] != 1 {
+		t.Errorf("tcp_peers_failed = %d, want 1", s[CtrPeersFailed])
+	}
+	if s[CtrFramesDropped] < 1 {
+		t.Errorf("tcp_frames_dropped = %d, want >= 1", s[CtrFramesDropped])
+	}
+}
+
+// TestTCPWriteDeadlineUnwedgesStalledPeer writes at a sink that accepts
+// but never reads; once the kernel buffers fill, only the write deadline
+// can unblock the writer goroutine.
+func TestTCPWriteDeadlineUnwedgesStalledPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	var (
+		mu    sync.Mutex
+		conns []net.Conn
+	)
+	defer func() {
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	}()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c) // never read from it
+			mu.Unlock()
+		}
+	}()
+
+	opts := fastTCPOptions()
+	opts.WriteTimeout = 200 * time.Millisecond
+	a := mustTCP(t, 1, opts)
+	defer a.Close()
+	a.SetHandlers(func(core.NodeID, core.Message) {}, nil)
+
+	payload := make([]byte, 512*1024)
+	for i := 0; i < 16; i++ { // ~8 MB, far beyond loopback socket buffers
+		a.Send(ln.Addr().String(), 9, &core.Multicast{ID: core.MessageID{Source: 1, Seq: uint32(i)}, Payload: payload})
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for a.Stats()[CtrWriteErrors] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("write deadline never fired against a stalled peer")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestTCPIdleConnectionsReaped checks inactivity reaping is silent and the
+// next send transparently redials.
+func TestTCPIdleConnectionsReaped(t *testing.T) {
+	opts := fastTCPOptions()
+	opts.IdleTimeout = 300 * time.Millisecond
+	a := mustTCP(t, 1, opts)
+	defer a.Close()
+	b := mustTCP(t, 2, fastTCPOptions())
+	defer b.Close()
+
+	var got, failed atomic.Int64
+	b.SetHandlers(func(core.NodeID, core.Message) { got.Add(1) }, nil)
+	a.SetHandlers(func(core.NodeID, core.Message) {}, func(core.NodeID) { failed.Add(1) })
+
+	a.Send(b.Addr(), 2, &core.TreeParent{})
+	waitCount(t, &got, 1, "initial send")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for a.Stats()[CtrIdleReaped] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle connection never reaped")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if failed.Load() != 0 {
+		t.Errorf("idle reap reported a peer failure")
+	}
+	a.Send(b.Addr(), 2, &core.TreeParent{})
+	waitCount(t, &got, 2, "send after idle reap")
+}
+
+// TestTCPEncodeErrorsCountedAndLoggedOnce checks satellite behavior: a
+// frame that cannot serialize is counted every time but logged only once
+// per peer.
+func TestTCPEncodeErrorsCountedAndLoggedOnce(t *testing.T) {
+	var logs atomic.Int64
+	opts := fastTCPOptions()
+	opts.Logf = func(string, ...any) { logs.Add(1) }
+	a := mustTCP(t, 1, opts)
+	defer a.Close()
+	a.SetHandlers(func(core.NodeID, core.Message) {}, nil)
+
+	bad := &core.JoinRequest{From: core.Entry{ID: 3, Addr: strings.Repeat("x", 70000)}}
+	a.Send("127.0.0.1:1", 3, bad)
+	a.Send("127.0.0.1:1", 3, bad)
+	a.SendDatagram("127.0.0.1:1", 3, bad)
+	if got := a.Stats()[CtrEncodeErrors]; got != 3 {
+		t.Errorf("tcp_encode_errors = %d, want 3", got)
+	}
+	if got := logs.Load(); got != 1 {
+		t.Errorf("encode error logged %d times, want once per peer", got)
+	}
+	// A different peer gets its own log line.
+	a.Send("127.0.0.1:2", 4, bad)
+	if got := logs.Load(); got != 2 {
+		t.Errorf("second peer's encode error not logged (logs %d)", got)
+	}
+}

@@ -84,7 +84,13 @@ func (n *MemNetwork) SetLatency(fn func(from, to string) time.Duration) {
 func (n *MemNetwork) SetDatagramLoss(p float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.drop = func() bool { return n.rng.Float64() < p }
+	// The closure is invoked from delivery goroutines; n.rng is not
+	// goroutine-safe, so take the fabric lock like the latency closure does.
+	n.drop = func() bool {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return n.rng.Float64() < p
+	}
 }
 
 // Endpoint creates and registers a transport with the given address.

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicCounterBasics(t *testing.T) {
+	c := NewAtomicCounter()
+	if got := c.Get("x"); got != 0 {
+		t.Fatalf("fresh counter Get = %d, want 0", got)
+	}
+	c.Inc("x", 1)
+	c.Inc("x", 2)
+	c.Inc("y", 5)
+	if got := c.Get("x"); got != 3 {
+		t.Errorf("x = %d, want 3", got)
+	}
+	snap := c.Snapshot()
+	if snap["x"] != 3 || snap["y"] != 5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	// The snapshot is a copy, not a view.
+	snap["x"] = 99
+	if got := c.Get("x"); got != 3 {
+		t.Errorf("snapshot aliased live state: x = %d", got)
+	}
+	if s := c.String(); s != "x=3 y=5" {
+		t.Errorf("String() = %q, want sorted name=value pairs", s)
+	}
+}
+
+func TestAtomicCounterConcurrent(t *testing.T) {
+	c := NewAtomicCounter()
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc("n", 1)
+				_ = c.Get("n")
+				if i%100 == 0 {
+					_ = c.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != workers*each {
+		t.Fatalf("n = %d, want %d", got, workers*each)
+	}
+}
