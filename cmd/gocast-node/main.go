@@ -39,6 +39,7 @@ func run(args []string) error {
 		join   = fs.String("join", "", "contact as id@host:port (empty for the first node)")
 		root   = fs.Bool("root", false, "become the initial tree root")
 		quiet  = fs.Bool("quiet", false, "do not echo received messages")
+		inc    = fs.Uint("incarnation", 0, "incarnation number; a process rejoining under an ID it used before must pass a higher value than its previous life")
 
 		dialTimeout    = fs.Duration("dial-timeout", 0, "per-connection dial timeout (0 = default 5s)")
 		writeTimeout   = fs.Duration("write-timeout", 0, "per-frame write deadline (0 = default 10s)")
@@ -63,10 +64,11 @@ func run(args []string) error {
 		return err
 	}
 	node := gocast.NewNode(gocast.NodeOptions{
-		ID:        gocast.NodeID(*id),
-		Config:    gocast.DefaultConfig(),
-		Transport: tr,
-		Seed:      time.Now().UnixNano(),
+		ID:          gocast.NodeID(*id),
+		Config:      gocast.DefaultConfig(),
+		Transport:   tr,
+		Seed:        time.Now().UnixNano(),
+		Incarnation: uint32(*inc),
 		OnDeliver: func(mid gocast.MessageID, payload []byte, age time.Duration) {
 			if !*quiet {
 				fmt.Printf("[%s age=%v] %s\n", mid, age.Round(time.Millisecond), payload)
@@ -108,14 +110,15 @@ func run(args []string) error {
 				s := node.Stats()
 				fmt.Printf("delivered=%d injected=%d duplicates=%d pulls=%d peer_downs=%d\n",
 					s.Delivered, s.Injected, s.Duplicates, s.PullsSent, s.PeerDowns)
-				ts := node.TransportStats()
-				names := make([]string, 0, len(ts))
-				for name := range ts {
-					names = append(names, name)
-				}
-				sort.Strings(names)
-				for _, name := range names {
-					fmt.Printf("%s=%d\n", name, ts[name])
+				for _, group := range []map[string]int64{node.ChurnStats(), node.TransportStats()} {
+					names := make([]string, 0, len(group))
+					for name := range group {
+						names = append(names, name)
+					}
+					sort.Strings(names)
+					for _, name := range names {
+						fmt.Printf("%s=%d\n", name, group[name])
+					}
 				}
 				continue
 			}

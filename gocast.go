@@ -45,6 +45,7 @@ package gocast
 import (
 	"time"
 
+	"gocast/internal/churn"
 	"gocast/internal/core"
 	"gocast/internal/live"
 	"gocast/internal/netsim"
@@ -103,6 +104,28 @@ type (
 	Cluster = live.Cluster
 	// ClusterOptions configures an in-process cluster.
 	ClusterOptions = live.ClusterOptions
+
+	// Obituary announces a dead (id, incarnation) pair; obituaries ride on
+	// gossip so departures quarantine quickly group-wide.
+	Obituary = core.Obituary
+	// ChurnPlan declares seeded Poisson join/leave/crash/restart workloads.
+	ChurnPlan = churn.Plan
+	// ChurnEvent is one scheduled churn action.
+	ChurnEvent = churn.Event
+	// ChurnKind enumerates churn event types.
+	ChurnKind = churn.Kind
+	// ChurnOptions binds a ChurnPlan to an in-process cluster.
+	ChurnOptions = live.ChurnOptions
+	// ChurnStats counts what a churn run actually did.
+	ChurnStats = live.ChurnStats
+)
+
+// Churn event kinds.
+const (
+	ChurnJoin    = churn.Join
+	ChurnLeave   = churn.Leave
+	ChurnCrash   = churn.Crash
+	ChurnRestart = churn.Restart
 )
 
 // Link kinds.

@@ -1,0 +1,99 @@
+package churn
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	p := Plan{Seed: 42, Duration: 30 * time.Minute, JoinPerMin: 1.5, LeavePerMin: 1.5, CrashPerMin: 2, RestartPerMin: 2}
+	a, b := p.Schedule(), p.Schedule()
+	if len(a) == 0 {
+		t.Fatalf("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	q := p
+	q.Seed = 43
+	c := q.Schedule()
+	same := len(a) == len(c)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == c[i]
+	}
+	if same {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleSortedAndBounded(t *testing.T) {
+	p := Plan{Seed: 7, Duration: 10 * time.Minute, JoinPerMin: 3, CrashPerMin: 3}
+	ev := p.Schedule()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].At < ev[i-1].At {
+			t.Fatalf("schedule not sorted at %d: %v after %v", i, ev[i], ev[i-1])
+		}
+	}
+	for _, e := range ev {
+		if e.At <= 0 || e.At >= p.Duration {
+			t.Fatalf("event outside horizon: %v", e)
+		}
+		if e.Kind != Join && e.Kind != Crash {
+			t.Fatalf("unexpected kind %v (rate zero)", e.Kind)
+		}
+	}
+}
+
+func TestScheduleApproximatesRates(t *testing.T) {
+	p := Plan{Seed: 11, Duration: 8 * time.Hour, LeavePerMin: 2, RestartPerMin: 4}
+	counts := map[Kind]int{}
+	for _, e := range p.Schedule() {
+		counts[e.Kind]++
+	}
+	mins := p.Duration.Minutes()
+	for kind, rate := range map[Kind]float64{Leave: 2, Restart: 4} {
+		got := float64(counts[kind]) / mins
+		if math.Abs(got-rate)/rate > 0.15 {
+			t.Fatalf("%v rate = %.2f/min over %v, want ~%.1f", kind, got, p.Duration, rate)
+		}
+	}
+}
+
+func TestRateIndependence(t *testing.T) {
+	// Changing one kind's rate must not reshuffle another kind's arrivals.
+	base := Plan{Seed: 5, Duration: time.Hour, CrashPerMin: 1, JoinPerMin: 1}
+	crashes := func(p Plan) []Event {
+		var out []Event
+		for _, e := range p.Schedule() {
+			if e.Kind == Crash {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	a := crashes(base)
+	mod := base
+	mod.JoinPerMin = 10
+	b := crashes(mod)
+	if len(a) != len(b) {
+		t.Fatalf("crash stream changed length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("crash stream reshuffled at %d", i)
+		}
+	}
+}
+
+func TestEventsPerMinute(t *testing.T) {
+	p := Plan{JoinPerMin: 1, LeavePerMin: 2, CrashPerMin: 3, RestartPerMin: 4}
+	if got := p.EventsPerMinute(); got != 10 {
+		t.Fatalf("EventsPerMinute = %v, want 10", got)
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// buildTriangle wires three started nodes into a triangle with seeded
+// membership, the smallest group where gossip, obituaries, and rejoin all
+// interact.
+func buildTriangle(t *testing.T, seed int64) (*fixture, Config) {
+	t.Helper()
+	cfg := DefaultConfig()
+	f := newFixture(seed)
+	for id := NodeID(1); id <= 3; id++ {
+		f.addNode(id, cfg)
+	}
+	f.link(1, 2, Random)
+	f.link(2, 3, Random)
+	f.link(1, 3, Random)
+	for id := NodeID(1); id <= 3; id++ {
+		for other := NodeID(1); other <= 3; other++ {
+			if other != id {
+				f.nodes[id].SeedMembers([]Entry{{ID: other}})
+			}
+		}
+	}
+	f.nodes[1].BecomeRoot()
+	for id := NodeID(1); id <= 3; id++ {
+		f.nodes[id].Start()
+	}
+	return f, cfg
+}
+
+func hasMember(n *Node, id NodeID) bool {
+	for _, e := range n.Members() {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// After a graceful leave, the departed node must not be re-learned by any
+// live node for the quarantine window, even though entries naming it keep
+// circulating in gossip for a while.
+func TestLeaveQuarantinesDepartedMember(t *testing.T) {
+	f, cfg := buildTriangle(t, 1)
+	f.run(2 * time.Second)
+
+	f.nodes[3].Leave()
+	f.down[3] = true
+
+	// Sample membership well inside the quarantine window.
+	checkAt := cfg.QuarantineWindow / 2
+	f.run(checkAt)
+	for id := NodeID(1); id <= 2; id++ {
+		n := f.nodes[id]
+		if hasMember(n, 3) {
+			t.Errorf("node %d re-learned departed node 3 inside the quarantine window", id)
+		}
+		for _, nb := range n.Neighbors() {
+			if nb.ID == 3 {
+				t.Errorf("node %d still linked to departed node 3", id)
+			}
+		}
+		if len(n.Obituaries()) == 0 {
+			t.Errorf("node %d holds no obituary for the departure", id)
+		}
+	}
+	if got := f.nodes[1].Stats().ObitsRecorded; got == 0 {
+		t.Errorf("node 1 recorded no obituary")
+	}
+}
+
+// A departure obituary must piggyback on gossip: a node that never saw the
+// Drop itself still quarantines the departed peer.
+func TestDepartureObituarySpreadsViaGossip(t *testing.T) {
+	cfg := DefaultConfig()
+	f := newFixture(2)
+	// Line topology: 1-2, 2-3. Node 3 leaves; node 1 is not its neighbor
+	// and only hears about the departure second-hand.
+	for id := NodeID(1); id <= 3; id++ {
+		f.addNode(id, cfg)
+	}
+	f.link(1, 2, Random)
+	f.link(2, 3, Random)
+	f.nodes[1].SeedMembers([]Entry{{ID: 2}, {ID: 3}})
+	f.nodes[2].SeedMembers([]Entry{{ID: 1}, {ID: 3}})
+	f.nodes[3].SeedMembers([]Entry{{ID: 1}, {ID: 2}})
+	f.nodes[1].BecomeRoot()
+	for id := NodeID(1); id <= 3; id++ {
+		f.nodes[id].Start()
+	}
+	f.run(2 * time.Second)
+
+	f.nodes[3].Leave()
+	f.down[3] = true
+	f.run(3 * cfg.GossipPeriod)
+
+	if len(f.nodes[1].Obituaries()) == 0 {
+		t.Fatalf("obituary did not reach the non-neighbor via gossip")
+	}
+	if hasMember(f.nodes[1], 3) {
+		t.Fatalf("non-neighbor still lists the departed node")
+	}
+	if got := f.nodes[1].Stats().StaleLinksDropped; got != 0 {
+		t.Errorf("unexpected stale link drops on non-neighbor: %d", got)
+	}
+}
+
+// A higher incarnation supersedes an obituary: the rejoining life is
+// learned immediately, without waiting out the quarantine window.
+func TestRejoinOverridesObituary(t *testing.T) {
+	f, _ := buildTriangle(t, 3)
+	f.run(2 * time.Second)
+
+	f.nodes[3].Leave()
+	f.down[3] = true
+	f.run(time.Second)
+	if hasMember(f.nodes[1], 3) {
+		t.Fatalf("departed node still a member before rejoin")
+	}
+
+	// The same ID comes back with a bumped incarnation.
+	f.nodes[1].HandleMessage(2, &Gossip{Members: []Entry{{ID: 3, Inc: 1}}})
+	if !hasMember(f.nodes[1], 3) {
+		t.Fatalf("higher incarnation did not override the obituary")
+	}
+	if got := f.nodes[1].Stats().RejoinsObserved; got == 0 {
+		t.Errorf("rejoin not counted")
+	}
+	if len(f.nodes[1].Obituaries()) != 0 {
+		t.Errorf("obituary survived the rejoin")
+	}
+}
+
+// Entries for a dead past life must lose to the live one: lower-incarnation
+// entries are rejected while the same ID at the current incarnation stays.
+func TestStaleIncarnationEntriesRejected(t *testing.T) {
+	f, _ := buildTriangle(t, 4)
+	f.run(2 * time.Second)
+
+	// Node 1 learns that node 3 is now at incarnation 2.
+	f.nodes[1].HandleMessage(2, &Gossip{Members: []Entry{{ID: 3, Inc: 2}}})
+	before := f.nodes[1].Stats().StaleIncRejects
+	// A stale copy of the old life arrives afterwards.
+	f.nodes[1].HandleMessage(2, &Gossip{Members: []Entry{{ID: 3, Inc: 1}}})
+	if got := f.nodes[1].Stats().StaleIncRejects; got != before+1 {
+		t.Fatalf("stale entry not rejected (StaleIncRejects %d -> %d)", before, got)
+	}
+	for _, e := range f.nodes[1].Members() {
+		if e.ID == 3 && e.Inc != 2 {
+			t.Fatalf("member entry regressed to incarnation %d", e.Inc)
+		}
+	}
+}
+
+// A node hearing an obituary about itself must refute it by bumping its
+// own incarnation (it is alive; the obituary is a false positive or a
+// stale departure).
+func TestSelfRefutationBumpsIncarnation(t *testing.T) {
+	f, _ := buildTriangle(t, 5)
+	f.run(2 * time.Second)
+
+	if got := f.nodes[3].Incarnation(); got != 0 {
+		t.Fatalf("unexpected starting incarnation %d", got)
+	}
+	f.nodes[3].HandleMessage(2, &Gossip{Obits: []Obituary{{ID: 3, Inc: 0}}})
+	if got := f.nodes[3].Incarnation(); got != 1 {
+		t.Fatalf("incarnation after false obituary = %d, want 1", got)
+	}
+	if got := f.nodes[3].Stats().SelfRefutes; got != 1 {
+		t.Fatalf("SelfRefutes = %d, want 1", got)
+	}
+}
+
+// Same-incarnation obituary copies must not re-arm the quarantine window:
+// the window is armed once and an expired record lingers only as an inert
+// tombstone, so circulating gossip cannot keep a node quarantined forever.
+func TestObituaryWindowArmsOnce(t *testing.T) {
+	cfg := DefaultConfig()
+	f := newFixture(6)
+	n := f.addNode(1, cfg)
+	f.addNode(2, cfg)
+	f.link(1, 2, Random)
+	n.SeedMembers([]Entry{{ID: 2}, {ID: 3}})
+	n.Start()
+
+	n.HandleMessage(2, &Gossip{Obits: []Obituary{{ID: 3, Inc: 0}}})
+	if len(n.Obituaries()) != 1 {
+		t.Fatalf("obituary not recorded")
+	}
+	// Re-deliveries of the same obituary while the window runs, and again
+	// after it expires.
+	f.run(cfg.QuarantineWindow / 2)
+	n.HandleMessage(2, &Gossip{Obits: []Obituary{{ID: 3, Inc: 0}}})
+	f.run(cfg.QuarantineWindow) // window has expired by now
+	n.HandleMessage(2, &Gossip{Obits: []Obituary{{ID: 3, Inc: 0}}})
+	if got := len(n.Obituaries()); got != 0 {
+		t.Fatalf("expired obituary still active after re-delivery (%d active)", got)
+	}
+	// With the tombstone inert, the node may be learned again.
+	n.HandleMessage(2, &Gossip{Members: []Entry{{ID: 3, Inc: 0}}})
+	if !hasMember(n, 3) {
+		t.Fatalf("member not re-learnable after the quarantine window expired")
+	}
+}
+
+// Messages from a dead past life of a peer must be ignored wholesale.
+func TestStaleSenderJoinRejected(t *testing.T) {
+	f, _ := buildTriangle(t, 7)
+	f.run(2 * time.Second)
+
+	// Node 1 knows node 3 is at incarnation 1 now.
+	f.nodes[1].HandleMessage(2, &Gossip{Members: []Entry{{ID: 3, Inc: 1}}})
+	before := f.nodes[1].Stats().StaleIncRejects
+	f.nodes[1].HandleMessage(3, &JoinRequest{From: Entry{ID: 3, Inc: 0}})
+	if got := f.nodes[1].Stats().StaleIncRejects; got == before {
+		t.Fatalf("join request from a dead incarnation was processed")
+	}
+}

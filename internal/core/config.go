@@ -50,6 +50,11 @@ type Config struct {
 	// NeighborTimeout declares an overlay neighbor dead when nothing has
 	// been heard from it for this long (gossips act as keepalives).
 	NeighborTimeout time.Duration
+	// QuarantineWindow is how long an obituaried (dead or departed)
+	// incarnation stays quarantined: entries at or below the obituary's
+	// incarnation are not re-learned from in-flight gossip during the
+	// window. A rejoin with a higher incarnation passes immediately.
+	QuarantineWindow time.Duration
 	// RootTimeout triggers root takeover when no new tree wave arrives for
 	// this long.
 	RootTimeout time.Duration
@@ -87,6 +92,7 @@ func DefaultConfig() Config {
 		PullRetry:        time.Second,
 		ReclaimAfter:     2 * time.Minute,
 		NeighborTimeout:  5 * time.Second,
+		QuarantineWindow: 30 * time.Second,
 		RootTimeout:      40 * time.Second,
 		EnableTree:       true,
 		MemberViewSize:   96,
@@ -137,6 +143,9 @@ func (c Config) validate() Config {
 	}
 	if c.NeighborTimeout <= 0 {
 		c.NeighborTimeout = 5 * time.Second
+	}
+	if c.QuarantineWindow <= 0 {
+		c.QuarantineWindow = 30 * time.Second
 	}
 	if c.RootTimeout <= 0 {
 		c.RootTimeout = 40 * time.Second

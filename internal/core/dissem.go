@@ -154,6 +154,7 @@ func (n *Node) gossipTick() {
 		IDs:     ids,
 		Members: n.sampleMembers(n.cfg.MemberSampleSize, y),
 		Degrees: n.degrees(),
+		Obits:   n.activeObits(),
 	}
 	n.stats.GossipsSent++
 	n.stats.IDsAnnounced += int64(len(ids))
@@ -221,6 +222,18 @@ func (n *Node) handleGossip(from NodeID, g *Gossip) {
 	if nb := n.neighbors[from]; nb != nil {
 		nb.deg = g.Degrees
 		nb.degKnown = true
+	}
+	for _, ob := range g.Obits {
+		if ob.ID == n.id {
+			// Rumor of our own death: refute it by bumping our incarnation
+			// (SWIM-style), so our next entries supersede the obituary.
+			if ob.Inc >= n.self.Inc {
+				n.self.Inc = ob.Inc + 1
+				n.stats.SelfRefutes++
+			}
+			continue
+		}
+		n.recordObit(ob.ID, ob.Inc, true)
 	}
 	for _, e := range g.Members {
 		n.learnEntry(e)

@@ -1,21 +1,51 @@
 package core
 
+import "time"
+
 // Partial membership (Section 2.2.1). Each node maintains a bounded,
 // approximately uniform random subset of the system, refreshed by entries
 // piggybacked on gossips (lpbcast-style). The paper cites [5]: a uniformly
 // random partial member list is almost as good as a complete one.
 
-// learnEntry merges one membership entry into the view. Entries with a
-// landmark vector replace vector-less ones for the same node; when the
-// view is full a random existing entry is evicted so the view stays an
-// unbiased sample.
+// obitRecord quarantines one dead or departed incarnation of a node:
+// entries with Inc at or below the record's are not re-learned until the
+// quarantine window passes (or a higher incarnation supersedes it).
+type obitRecord struct {
+	Inc   uint32
+	Until time.Duration
+	// Spread marks departure obituaries (authoritative: the node announced
+	// its own leave), which piggyback on outgoing gossips. Obits from mere
+	// failure suspicion stay local so a false positive cannot cascade.
+	Spread bool
+}
+
+// learnEntry merges one membership entry into the view. The highest
+// incarnation always wins: stale incarnations are rejected, higher ones
+// supersede the old life (dropping any link held under it). Entries with a
+// landmark vector replace vector-less ones for the same node and
+// incarnation; when the view is full a random existing entry is evicted so
+// the view stays an unbiased sample.
 func (n *Node) learnEntry(e Entry) {
 	if e.ID == n.id || e.ID == None {
 		return
 	}
+	if n.obitBlocks(e) {
+		n.stats.ObitsHonored++
+		return
+	}
+	old, known := n.members[e.ID]
+	if known && e.Inc < old.Inc {
+		n.stats.StaleIncRejects++
+		return
+	}
+	if nb := n.neighbors[e.ID]; nb != nil && e.Inc < nb.entry.Inc {
+		n.stats.StaleIncRejects++
+		return
+	}
 	n.env.Learn(e)
-	if old, ok := n.members[e.ID]; ok {
-		if len(e.Landmarks) > 0 || len(old.Landmarks) == 0 {
+	n.noteRejoin(e)
+	if known {
+		if e.Inc > old.Inc || len(e.Landmarks) > 0 || len(old.Landmarks) == 0 {
 			n.members[e.ID] = e
 		}
 		return
@@ -30,6 +60,157 @@ func (n *Node) learnEntry(e Entry) {
 	}
 	n.members[e.ID] = e
 	n.order = append(n.order, e.ID)
+}
+
+// obitBlocks reports whether an active obituary quarantines this entry. A
+// strictly higher incarnation supersedes (clears) the obituary: a
+// legitimate rejoin must not be blocked. Expired records linger as
+// tombstones (see recordObit) and block nothing.
+func (n *Node) obitBlocks(e Entry) bool {
+	ob, ok := n.obits[e.ID]
+	if !ok {
+		return false
+	}
+	if e.Inc > ob.Inc {
+		// A higher incarnation supersedes the obituary: the node is back.
+		delete(n.obits, e.ID)
+		n.stats.RejoinsObserved++
+		return false
+	}
+	return n.env.Now() < ob.Until
+}
+
+// noteRejoin reacts to evidence that a known peer restarted under a higher
+// incarnation: any link still held under the dead incarnation is torn down
+// and cached measurements of the old life are discarded.
+func (n *Node) noteRejoin(e Entry) {
+	nb := n.neighbors[e.ID]
+	old, known := n.members[e.ID]
+	rejoined := (known && e.Inc > old.Inc) || (nb != nil && e.Inc > nb.entry.Inc)
+	if !rejoined {
+		return
+	}
+	n.stats.RejoinsObserved++
+	delete(n.rtt, e.ID)
+	delete(n.lastPong, e.ID)
+	if nb != nil && e.Inc > nb.entry.Inc {
+		n.stats.StaleLinksDropped++
+		n.removeNeighbor(e.ID, false)
+	}
+	n.abortOpsWith(e.ID)
+}
+
+// recordObit quarantines a dead incarnation of a peer: the member entry is
+// dropped, any link held under that incarnation (or older) is torn down,
+// and re-learning is blocked for QuarantineWindow. spread marks departure
+// obituaries, which piggyback on outgoing gossips. Each (id, incarnation)
+// arms the window at most once; afterwards the record lingers as an
+// expired tombstone so a still-circulating copy of the obituary cannot
+// re-arm it — without this, nodes would refresh each other's windows
+// epidemically and the obituary would never die out.
+func (n *Node) recordObit(id NodeID, inc uint32, spread bool) {
+	if id == n.id || id == None {
+		return
+	}
+	if cur, ok := n.members[id]; ok && cur.Inc > inc {
+		return // a newer life is already known; the obituary is stale
+	}
+	if ob, ok := n.obits[id]; ok {
+		if ob.Inc > inc {
+			return
+		}
+		if ob.Inc == inc {
+			if spread && !ob.Spread && n.env.Now() < ob.Until {
+				ob.Spread = true
+				n.obits[id] = ob
+			}
+			return
+		}
+	}
+	n.obits[id] = obitRecord{Inc: inc, Until: n.env.Now() + n.cfg.QuarantineWindow, Spread: spread}
+	n.stats.ObitsRecorded++
+	n.forgetMember(id)
+	if nb := n.neighbors[id]; nb != nil && nb.entry.Inc <= inc {
+		n.removeNeighbor(id, false)
+	}
+	n.abortOpsWith(id)
+}
+
+// knownInc returns the highest incarnation this node has recorded for id.
+func (n *Node) knownInc(id NodeID) uint32 {
+	var inc uint32
+	if nb := n.neighbors[id]; nb != nil {
+		inc = nb.entry.Inc
+	}
+	if e, ok := n.members[id]; ok && e.Inc > inc {
+		inc = e.Inc
+	}
+	return inc
+}
+
+// staleSender reports (and counts) a message carrying the sender entry of a
+// dead or superseded incarnation; such messages were sent by a peer's past
+// life and must not be acted on.
+func (n *Node) staleSender(e Entry) bool {
+	if e.ID == n.id || e.ID == None {
+		return false
+	}
+	if ob, ok := n.obits[e.ID]; ok && e.Inc <= ob.Inc && n.env.Now() < ob.Until {
+		n.stats.StaleIncRejects++
+		return true
+	}
+	if e.Inc < n.knownInc(e.ID) {
+		n.stats.StaleIncRejects++
+		return true
+	}
+	return false
+}
+
+// activeObits returns the unexpired spreading obituaries (departures) in
+// deterministic order for gossip piggybacking. Expired records are kept as
+// tombstones for a few windows (so circulating copies cannot re-arm them)
+// and purged only after that retention passes.
+func (n *Node) activeObits() []Obituary {
+	if len(n.obits) == 0 {
+		return nil
+	}
+	now := n.env.Now()
+	var ids []NodeID
+	for id, ob := range n.obits {
+		if now >= ob.Until {
+			if now >= ob.Until+4*n.cfg.QuarantineWindow {
+				delete(n.obits, id)
+			}
+			continue
+		}
+		if ob.Spread {
+			ids = append(ids, id)
+		}
+	}
+	sortNodeIDs(ids)
+	out := make([]Obituary, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, Obituary{ID: id, Inc: n.obits[id].Inc})
+	}
+	return out
+}
+
+// Obituaries returns the node's active quarantine records (spreading and
+// local), for introspection and tests.
+func (n *Node) Obituaries() []Obituary {
+	now := n.env.Now()
+	var ids []NodeID
+	for id, ob := range n.obits {
+		if now < ob.Until {
+			ids = append(ids, id)
+		}
+	}
+	sortNodeIDs(ids)
+	out := make([]Obituary, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, Obituary{ID: id, Inc: n.obits[id].Inc})
+	}
+	return out
 }
 
 // forgetMember removes a node from the view (e.g. it was found dead).

@@ -33,8 +33,9 @@ const (
 )
 
 const (
-	entryWire  = 16 // id + addr ref + landmark vector, approximate
+	entryWire  = 20 // id + incarnation + addr ref + landmark vector, approximate
 	headerWire = 8  // kind + sender + framing, approximate
+	obitWire   = 8  // id + incarnation
 )
 
 // Degrees is the sender's current degree information, piggybacked on most
@@ -122,13 +123,17 @@ type AddReply struct {
 func (*AddReply) Kind() MsgKind { return KindAddReply }
 func (*AddReply) WireSize() int { return headerWire + entryWire + 2 + 8 + degreesWire() + 1 }
 
-// Drop tears down the overlay link between sender and receiver.
+// Drop tears down the overlay link between sender and receiver. Departing
+// marks a graceful leave: the receiver records an obituary so the departed
+// member is quarantined, not just unlinked, and the obituary spreads to the
+// rest of the group via gossip piggyback.
 type Drop struct {
-	Degrees Degrees
+	Degrees   Degrees
+	Departing bool
 }
 
 func (*Drop) Kind() MsgKind { return KindDrop }
-func (*Drop) WireSize() int { return headerWire + degreesWire() }
+func (*Drop) WireSize() int { return headerWire + degreesWire() + 1 }
 
 // Rebalance implements operation 1 of random-degree maintenance: X (the
 // sender) asks its random neighbor Y (the receiver) to establish a random
@@ -167,11 +172,23 @@ type Gossip struct {
 	IDs     []GossipID
 	Members []Entry
 	Degrees Degrees
+	// Obits piggybacks the sender's active departure obituaries so
+	// quarantine of gracefully-departed members spreads epidemically rather
+	// than staying neighbor-local.
+	Obits []Obituary
 }
 
 func (*Gossip) Kind() MsgKind { return KindGossip }
 func (m *Gossip) WireSize() int {
-	return headerWire + 12*len(m.IDs) + entryWire*len(m.Members) + degreesWire()
+	return headerWire + 12*len(m.IDs) + entryWire*len(m.Members) + degreesWire() + obitWire*len(m.Obits)
+}
+
+// Obituary announces that a specific incarnation of a node is dead or has
+// departed; receivers quarantine entries at or below that incarnation for
+// QuarantineWindow so stale gossip cannot resurrect the member.
+type Obituary struct {
+	ID  NodeID
+	Inc uint32
 }
 
 // PullRequest asks the receiver (a gossip sender) for the payloads of

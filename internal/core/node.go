@@ -33,6 +33,9 @@ type Node struct {
 	members map[NodeID]Entry
 	order   []NodeID // scan order for round-robin candidate selection
 	scanIdx int
+	// obits quarantines dead or departed incarnations so stale in-flight
+	// gossip cannot resurrect them (see membership.go).
+	obits map[NodeID]obitRecord
 	// First-pass candidate list sorted by estimated latency; nil until
 	// built, emptied as candidates are probed.
 	estimated []NodeID
@@ -114,6 +117,7 @@ func New(id NodeID, cfg Config, env Env) *Node {
 		env:         env,
 		maintenance: true,
 		members:     make(map[NodeID]Entry),
+		obits:       make(map[NodeID]obitRecord),
 		rtt:         make(map[NodeID]time.Duration),
 		pings:       make(map[uint32]*pingCtx),
 		lastPong:    make(map[NodeID]time.Duration),
@@ -137,6 +141,15 @@ func (n *Node) Config() Config { return n.cfg }
 // SetAddr records the node's own transport address, advertised in
 // membership entries (live runtime only).
 func (n *Node) SetAddr(addr string) { n.self.Addr = addr }
+
+// SetIncarnation sets this node's incarnation number. A restarted node must
+// be given a number strictly above any it used in a previous life, before
+// Start/Join, so peers treat it as a fresh rejoin rather than a ghost.
+func (n *Node) SetIncarnation(inc uint32) { n.self.Inc = inc }
+
+// Incarnation returns this node's current incarnation number. It can grow
+// at runtime when the node refutes a false obituary about itself.
+func (n *Node) Incarnation() uint32 { return n.self.Inc }
 
 // OnDeliver registers the multicast delivery callback. Must be set before
 // Start.
@@ -182,12 +195,13 @@ func (n *Node) Stop() {
 	}
 }
 
-// Leave gracefully departs: notifies all overlay neighbors so they drop
-// the links immediately, then stops.
+// Leave gracefully departs: notifies all overlay neighbors with a departing
+// Drop so they quarantine this incarnation (and spread the obituary via
+// gossip piggyback), then stops.
 func (n *Node) Leave() {
 	for _, id := range n.neighborOrder {
 		if n.neighbors[id] != nil {
-			n.env.Send(id, &Drop{Degrees: n.degrees()})
+			n.env.Send(id, &Drop{Degrees: n.degrees(), Departing: true})
 		}
 	}
 	n.Stop()
@@ -272,7 +286,9 @@ func (n *Node) PeerDown(peer NodeID) {
 		return
 	}
 	n.stats.PeerDowns++
-	n.forgetMember(peer)
+	// Quarantine locally (not spread: a broken channel may be a partition,
+	// not a death, and a false obituary epidemic would make it worse).
+	n.recordObit(peer, n.knownInc(peer), false)
 	if n.neighbors[peer] != nil {
 		n.removeNeighbor(peer, false)
 	}
@@ -282,6 +298,9 @@ func (n *Node) PeerDown(peer NodeID) {
 // handleJoinRequest answers with a membership sample, the landmark set,
 // and the current root.
 func (n *Node) handleJoinRequest(from NodeID, m *JoinRequest) {
+	if n.staleSender(m.From) {
+		return
+	}
 	n.learnEntry(m.From)
 	reply := &JoinReply{
 		Members:   n.sampleMembers(n.cfg.MemberViewSize, m.From.ID),

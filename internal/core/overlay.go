@@ -89,7 +89,10 @@ func (n *Node) checkNeighborLiveness() {
 		}
 	}
 	for _, id := range dead {
-		n.forgetMember(id)
+		// Quarantine locally so in-flight gossip cannot immediately
+		// re-teach us the dead entry; not spread, since silence may be a
+		// partition rather than a death.
+		n.recordObit(id, n.knownInc(id), false)
 		n.removeNeighbor(id, false)
 	}
 }
@@ -182,7 +185,7 @@ func (n *Node) tryRebalanceRandom() {
 // Target on X's behalf.
 func (n *Node) handleRebalance(from NodeID, m *Rebalance) {
 	t := m.Target
-	if t.ID == n.id || t.ID == None {
+	if t.ID == n.id || t.ID == None || n.staleSender(t) {
 		n.env.Send(from, &RebalanceReply{Target: t.ID, OK: false})
 		return
 	}
@@ -389,6 +392,18 @@ func (n *Node) requestAddFull(e Entry, kind LinkKind, rtt time.Duration, purpose
 // handleAddRequest decides whether to accept a new neighbor, enforcing
 // the degree caps of Section 2.2.1 and the worst-link condition.
 func (n *Node) handleAddRequest(from NodeID, m *AddRequest) {
+	if n.staleSender(m.From) {
+		// A dead past life must never be linked to: reject outright.
+		n.env.Send(from, &AddReply{
+			From:         n.selfEntry(),
+			LinkKind:     m.LinkKind,
+			Accepted:     false,
+			RTT:          m.RTT,
+			Degrees:      n.degrees(),
+			ForRebalance: m.ForRebalance,
+		})
+		return
+	}
 	n.learnEntry(m.From)
 	accepted := false
 	if _, already := n.neighbors[from]; already {
@@ -431,6 +446,9 @@ func (n *Node) handleAddRequest(from NodeID, m *AddRequest) {
 
 // handleAddReply finishes a pending add.
 func (n *Node) handleAddReply(from NodeID, m *AddReply) {
+	if n.staleSender(m.From) {
+		return // a dead past life's acceptance must not install a link
+	}
 	ctx, ok := n.pendingAdd[from]
 	if !ok {
 		if m.Accepted {
@@ -477,8 +495,13 @@ func (n *Node) dropLink(peer NodeID) {
 	n.removeNeighbor(peer, true)
 }
 
-// handleDrop removes the link at the receiving end.
-func (n *Node) handleDrop(from NodeID, _ *Drop) {
+// handleDrop removes the link at the receiving end. A departing Drop
+// (graceful leave) additionally records a spreading obituary so the member
+// is quarantined group-wide, not merely unlinked here.
+func (n *Node) handleDrop(from NodeID, m *Drop) {
+	if m.Departing {
+		n.recordObit(from, n.knownInc(from), true)
+	}
 	if _, ok := n.neighbors[from]; !ok {
 		return
 	}
@@ -542,6 +565,8 @@ type NeighborInfo struct {
 	ID   NodeID
 	Kind LinkKind
 	RTT  time.Duration
+	// Inc is the peer incarnation the link was established under.
+	Inc uint32
 }
 
 // Neighbors returns the node's current overlay links in a deterministic
@@ -550,7 +575,7 @@ func (n *Node) Neighbors() []NeighborInfo {
 	out := make([]NeighborInfo, 0, len(n.neighbors))
 	for _, id := range n.neighborOrder {
 		if nb := n.neighbors[id]; nb != nil {
-			out = append(out, NeighborInfo{ID: id, Kind: nb.kind, RTT: nb.rtt})
+			out = append(out, NeighborInfo{ID: id, Kind: nb.kind, RTT: nb.rtt, Inc: nb.entry.Inc})
 		}
 	}
 	return out

@@ -121,6 +121,9 @@ func (n *Node) sendPing(to NodeID, ctx pingCtx) {
 // handlePing answers with the node's degrees; pings also spread contact
 // information.
 func (n *Node) handlePing(from NodeID, m *Ping) {
+	if n.staleSender(m.From) {
+		return // no pong for a dead past life
+	}
 	n.learnEntry(m.From)
 	n.env.SendDatagram(from, &Pong{From: n.selfEntry(), Nonce: m.Nonce, Degrees: n.degrees()})
 }
@@ -128,6 +131,9 @@ func (n *Node) handlePing(from NodeID, m *Ping) {
 // handlePong records the measured RTT and resumes the operation that
 // triggered the ping.
 func (n *Node) handlePong(from NodeID, m *Pong) {
+	if n.staleSender(m.From) {
+		return
+	}
 	ctx, ok := n.pings[m.Nonce]
 	if !ok || ctx.target != from {
 		return
@@ -198,7 +204,14 @@ func (n *Node) expirePings() {
 		if n.lastPong[ctx.target] > ctx.sentAt {
 			continue
 		}
-		n.forgetMember(ctx.target)
+		if n.neighbors[ctx.target] == nil {
+			// Quarantine locally so stale gossip cannot immediately
+			// re-teach us the likely-dead entry (not spread: one lost
+			// datagram is weak evidence).
+			n.recordObit(ctx.target, n.knownInc(ctx.target), false)
+		} else {
+			n.forgetMember(ctx.target)
+		}
 	}
 }
 

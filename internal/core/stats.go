@@ -28,6 +28,14 @@ type Counters struct {
 	TreeAdverts   int64
 	RootTakeovers int64
 	PeerDowns     int64 // transport-reported persistent channel failures
+
+	// Churn hygiene (incarnation-numbered membership).
+	StaleIncRejects   int64 // messages/entries rejected as a peer's dead past life
+	ObitsRecorded     int64 // obituaries recorded (local evidence or gossip)
+	ObitsHonored      int64 // entry re-learns blocked by an active obituary
+	StaleLinksDropped int64 // links torn down because the peer rejoined with a higher incarnation
+	RejoinsObserved   int64 // higher-incarnation entries observed for a known node
+	SelfRefutes       int64 // incarnation bumps refuting a false obituary about this node
 }
 
 // Stats returns a snapshot of the node's counters.

@@ -26,6 +26,11 @@ const None NodeID = -1
 // node and to estimate its network distance without measuring it.
 type Entry struct {
 	ID NodeID
+	// Inc is the node's incarnation number, bumped every time the node
+	// restarts under the same ID. Entries with a higher incarnation always
+	// supersede lower ones; messages and links carrying a lower incarnation
+	// than the best known one belong to a dead past life and are rejected.
+	Inc uint32
 	// Addr is the node's transport address; unused in simulation.
 	Addr string
 	// Landmarks holds the node's measured RTTs to the system landmarks in

@@ -2,9 +2,13 @@ package live
 
 import (
 	"fmt"
+	"math/rand"
+	"sync"
 	"time"
 
+	"gocast/internal/churn"
 	"gocast/internal/core"
+	"gocast/internal/metrics"
 )
 
 // ClusterOptions configures an in-process cluster over a MemNetwork.
@@ -30,10 +34,20 @@ type ClusterOptions struct {
 
 // Cluster is a group of live nodes connected by an in-memory network —
 // the quickest way to run a real (wall-clock) GoCast group inside one
-// process.
+// process. Its membership methods (AddNode, Crash, Leave, Restart,
+// RunChurn) are safe for concurrent use with the accessors.
 type Cluster struct {
-	Net   *MemNetwork
-	nodes []*Node
+	Net *MemNetwork
+
+	mu       sync.Mutex
+	opts     ClusterOptions
+	nodes    []*Node
+	incar    []uint32
+	restarts int
+
+	// counters tracks cluster-level churn activity ("joins", "leaves",
+	// "crashes", "restarts", "skipped") for monitoring.
+	counters *metrics.AtomicCounter
 }
 
 // FastConfig returns protocol timing scaled for in-process clusters:
@@ -48,6 +62,7 @@ func FastConfig() core.Config {
 	cfg.RootTimeout = 3 * time.Second
 	cfg.PullRetry = 200 * time.Millisecond
 	cfg.ReclaimAfter = 30 * time.Second
+	cfg.QuarantineWindow = 2 * time.Second
 	return cfg
 }
 
@@ -60,33 +75,12 @@ func NewCluster(opts ClusterOptions) *Cluster {
 	if opts.Latency <= 0 {
 		opts.Latency = 2 * time.Millisecond
 	}
-	c := &Cluster{Net: NewMemNetwork(opts.Latency, opts.Seed)}
-	landmarks := make([]core.Entry, 0, opts.Config.LandmarkCount)
+	c := &Cluster{Net: NewMemNetwork(opts.Latency, opts.Seed), opts: opts, counters: metrics.NewAtomicCounter()}
 	for i := 0; i < opts.Nodes; i++ {
-		idx := i
-		ep := c.Net.Endpoint(fmt.Sprintf("mem-%d", i))
-		var tr Transport = ep
-		if opts.Faults != nil {
-			tr = opts.Faults.Wrap(ep)
-		}
-		var deliver core.DeliverFunc
-		if opts.OnDeliver != nil {
-			deliver = func(id core.MessageID, payload []byte, _ time.Duration) {
-				opts.OnDeliver(idx, id, payload)
-			}
-		}
-		n := NewNode(NodeOptions{
-			ID:        core.NodeID(i),
-			Config:    opts.Config,
-			Transport: tr,
-			Seed:      opts.Seed + int64(i),
-			OnDeliver: deliver,
-		})
-		if len(landmarks) < opts.Config.LandmarkCount {
-			landmarks = append(landmarks, n.Entry())
-		}
-		c.nodes = append(c.nodes, n)
+		c.incar = append(c.incar, 0)
+		c.nodes = append(c.nodes, c.newNode(i))
 	}
+	landmarks := c.landmarkEntries()
 	for _, n := range c.nodes {
 		n.SetLandmarks(landmarks)
 	}
@@ -97,20 +91,284 @@ func NewCluster(opts ClusterOptions) *Cluster {
 	return c
 }
 
-// Node returns the i-th node.
-func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+// newNode builds (and starts) a live node for slot i at its current
+// incarnation. Callers hold c.mu or are single-threaded setup code.
+func (c *Cluster) newNode(i int) *Node {
+	idx := i
+	ep := c.Net.Endpoint(fmt.Sprintf("mem-%d", i))
+	var tr Transport = ep
+	if c.opts.Faults != nil {
+		tr = c.opts.Faults.Wrap(ep)
+	}
+	var deliver core.DeliverFunc
+	if c.opts.OnDeliver != nil {
+		deliver = func(id core.MessageID, payload []byte, _ time.Duration) {
+			c.opts.OnDeliver(idx, id, payload)
+		}
+	}
+	return NewNode(NodeOptions{
+		ID:          core.NodeID(i),
+		Config:      c.opts.Config,
+		Transport:   tr,
+		Seed:        c.opts.Seed + int64(i) + int64(c.incar[i])<<32,
+		Incarnation: c.incar[i],
+		OnDeliver:   deliver,
+	})
+}
 
-// Size returns the cluster size.
-func (c *Cluster) Size() int { return len(c.nodes) }
+// landmarkEntries snapshots the landmark set (the first LandmarkCount
+// slots) at their current incarnations. Callers hold c.mu or are
+// single-threaded setup code.
+func (c *Cluster) landmarkEntries() []core.Entry {
+	lc := c.opts.Config.LandmarkCount
+	if lc > len(c.nodes) {
+		lc = len(c.nodes)
+	}
+	lms := make([]core.Entry, 0, lc)
+	for i := 0; i < lc; i++ {
+		lms = append(lms, c.nodes[i].Entry())
+	}
+	return lms
+}
 
-// AwaitDegree blocks until every node has at least min overlay neighbors
-// or the timeout expires; it reports success.
+// Node returns the i-th node (its current life, if the slot restarted).
+func (c *Cluster) Node(i int) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i]
+}
+
+// Size returns the cluster size (slots, including stopped ones).
+func (c *Cluster) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// AliveCount returns the number of running nodes.
+func (c *Cluster) AliveCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, nd := range c.nodes {
+		if !nd.Stopped() {
+			n++
+		}
+	}
+	return n
+}
+
+// Incarnation returns slot i's current incarnation number.
+func (c *Cluster) Incarnation(i int) uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.incar[i]
+}
+
+// Restarts returns how many node restarts the cluster has performed.
+func (c *Cluster) Restarts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.restarts
+}
+
+// ChurnCounters snapshots the cluster-level churn counters ("joins",
+// "leaves", "crashes", "restarts", "skipped"), in the same map shape as
+// the per-node ChurnStats accessor.
+func (c *Cluster) ChurnCounters() map[string]int64 {
+	return c.counters.Snapshot()
+}
+
+// AddNode grows the group by one node, joining through a running contact.
+// It returns the new slot index, or -1 if no contact is running.
+func (c *Cluster) AddNode() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	contact := c.lockedPickRunning(0, nil)
+	if contact < 0 {
+		return -1
+	}
+	i := len(c.nodes)
+	c.incar = append(c.incar, 0)
+	c.nodes = append(c.nodes, nil)
+	n := c.newNode(i)
+	c.nodes[i] = n
+	n.SetLandmarks(c.landmarkEntries())
+	n.Join(c.nodes[contact].Entry())
+	c.counters.Inc("joins", 1)
+	return i
+}
+
+// Crash kills slot i abruptly (no departure notice).
+func (c *Cluster) Crash(i int) {
+	if n := c.Node(i); !n.Stopped() {
+		n.Kill()
+		c.counters.Inc("crashes", 1)
+	}
+}
+
+// Leave makes slot i depart gracefully; its obituary spreads via gossip.
+func (c *Cluster) Leave(i int) {
+	if n := c.Node(i); !n.Stopped() {
+		n.Close()
+		c.counters.Inc("leaves", 1)
+	}
+}
+
+// Restart revives a stopped slot under a bumped incarnation: a fresh node
+// owns the slot's address again, re-measures landmarks, and rejoins
+// through a running contact. It reports whether a restart happened (the
+// slot must be stopped and a contact must exist).
+func (c *Cluster) Restart(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.nodes[i].Stopped() {
+		return false
+	}
+	contact := c.lockedPickRunning(0, nil)
+	if contact < 0 {
+		return false
+	}
+	c.incar[i]++
+	c.restarts++
+	n := c.newNode(i)
+	c.nodes[i] = n
+	n.SetLandmarks(c.landmarkEntries())
+	n.Join(c.nodes[contact].Entry())
+	c.counters.Inc("restarts", 1)
+	return true
+}
+
+// lockedPickRunning returns a running slot with index >= minIdx (using rng
+// when given, else the first), or -1. Caller holds c.mu.
+func (c *Cluster) lockedPickRunning(minIdx int, rng *rand.Rand) int {
+	var cand []int
+	for i := minIdx; i < len(c.nodes); i++ {
+		if !c.nodes[i].Stopped() {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) == 0 {
+		return -1
+	}
+	if rng == nil {
+		return cand[0]
+	}
+	return cand[rng.Intn(len(cand))]
+}
+
+// lockedPickStopped is lockedPickRunning's dual for dead slots.
+func (c *Cluster) lockedPickStopped(minIdx int, rng *rand.Rand) int {
+	var cand []int
+	for i := minIdx; i < len(c.nodes); i++ {
+		if c.nodes[i].Stopped() {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) == 0 {
+		return -1
+	}
+	return cand[rng.Intn(len(cand))]
+}
+
+// ChurnOptions binds a churn plan to a live cluster, mirroring the
+// simulator's orchestrator.
+type ChurnOptions struct {
+	// Plan is the seeded Poisson event schedule, executed in wall time.
+	Plan churn.Plan
+	// Protected marks the first Protected slots churn-ineligible.
+	Protected int
+	// MinAlive skips leave/crash events that would drop the running
+	// population below this floor (0 = no floor beyond one node).
+	MinAlive int
+	// MaxNodes skips join events at this many slots (0 = unbounded).
+	MaxNodes int
+}
+
+// ChurnStats counts what RunChurn actually did.
+type ChurnStats struct {
+	Joins, Leaves, Crashes, Restarts, Skipped int
+}
+
+// Events returns the number of executed (non-skipped) events.
+func (s ChurnStats) Events() int { return s.Joins + s.Leaves + s.Crashes + s.Restarts }
+
+// RunChurn executes the plan against the cluster in wall-clock time,
+// blocking until the horizon passes. Target choices come from a stream
+// derived from the plan seed; timing is wall-clock and therefore only the
+// event order, not the exact interleaving with protocol traffic, is
+// reproducible.
+func (c *Cluster) RunChurn(opts ChurnOptions) ChurnStats {
+	var st ChurnStats
+	rng := rand.New(rand.NewSource(opts.Plan.Seed ^ 0x00c0ffee))
+	start := time.Now()
+	for _, ev := range opts.Plan.Schedule() {
+		if d := ev.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		c.churnStep(ev.Kind, opts, rng, &st)
+	}
+	if d := opts.Plan.Duration - time.Since(start); d > 0 {
+		time.Sleep(d)
+	}
+	return st
+}
+
+func (c *Cluster) churnStep(k churn.Kind, opts ChurnOptions, rng *rand.Rand, st *ChurnStats) {
+	minAlive := opts.MinAlive
+	if minAlive < 1 {
+		minAlive = 1
+	}
+	skip := func() {
+		st.Skipped++
+		c.counters.Inc("skipped", 1)
+	}
+	switch k {
+	case churn.Join:
+		if opts.MaxNodes > 0 && c.Size() >= opts.MaxNodes {
+			skip()
+			return
+		}
+		if c.AddNode() < 0 {
+			skip()
+			return
+		}
+		st.Joins++
+	case churn.Leave, churn.Crash:
+		c.mu.Lock()
+		i := c.lockedPickRunning(opts.Protected, rng)
+		c.mu.Unlock()
+		if i < 0 || c.AliveCount() <= minAlive {
+			skip()
+			return
+		}
+		if k == churn.Leave {
+			c.Leave(i)
+			st.Leaves++
+		} else {
+			c.Crash(i)
+			st.Crashes++
+		}
+	case churn.Restart:
+		c.mu.Lock()
+		i := c.lockedPickStopped(opts.Protected, rng)
+		c.mu.Unlock()
+		if i < 0 || !c.Restart(i) {
+			skip()
+			return
+		}
+		st.Restarts++
+	}
+}
+
+// AwaitDegree blocks until every running node has at least min overlay
+// neighbors or the timeout expires; it reports success.
 func (c *Cluster) AwaitDegree(min int, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		ok := true
-		for _, n := range c.nodes {
-			if n.Degree() < min {
+		for _, n := range c.snapshot() {
+			if !n.Stopped() && n.Degree() < min {
 				ok = false
 				break
 			}
@@ -123,9 +381,16 @@ func (c *Cluster) AwaitDegree(min int, timeout time.Duration) bool {
 	return false
 }
 
+// snapshot copies the node slice under the lock.
+func (c *Cluster) snapshot() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Node(nil), c.nodes...)
+}
+
 // Close shuts every node down.
 func (c *Cluster) Close() {
-	for _, n := range c.nodes {
+	for _, n := range c.snapshot() {
 		n.Close()
 	}
 }

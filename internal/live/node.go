@@ -25,6 +25,11 @@ type NodeOptions struct {
 	Transport Transport
 	// Seed drives the node's local randomness (timer phases, sampling).
 	Seed int64
+	// Incarnation is the node's starting incarnation number. A process
+	// rejoining under an ID it used in a previous life must pass a higher
+	// value than it ever used before, or the group will treat its traffic
+	// as a dead past life's.
+	Incarnation uint32
 	// OnDeliver receives each multicast exactly once. Called on the
 	// node's event loop: do not block, and do not call the node's own
 	// methods from inside it (hand work to another goroutine instead) —
@@ -64,6 +69,7 @@ func NewNode(opts NodeOptions) *Node {
 	n.env = env
 	n.coreN = core.New(opts.ID, opts.Config, env)
 	n.coreN.SetAddr(opts.Transport.Addr())
+	n.coreN.SetIncarnation(opts.Incarnation)
 	if opts.OnDeliver != nil {
 		n.coreN.OnDeliver(opts.OnDeliver)
 	}
@@ -109,8 +115,11 @@ func (n *Node) Addr() string { return n.opts.Transport.Addr() }
 
 // Entry returns the node's contact entry for bootstrapping others.
 func (n *Node) Entry() core.Entry {
-	return core.Entry{ID: n.opts.ID, Addr: n.Addr()}
+	return core.Entry{ID: n.opts.ID, Inc: n.opts.Incarnation, Addr: n.Addr()}
 }
+
+// Incarnation returns the node's incarnation number.
+func (n *Node) Incarnation() uint32 { return n.opts.Incarnation }
 
 // BecomeRoot designates this node as the initial tree root.
 func (n *Node) BecomeRoot() {
@@ -178,6 +187,22 @@ func (n *Node) TransportStats() map[string]int64 {
 		return s.Stats()
 	}
 	return nil
+}
+
+// ChurnStats snapshots the node's churn-resilience counters in the same
+// map shape as TransportStats, for /stats-style surfacing. Zero values on
+// a stopped node.
+func (n *Node) ChurnStats() map[string]int64 {
+	s := n.Stats()
+	return map[string]int64{
+		"incarnation":         int64(n.opts.Incarnation),
+		"stale_inc_rejects":   s.StaleIncRejects,
+		"obits_recorded":      s.ObitsRecorded,
+		"obits_honored":       s.ObitsHonored,
+		"stale_links_dropped": s.StaleLinksDropped,
+		"rejoins_observed":    s.RejoinsObserved,
+		"self_refutes":        s.SelfRefutes,
+	}
 }
 
 // Seen reports whether the node has received the message.

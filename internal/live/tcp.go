@@ -19,17 +19,17 @@ import (
 // are how soak tests (and operators) verify that a broken link was
 // re-established by backoff rather than torn down.
 const (
-	CtrDials         = "tcp_dials"          // successful outbound connections
-	CtrDialErrors    = "tcp_dial_errors"    // failed dial attempts
-	CtrRedials       = "tcp_redials"        // successful dials that replaced a prior connection or retry
-	CtrBackoffResets = "tcp_backoff_resets" // backoff returned to its base after a successful redial
-	CtrWriteErrors   = "tcp_write_errors"   // frame writes that failed (broken pipe, deadline)
+	CtrDials         = "tcp_dials"           // successful outbound connections
+	CtrDialErrors    = "tcp_dial_errors"     // failed dial attempts
+	CtrRedials       = "tcp_redials"         // successful dials that replaced a prior connection or retry
+	CtrBackoffResets = "tcp_backoff_resets"  // backoff returned to its base after a successful redial
+	CtrWriteErrors   = "tcp_write_errors"    // frame writes that failed (broken pipe, deadline)
 	CtrFramesRequeue = "tcp_frames_requeued" // frames salvaged from a broken connection and resent
-	CtrFramesDropped = "tcp_frames_dropped" // reliable frames abandoned (peer declared down or queue overflow)
+	CtrFramesDropped = "tcp_frames_dropped"  // reliable frames abandoned (peer declared down or queue overflow)
 	CtrQueueOverflow = "tcp_queue_overflows" // times a peer queue saturated and the peer was dropped
-	CtrEncodeErrors  = "tcp_encode_errors"  // frames that failed wire serialization
-	CtrIdleReaped    = "tcp_idle_reaped"    // outbound connections reaped for inactivity
-	CtrPeersFailed   = "tcp_peers_failed"   // peers reported down after redial attempts were exhausted
+	CtrEncodeErrors  = "tcp_encode_errors"   // frames that failed wire serialization
+	CtrIdleReaped    = "tcp_idle_reaped"     // outbound connections reaped for inactivity
+	CtrPeersFailed   = "tcp_peers_failed"    // peers reported down after redial attempts were exhausted
 )
 
 // TCPOptions tunes the transport's resilience behavior. The zero value is

@@ -53,15 +53,28 @@ type Cluster struct {
 	siteOf  []int
 	nodes   []*core.Node
 	alive   []bool
-	joined  []time.Duration // when each node entered the system
+	joined  []time.Duration // when each node's current life entered the system
 	detect  bool
 	linkLog *metrics.TimeSeries // optional link-change recording
+
+	// Churn state. incar is each node's current incarnation (bumped on
+	// Restart); gen counts lives so that timers armed by a dead past life
+	// can never fire into the new one.
+	incar    []uint32
+	gen      []int
+	restarts int
 
 	// Delivery accounting.
 	msgIndex    map[core.MessageID]int
 	injectTimes []time.Duration
 	sources     []int
 	recv        [][]time.Duration // [msg][node] delivery time, -1 = never
+	redelivered int               // deliveries repeated across a node's lives
+
+	// Tree-repair accounting: when a node's parent becomes None, the
+	// detach time is noted; the next re-attach records the repair latency.
+	detachedAt []time.Duration
+	repairs    *metrics.DelayRecorder
 }
 
 // New builds a cluster; nodes are created but idle until Start.
@@ -82,56 +95,93 @@ func New(opts Options) *Cluster {
 		mat = latency.Synthesize(sites, opts.Seed)
 	}
 	c := &Cluster{
-		Engine:   eng,
-		Matrix:   mat,
-		opts:     opts,
-		rng:      rand.New(rand.NewSource(opts.Seed ^ 0x5ca1ab1e)),
-		siteOf:   make([]int, opts.Nodes),
-		nodes:    make([]*core.Node, opts.Nodes),
-		alive:    make([]bool, opts.Nodes),
-		joined:   make([]time.Duration, opts.Nodes),
-		detect:   true,
-		msgIndex: make(map[core.MessageID]int),
+		Engine:     eng,
+		Matrix:     mat,
+		opts:       opts,
+		rng:        rand.New(rand.NewSource(opts.Seed ^ 0x5ca1ab1e)),
+		siteOf:     make([]int, opts.Nodes),
+		nodes:      make([]*core.Node, opts.Nodes),
+		alive:      make([]bool, opts.Nodes),
+		joined:     make([]time.Duration, opts.Nodes),
+		incar:      make([]uint32, opts.Nodes),
+		gen:        make([]int, opts.Nodes),
+		detachedAt: make([]time.Duration, opts.Nodes),
+		detect:     true,
+		msgIndex:   make(map[core.MessageID]int),
+		repairs:    metrics.NewDelayRecorder(),
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		c.siteOf[i] = i % mat.Sites()
 		c.alive[i] = true
-		e := &env{c: c, id: core.NodeID(i), rng: rand.New(rand.NewSource(c.rng.Int63()))}
-		n := core.New(core.NodeID(i), opts.Config, e)
-		idx := i
-		n.OnDeliver(func(id core.MessageID, _ []byte, _ time.Duration) {
-			c.recordDelivery(id, idx)
-			if tb := c.opts.Tracer; tb != nil {
-				tb.Addf(eng.Now(), trace.KindDeliver, int32(idx), int32(id.Source), "msg=%s", id)
-			}
-		})
-		if tb := opts.Tracer; tb != nil {
-			n.OnLinkChange(func(added bool, kind core.LinkKind, peer core.NodeID, rtt time.Duration) {
-				k := trace.KindLinkDown
-				if added {
-					k = trace.KindLinkUp
-				}
-				tb.Addf(eng.Now(), k, int32(idx), int32(peer), "%s rtt=%v", kind, rtt)
-			})
-			n.OnParentChange(func(old, new core.NodeID) {
-				tb.Addf(eng.Now(), trace.KindParentChange, int32(idx), int32(new), "old=%d", old)
-			})
-		}
-		c.nodes[i] = n
+		c.detachedAt[i] = -1
+		c.nodes[i] = c.buildNode(i)
 	}
-	// Landmarks: the first few nodes anchor latency estimation.
-	lc := opts.Config.LandmarkCount
-	if lc > opts.Nodes {
-		lc = opts.Nodes
+	for _, n := range c.nodes {
+		n.SetLandmarks(c.landmarkEntries())
+	}
+	return c
+}
+
+// buildNode constructs a protocol instance for slot i with a fresh env of
+// the slot's current generation and wires the delivery, tree-repair, and
+// trace observers. It does not start the node.
+func (c *Cluster) buildNode(i int) *core.Node {
+	e := &env{c: c, id: core.NodeID(i), gen: c.gen[i], rng: rand.New(rand.NewSource(c.rng.Int63()))}
+	n := core.New(core.NodeID(i), c.opts.Config, e)
+	n.SetIncarnation(c.incar[i])
+	idx := i
+	n.OnDeliver(func(id core.MessageID, _ []byte, _ time.Duration) {
+		c.recordDelivery(id, idx)
+		if tb := c.opts.Tracer; tb != nil {
+			tb.Addf(c.Engine.Now(), trace.KindDeliver, int32(idx), int32(id.Source), "msg=%s", id)
+		}
+	})
+	n.OnParentChange(func(old, new core.NodeID) {
+		c.noteParentChange(idx, new)
+		if tb := c.opts.Tracer; tb != nil {
+			tb.Addf(c.Engine.Now(), trace.KindParentChange, int32(idx), int32(new), "old=%d", old)
+		}
+	})
+	if tb := c.opts.Tracer; tb != nil {
+		n.OnLinkChange(func(added bool, kind core.LinkKind, peer core.NodeID, rtt time.Duration) {
+			k := trace.KindLinkDown
+			if added {
+				k = trace.KindLinkUp
+			}
+			tb.Addf(c.Engine.Now(), k, int32(idx), int32(peer), "%s rtt=%v", kind, rtt)
+		})
+	}
+	return n
+}
+
+// landmarkEntries returns the landmark set (the first LandmarkCount slots)
+// with each landmark's current incarnation.
+func (c *Cluster) landmarkEntries() []core.Entry {
+	lc := c.opts.Config.LandmarkCount
+	if lc > len(c.nodes) {
+		lc = len(c.nodes)
 	}
 	lms := make([]core.Entry, lc)
 	for i := range lms {
-		lms[i] = core.Entry{ID: core.NodeID(i)}
+		lms[i] = core.Entry{ID: core.NodeID(i), Inc: c.incar[i]}
 	}
-	for _, n := range c.nodes {
-		n.SetLandmarks(lms)
+	return lms
+}
+
+// noteParentChange tracks tree-repair latency: the time from losing the
+// parent (or restarting) to re-attaching anywhere.
+func (c *Cluster) noteParentChange(i int, newParent core.NodeID) {
+	now := c.Engine.Now()
+	if newParent == core.None {
+		if c.detachedAt[i] < 0 {
+			c.detachedAt[i] = now
+		}
+		return
 	}
-	return c
+	if c.detachedAt[i] >= 0 {
+		c.repairs.Add(now - c.detachedAt[i])
+		c.detachedAt[i] = -1
+	}
 }
 
 // Node returns the i-th node (for inspection; drive it only through the
@@ -266,14 +316,19 @@ func (c *Cluster) Kill(i int) {
 	}
 	neighbors := c.nodes[i].Neighbors()
 	c.alive[i] = false
+	c.detachedAt[i] = -1
 	c.nodes[i].Stop()
 	if !c.detect {
 		return
 	}
+	genAtKill := c.gen[i]
 	for _, nb := range neighbors {
 		peer := int(nb.ID)
 		c.Engine.After(c.opts.DetectionDelay, func() {
-			if c.alive[peer] {
+			// Skip if the dead node already restarted: the peer's broken
+			// connection belonged to the old life, and the new life holds
+			// (or is negotiating) a distinct one.
+			if c.alive[peer] && c.gen[i] == genAtKill {
 				c.nodes[peer].PeerDown(core.NodeID(i))
 			}
 		})
@@ -306,31 +361,52 @@ func (c *Cluster) AddNode(contact int) int {
 	c.siteOf = append(c.siteOf, i%c.Matrix.Sites())
 	c.alive = append(c.alive, true)
 	c.joined = append(c.joined, c.Engine.Now())
-	e := &env{c: c, id: core.NodeID(i), rng: rand.New(rand.NewSource(c.rng.Int63()))}
-	n := core.New(core.NodeID(i), c.opts.Config, e)
-	idx := i
-	n.OnDeliver(func(id core.MessageID, _ []byte, _ time.Duration) {
-		c.recordDelivery(id, idx)
-	})
+	c.incar = append(c.incar, 0)
+	c.gen = append(c.gen, 0)
+	c.detachedAt = append(c.detachedAt, -1)
 	// Extend existing delivery rows so the newcomer can be accounted for
 	// messages injected after it joined (rows injected before stay -1).
 	for m := range c.recv {
 		c.recv[m] = append(c.recv[m], -1)
 	}
-	c.nodes = append(c.nodes, n)
-	lc := c.opts.Config.LandmarkCount
-	if lc > len(c.nodes) {
-		lc = len(c.nodes)
-	}
-	lms := make([]core.Entry, lc)
-	for k := range lms {
-		lms[k] = core.Entry{ID: core.NodeID(k)}
-	}
-	n.SetLandmarks(lms)
+	c.nodes = append(c.nodes, nil)
+	n := c.buildNode(i)
+	c.nodes[i] = n
+	n.SetLandmarks(c.landmarkEntries())
 	n.Start()
-	n.Join(core.Entry{ID: core.NodeID(contact)})
+	n.Join(core.Entry{ID: core.NodeID(contact), Inc: c.incar[contact]})
 	return i
 }
+
+// Restart revives a dead node under the same ID with a bumped incarnation:
+// a brand-new protocol instance (empty view, empty overlay, fresh delivery
+// dedup state) that re-measures landmarks and rejoins through `contact`.
+// Timers and in-flight sends belonging to the dead past life are inert.
+func (c *Cluster) Restart(i, contact int) {
+	if c.alive[i] {
+		panic("netsim: Restart of a live node")
+	}
+	c.incar[i]++
+	c.gen[i]++
+	c.restarts++
+	c.alive[i] = true
+	c.joined[i] = c.Engine.Now()
+	// Time-to-reattach after a restart is a tree-repair latency.
+	c.detachedAt[i] = c.Engine.Now()
+	n := c.buildNode(i)
+	c.nodes[i] = n
+	n.SetLandmarks(c.landmarkEntries())
+	n.Start()
+	if contact >= 0 && contact < len(c.nodes) && c.alive[contact] {
+		n.Join(core.Entry{ID: core.NodeID(contact), Inc: c.incar[contact]})
+	}
+}
+
+// Restarts returns how many node restarts the cluster has performed.
+func (c *Cluster) Restarts() int { return c.restarts }
+
+// Incarnation returns node i's current incarnation number.
+func (c *Cluster) Incarnation(i int) uint32 { return c.incar[i] }
 
 // Leave makes node i depart gracefully (Drop notifications to neighbors)
 // and marks it dead.
@@ -340,6 +416,7 @@ func (c *Cluster) Leave(i int) {
 	}
 	c.nodes[i].Leave()
 	c.alive[i] = false
+	c.detachedAt[i] = -1
 }
 
 // Inject starts a multicast at node `from` and tracks its deliveries.
@@ -393,7 +470,65 @@ func (c *Cluster) recordDelivery(id core.MessageID, node int) {
 	}
 	if c.recv[idx][node] < 0 {
 		c.recv[idx][node] = c.Engine.Now()
+	} else {
+		// Second delivery of the same message at the same slot: only
+		// possible across a restart, when the new life's dedup state is
+		// empty. An application-visible duplicate.
+		c.redelivered++
 	}
+}
+
+// Redelivered counts application-level duplicate deliveries — the same
+// tracked message delivered twice at one slot, which only happens when a
+// restarted life re-receives a message its past life already delivered.
+func (c *Cluster) Redelivered() int { return c.redelivered }
+
+// TreeRepairs returns the distribution of tree-repair latencies: the time
+// from losing a parent (or restarting) to re-attaching to the tree.
+func (c *Cluster) TreeRepairs() *metrics.DelayRecorder { return c.repairs }
+
+// AtomicityViolations counts (message, node) pairs where a node that was
+// stably up for the message's whole lifetime — alive now, and in its
+// current life since before the injection — never received it. Only
+// messages injected at least `grace` before now are judged, so messages
+// still propagating are not counted.
+func (c *Cluster) AtomicityViolations(grace time.Duration) int {
+	now := c.Engine.Now()
+	v := 0
+	for m := range c.recv {
+		if c.injectTimes[m]+grace > now {
+			continue
+		}
+		for i := range c.nodes {
+			if !c.alive[i] || c.joined[i] > c.injectTimes[m] {
+				continue
+			}
+			if c.recv[m][i] < 0 {
+				v++
+			}
+		}
+	}
+	return v
+}
+
+// StaleLinks counts overlay links at live nodes whose neighbor entry holds
+// an incarnation older than the peer's current one — a link formed with a
+// dead past life that was never torn down. The churn acceptance criterion
+// is that this settles to zero.
+func (c *Cluster) StaleLinks() int {
+	stale := 0
+	for i, n := range c.nodes {
+		if !c.alive[i] {
+			continue
+		}
+		for _, nb := range n.Neighbors() {
+			j := int(nb.ID)
+			if j >= 0 && j < len(c.incar) && c.alive[j] && nb.Inc < c.incar[j] {
+				stale++
+			}
+		}
+	}
+	return stale
 }
 
 // Delays builds the delivery-delay distribution over every (message, live
@@ -592,18 +727,34 @@ func (c *Cluster) SumCounters() core.Counters {
 		t.PingsSent += s.PingsSent
 		t.TreeAdverts += s.TreeAdverts
 		t.RootTakeovers += s.RootTakeovers
+		t.PeerDowns += s.PeerDowns
+		t.StaleIncRejects += s.StaleIncRejects
+		t.ObitsRecorded += s.ObitsRecorded
+		t.ObitsHonored += s.ObitsHonored
+		t.StaleLinksDropped += s.StaleLinksDropped
+		t.RejoinsObserved += s.RejoinsObserved
+		t.SelfRefutes += s.SelfRefutes
 	}
 	return t
 }
 
-// env adapts the cluster to core.Env for one node.
+// env adapts the cluster to core.Env for one life of one node. gen pins
+// the life: after a Restart the slot's generation advances, so timers and
+// sends armed by the dead past life are silently discarded.
 type env struct {
 	c   *Cluster
 	id  core.NodeID
+	gen int
 	rng *rand.Rand
 }
 
 var _ core.Env = (*env)(nil)
+
+// live reports whether this env's life is still the slot's current one.
+func (e *env) live() bool {
+	id := int(e.id)
+	return e.c.alive[id] && e.c.gen[id] == e.gen
+}
 
 func (e *env) Now() time.Duration { return e.c.Engine.Now() }
 
@@ -617,43 +768,47 @@ func (e *env) Rand(n int) int {
 func (e *env) Learn(core.Entry) {}
 
 func (e *env) After(d time.Duration, fn func()) core.Timer {
-	id := int(e.id)
 	return e.c.Engine.After(d, func() {
-		if e.c.alive[id] {
+		if e.live() {
 			fn()
 		}
 	})
 }
 
-func (e *env) Send(to core.NodeID, m core.Message) { e.c.send(e.id, to, m, true) }
+func (e *env) Send(to core.NodeID, m core.Message) { e.c.send(e, to, m, true) }
 
-func (e *env) SendDatagram(to core.NodeID, m core.Message) { e.c.send(e.id, to, m, false) }
+func (e *env) SendDatagram(to core.NodeID, m core.Message) { e.c.send(e, to, m, false) }
 
-func (c *Cluster) send(from, to core.NodeID, m core.Message, reliable bool) {
-	if int(to) < 0 || int(to) >= len(c.nodes) || from == to {
+func (c *Cluster) send(from *env, to core.NodeID, m core.Message, reliable bool) {
+	if int(to) < 0 || int(to) >= len(c.nodes) || from.id == to {
 		return
 	}
-	if !c.alive[from] {
+	if !from.live() {
 		return
 	}
 	if c.opts.Observer != nil {
-		c.opts.Observer(from, to, m)
+		c.opts.Observer(from.id, to, m)
 	}
 	if !c.alive[to] {
 		if reliable && c.detect {
-			// The sender's TCP connection to the dead peer resets.
+			// The sender's TCP connection to the dead peer resets — unless
+			// the peer restarts first, in which case the new life's
+			// connection supersedes the broken one.
+			toGen := c.gen[to]
 			c.Engine.After(c.opts.DetectionDelay, func() {
-				if c.alive[from] {
-					c.nodes[from].PeerDown(to)
+				if from.live() && c.gen[to] == toGen {
+					c.nodes[from.id].PeerDown(to)
 				}
 			})
 		}
 		return
 	}
-	d := c.OneWay(int(from), int(to))
+	d := c.OneWay(int(from.id), int(to))
 	c.Engine.After(d, func() {
+		// Delivered to whichever life currently owns the address; the
+		// receiver's stale-incarnation guards reject dead-past-life traffic.
 		if c.alive[to] {
-			c.nodes[to].HandleMessage(from, m)
+			c.nodes[to].HandleMessage(from.id, m)
 		}
 	})
 }

@@ -133,6 +133,7 @@ func (e *encoder) bytes(b []byte) error {
 
 func (e *encoder) entry(en core.Entry) error {
 	e.i32(int32(en.ID))
+	e.u32(en.Inc)
 	if err := e.str(en.Addr); err != nil {
 		return err
 	}
@@ -212,6 +213,7 @@ func (e *encoder) message(m core.Message) error {
 		e.b(v.ForRebalance)
 	case *core.Drop:
 		e.degrees(v.Degrees)
+		e.b(v.Departing)
 	case *core.Rebalance:
 		return e.entry(v.Target)
 	case *core.RebalanceReply:
@@ -230,6 +232,14 @@ func (e *encoder) message(m core.Message) error {
 			return err
 		}
 		e.degrees(v.Degrees)
+		if len(v.Obits) > math.MaxUint16 {
+			return errors.New("wire: too many obituaries")
+		}
+		e.u16(uint16(len(v.Obits)))
+		for _, ob := range v.Obits {
+			e.i32(int32(ob.ID))
+			e.u32(ob.Inc)
+		}
 	case *core.PullRequest:
 		if len(v.IDs) > math.MaxUint16 {
 			return errors.New("wire: too many pull IDs")
@@ -336,7 +346,8 @@ func (d *decoder) bytes() []byte {
 	if n == 0 {
 		return nil
 	}
-	if d.off+n > len(d.buf) {
+	// Mirror the encoder's cap so every accepted payload re-encodes.
+	if n > MaxFrame/2 || d.off+n > len(d.buf) {
 		d.fail()
 		return nil
 	}
@@ -349,6 +360,7 @@ func (d *decoder) bytes() []byte {
 func (d *decoder) entry() core.Entry {
 	var en core.Entry
 	en.ID = core.NodeID(d.i32())
+	en.Inc = d.u32()
 	en.Addr = d.str()
 	n := int(d.u16())
 	if n > 0 {
@@ -421,7 +433,7 @@ func (d *decoder) message(kind core.MsgKind) (core.Message, error) {
 			RTT: d.dur(), Degrees: d.degrees(), ForRebalance: d.b(),
 		}, nil
 	case core.KindDrop:
-		return &core.Drop{Degrees: d.degrees()}, nil
+		return &core.Drop{Degrees: d.degrees(), Departing: d.b()}, nil
 	case core.KindRebalance:
 		return &core.Rebalance{Target: d.entry()}, nil
 	case core.KindRebalanceReply:
@@ -441,6 +453,16 @@ func (d *decoder) message(kind core.MsgKind) (core.Message, error) {
 		}
 		m.Members = d.entries()
 		m.Degrees = d.degrees()
+		if n := int(d.u16()); n > 0 {
+			if d.off+8*n > len(d.buf) {
+				d.fail()
+				return m, d.err
+			}
+			m.Obits = make([]core.Obituary, n)
+			for i := range m.Obits {
+				m.Obits[i] = core.Obituary{ID: core.NodeID(d.i32()), Inc: d.u32()}
+			}
+		}
 		return m, nil
 	case core.KindPullRequest:
 		m := &core.PullRequest{}

@@ -11,10 +11,11 @@ import (
 )
 
 func sampleMessages() []core.Message {
-	entry := core.Entry{ID: 7, Addr: "10.0.0.7:9000", Landmarks: []uint16{12, 99, 4}}
+	entry := core.Entry{ID: 7, Inc: 3, Addr: "10.0.0.7:9000", Landmarks: []uint16{12, 99, 4}}
 	bare := core.Entry{ID: 3}
 	return []core.Message{
 		&core.JoinRequest{From: entry},
+		&core.JoinRequest{From: core.Entry{ID: 2, Inc: 0xFFFFFFFF}},
 		&core.JoinReply{
 			Members:   []core.Entry{entry, bare},
 			Landmarks: []core.Entry{bare},
@@ -26,6 +27,7 @@ func sampleMessages() []core.Message {
 		&core.AddRequest{From: entry, LinkKind: core.Nearby, RTT: 33 * time.Millisecond, Degrees: core.Degrees{Near: 4}, ForRebalance: true},
 		&core.AddReply{From: entry, LinkKind: core.Random, Accepted: true, RTT: time.Second, Degrees: core.Degrees{Rand: 2}},
 		&core.Drop{Degrees: core.Degrees{Rand: 1, Near: 5}},
+		&core.Drop{Degrees: core.Degrees{Near: 2}, Departing: true},
 		&core.Rebalance{Target: entry},
 		&core.RebalanceReply{Target: 9, OK: true},
 		&core.Gossip{
@@ -35,7 +37,9 @@ func sampleMessages() []core.Message {
 			},
 			Members: []core.Entry{entry},
 			Degrees: core.Degrees{Rand: 1, Near: 6, MaxNearbyRTT: time.Millisecond},
+			Obits:   []core.Obituary{{ID: 12, Inc: 1}, {ID: 40, Inc: 0}},
 		},
+		&core.Gossip{Obits: []core.Obituary{{ID: 9, Inc: 7}}},
 		&core.Gossip{},
 		&core.PullRequest{IDs: []core.MessageID{{Source: 4, Seq: 9}}},
 		&core.PullRequest{},
@@ -161,7 +165,7 @@ func TestPropertyRandomRoundTrip(t *testing.T) {
 				})
 			}
 			for i := 0; i < rng.Intn(3); i++ {
-				e := core.Entry{ID: core.NodeID(rng.Intn(1000))}
+				e := core.Entry{ID: core.NodeID(rng.Intn(1000)), Inc: rng.Uint32()}
 				if rng.Intn(2) == 0 {
 					e.Addr = "127.0.0.1:1"
 				}
@@ -169,6 +173,12 @@ func TestPropertyRandomRoundTrip(t *testing.T) {
 					e.Landmarks = append(e.Landmarks, uint16(rng.Intn(1000)))
 				}
 				g.Members = append(g.Members, e)
+			}
+			for i := 0; i < rng.Intn(4); i++ {
+				g.Obits = append(g.Obits, core.Obituary{
+					ID:  core.NodeID(rng.Intn(1000)),
+					Inc: rng.Uint32(),
+				})
 			}
 			m = g
 		case 1:
