@@ -47,10 +47,21 @@ func run(args []string) error {
 		redialBackoff  = fs.Duration("redial-backoff", 0, "initial redial backoff, doubled per failure with jitter (0 = default 100ms)")
 		redialMax      = fs.Duration("redial-backoff-max", 0, "redial backoff cap (0 = default 3s)")
 		idleTimeout    = fs.Duration("idle-timeout", 0, "reap outbound connections idle this long (0 = default 5m, negative disables)")
+
+		storeMaxMsgs  = fs.Int("store-max-msgs", 0, "message store capacity in messages (0 = default 16384)")
+		storeMaxBytes = fs.Int64("store-max-bytes", 0, "message store capacity in payload bytes (0 = default 64 MiB)")
+		syncInterval  = fs.Duration("sync-interval", 0, "period of anti-entropy digest sync with neighbors (0 = default 30s, negative disables)")
+		syncBatch     = fs.Int("sync-batch-bytes", 0, "payload byte budget per sync reply batch (0 = default 256 KiB)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	cfg := gocast.DefaultConfig()
+	cfg.StoreMaxMessages = *storeMaxMsgs
+	cfg.StoreMaxBytes = *storeMaxBytes
+	cfg.SyncInterval = *syncInterval
+	cfg.SyncBatchBytes = *syncBatch
 
 	tr, err := gocast.NewTCPTransportWithOptions(gocast.NodeID(*id), *listen, gocast.TCPOptions{
 		DialTimeout:      *dialTimeout,
@@ -65,7 +76,7 @@ func run(args []string) error {
 	}
 	node := gocast.NewNode(gocast.NodeOptions{
 		ID:          gocast.NodeID(*id),
-		Config:      gocast.DefaultConfig(),
+		Config:      cfg,
 		Transport:   tr,
 		Seed:        time.Now().UnixNano(),
 		Incarnation: uint32(*inc),
@@ -110,7 +121,7 @@ func run(args []string) error {
 				s := node.Stats()
 				fmt.Printf("delivered=%d injected=%d duplicates=%d pulls=%d peer_downs=%d\n",
 					s.Delivered, s.Injected, s.Duplicates, s.PullsSent, s.PeerDowns)
-				for _, group := range []map[string]int64{node.ChurnStats(), node.TransportStats()} {
+				for _, group := range []map[string]int64{node.ChurnStats(), node.SyncStats(), node.StoreStats(), node.TransportStats()} {
 					names := make([]string, 0, len(group))
 					for name := range group {
 						names = append(names, name)

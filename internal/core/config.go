@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"gocast/internal/store"
+)
 
 // Config holds the GoCast protocol parameters. DefaultConfig returns the
 // values recommended by the paper; the named constructors build the
@@ -47,6 +51,22 @@ type Config struct {
 	// neighbor the payload buffer is retained for pull requests
 	// (paper: 2 min).
 	ReclaimAfter time.Duration
+	// StoreMaxMessages caps the message store's live payload count; the
+	// oldest buffered payloads are evicted first (0 = store default,
+	// negative = unlimited).
+	StoreMaxMessages int
+	// StoreMaxBytes caps the message store's total payload bytes
+	// (0 = store default, negative = unlimited).
+	StoreMaxBytes int64
+	// SyncInterval is the background anti-entropy period: every interval
+	// the node exchanges store digests with one overlay neighbor chosen
+	// round-robin and recovers anything missing. 0 selects the default
+	// (30 s); a negative value disables the sync protocol entirely,
+	// including the rejoin-, heal-, and expired-pull-triggered rounds.
+	SyncInterval time.Duration
+	// SyncBatchBytes caps payload bytes per SyncReply, pacing recovery so
+	// a rejoining node cannot be flooded (0 = default 256 KiB).
+	SyncBatchBytes int
 	// NeighborTimeout declares an overlay neighbor dead when nothing has
 	// been heard from it for this long (gossips act as keepalives).
 	NeighborTimeout time.Duration
@@ -73,6 +93,11 @@ type Config struct {
 	// LandmarkCount is how many landmark nodes anchor triangulated latency
 	// estimation.
 	LandmarkCount int
+
+	// NewStore, when non-nil, constructs the node's message store instead
+	// of the default bounded in-memory implementation — the hook for
+	// alternative backends and instrumented test doubles.
+	NewStore func(store.Limits) store.MessageStore
 }
 
 // DefaultConfig returns the paper's recommended parameters for the complete
@@ -91,6 +116,8 @@ func DefaultConfig() Config {
 		PullDelay:        0,
 		PullRetry:        time.Second,
 		ReclaimAfter:     2 * time.Minute,
+		SyncInterval:     30 * time.Second,
+		SyncBatchBytes:   256 << 10,
 		NeighborTimeout:  5 * time.Second,
 		QuarantineWindow: 30 * time.Second,
 		RootTimeout:      40 * time.Second,
@@ -140,6 +167,12 @@ func (c Config) validate() Config {
 	}
 	if c.ReclaimAfter <= 0 {
 		c.ReclaimAfter = 2 * time.Minute
+	}
+	if c.SyncInterval == 0 {
+		c.SyncInterval = 30 * time.Second
+	}
+	if c.SyncBatchBytes <= 0 {
+		c.SyncBatchBytes = 256 << 10
 	}
 	if c.NeighborTimeout <= 0 {
 		c.NeighborTimeout = 5 * time.Second

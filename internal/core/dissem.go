@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"gocast/internal/store"
+)
 
 // Message dissemination (Section 2.1). Multicast messages propagate
 // unconditionally along tree links. In the background every GossipPeriod
@@ -8,10 +12,19 @@ import "time"
 // neighbor chosen round-robin, excluding IDs heard from that neighbor;
 // receivers pull missing messages, optionally waiting until the message is
 // at least PullDelay old so the tree gets the first chance.
+//
+// Payload buffering, retention, and reclamation live in the pluggable
+// MessageStore (internal/store): this file keeps only the per-neighbor
+// gossip bookkeeping and drives the store's stability-based GC — a payload
+// becomes reclaimable once every current overlay neighbor has heard of the
+// message, with the store's age cap as the fallback for neighbors that
+// never acknowledge.
 
-// msgState tracks one multicast message at this node.
+// msgState tracks the gossip bookkeeping of one multicast message at this
+// node. The payload itself lives in the MessageStore; this record exists
+// exactly as long as the store knows the ID (live or tombstoned), so the
+// seen map doubles as the duplicate-suppression index.
 type msgState struct {
-	payload      []byte
 	receivedAt   time.Duration
 	ageAtReceipt time.Duration
 	// announcedTo and heardFrom bound the per-neighbor gossip rule: gossip
@@ -20,10 +33,6 @@ type msgState struct {
 	announcedTo  []NodeID
 	heardFrom    []NodeID
 	announceDone bool
-	reclaimAt    time.Duration
-	// reclaimed marks the payload buffer as freed; the record lingers only
-	// for duplicate suppression.
-	reclaimed bool
 }
 
 // pullState tracks a message known only by ID (from gossips).
@@ -37,6 +46,16 @@ type pullState struct {
 
 const reclaimScanPeriod = 5 * time.Second
 
+// sid converts a MessageID to its store key.
+func sid(id MessageID) store.ID {
+	return store.ID{Source: int32(id.Source), Seq: id.Seq}
+}
+
+// mid converts a store key back to a MessageID.
+func mid(id store.ID) MessageID {
+	return MessageID{Source: NodeID(id.Source), Seq: id.Seq}
+}
+
 // NextMessageID returns the ID the next Multicast call will assign,
 // letting callers register tracking before the synchronous local delivery.
 func (n *Node) NextMessageID() MessageID {
@@ -49,20 +68,21 @@ func (n *Node) NextMessageID() MessageID {
 func (n *Node) Multicast(payload []byte) MessageID {
 	id := MessageID{Source: n.id, Seq: n.nextSeq}
 	n.nextSeq++
-	st := &msgState{payload: payload, receivedAt: n.env.Now()}
+	st := &msgState{receivedAt: n.env.Now()}
 	n.seen[id] = st
+	n.store.Put(sid(id), payload, n.env.Now())
 	n.recent = append(n.recent, id)
 	n.stats.Injected++
-	n.deliverLocal(id, st)
-	n.forwardTree(id, st, None)
+	n.deliverLocal(id, st, payload)
+	n.forwardTree(id, st, payload, None)
 	return id
 }
 
 // deliverLocal invokes the application callback once.
-func (n *Node) deliverLocal(id MessageID, st *msgState) {
+func (n *Node) deliverLocal(id MessageID, st *msgState, payload []byte) {
 	n.stats.Delivered++
 	if n.deliver != nil {
-		n.deliver(id, st.payload, n.ageOf(st))
+		n.deliver(id, payload, n.ageOf(st))
 	}
 }
 
@@ -73,7 +93,7 @@ func (n *Node) ageOf(st *msgState) time.Duration {
 
 // forwardTree pushes the message along all tree links except the one it
 // arrived on (and any neighbor already known to have it).
-func (n *Node) forwardTree(id MessageID, st *msgState, except NodeID) {
+func (n *Node) forwardTree(id MessageID, st *msgState, payload []byte, except NodeID) {
 	if !n.cfg.EnableTree {
 		return
 	}
@@ -82,11 +102,12 @@ func (n *Node) forwardTree(id MessageID, st *msgState, except NodeID) {
 			continue
 		}
 		n.stats.TreeForwards++
-		n.env.Send(t, &Multicast{ID: id, Age: n.ageOf(st), Payload: st.payload, ViaTree: true})
+		n.env.Send(t, &Multicast{ID: id, Age: n.ageOf(st), Payload: payload, ViaTree: true})
 	}
 }
 
-// handleMulticast receives a payload, via tree push or pull response.
+// handleMulticast receives a payload, via tree push, pull response, or
+// sync recovery.
 func (n *Node) handleMulticast(from NodeID, m *Multicast) {
 	if st, ok := n.seen[m.ID]; ok {
 		// Redundant copy (the 2% case discussed in Section 2.1).
@@ -101,12 +122,12 @@ func (n *Node) handleMulticast(from NodeID, m *Multicast) {
 		age += n.linkLatency(nb)
 	}
 	st := &msgState{
-		payload:      m.Payload,
 		receivedAt:   n.env.Now(),
 		ageAtReceipt: age,
 		heardFrom:    []NodeID{from},
 	}
 	n.seen[m.ID] = st
+	n.store.Put(sid(m.ID), m.Payload, n.env.Now())
 	n.recent = append(n.recent, m.ID)
 	n.stats.PayloadsRecv++
 	if ps, ok := n.pending[m.ID]; ok {
@@ -115,8 +136,8 @@ func (n *Node) handleMulticast(from NodeID, m *Multicast) {
 		}
 		delete(n.pending, m.ID)
 	}
-	n.deliverLocal(m.ID, st)
-	n.forwardTree(m.ID, st, from)
+	n.deliverLocal(m.ID, st, m.Payload)
+	n.forwardTree(m.ID, st, m.Payload, from)
 }
 
 // gossipTick sends the periodic summary to the next neighbor round-robin.
@@ -162,8 +183,9 @@ func (n *Node) gossipTick() {
 }
 
 // compactRecent retires messages that have been announced to (or heard
-// from) every current neighbor; their payload becomes reclaimable after
-// ReclaimAfter (the paper's waiting period b).
+// from) every current neighbor; the store then holds their payload for
+// ReclaimAfter (the paper's waiting period b) before reclaiming it — the
+// stability-based GC rule.
 func (n *Node) compactRecent() {
 	out := n.recent[:0]
 	for _, id := range n.recent {
@@ -180,7 +202,7 @@ func (n *Node) compactRecent() {
 		}
 		if covered {
 			st.announceDone = true
-			st.reclaimAt = n.env.Now() + n.cfg.ReclaimAfter
+			n.store.MarkStable(sid(id), n.env.Now())
 			continue
 		}
 		out = append(out, id)
@@ -188,32 +210,35 @@ func (n *Node) compactRecent() {
 	n.recent = out
 }
 
-// reannounceTo re-opens gossip announcement of buffered messages when a
-// new neighbor appears. Without this, a message fully announced to the
-// neighbors of the moment is retired (announceDone) and a link installed
-// later — e.g. across a healed partition — would never hear its ID, so
-// the two sides could never reconcile. A neighbor can only be (re)added
-// when it is not currently linked, so anything sent to it earlier went
-// over a link that has since broken and may never have arrived: both the
-// announcedTo mark and the heardFrom mark are scrubbed (heardFrom also
+// reannounceTo reconciles dissemination state when a new neighbor appears.
+// A neighbor can only be (re)added when it is not currently linked, so any
+// announcement sent to it earlier went over a link that has since broken
+// and may never have arrived: for messages still in flight (not yet
+// retired) both the announcedTo mark and the heardFrom mark are scrubbed,
+// so the next gossip to that peer announces them once more (heardFrom also
 // records served pulls whose response may have died with the link; a
-// redundant re-announcement is deduplicated by the receiver). Messages
-// whose payload was already reclaimed stay retired.
+// redundant re-announcement is deduplicated by the receiver).
+//
+// Messages already retired (fully announced and handed to the store's
+// stability GC) are NOT re-opened: re-announcing the whole buffer on every
+// link change costs O(buffer) gossip per link, where a watermark digest
+// exchange costs O(sources). The new link — which may be a healed
+// partition — instead triggers a sync round, rate-limited per peer so
+// routine overlay adaptation does not turn every link change into a
+// digest exchange.
 func (n *Node) reannounceTo(peer NodeID) {
-	for id, st := range n.seen {
-		if st.reclaimed {
+	for _, id := range n.recent {
+		st := n.seen[id]
+		if st == nil || st.announceDone {
 			continue
+		}
+		if containsID(st.announcedTo, peer) {
+			n.stats.Reannounced++
 		}
 		removeID(&st.announcedTo, peer)
 		removeID(&st.heardFrom, peer)
-		if !st.announceDone {
-			continue
-		}
-		st.announceDone = false
-		st.reclaimAt = 0
-		n.recent = append(n.recent, id)
-		n.stats.Reannounced++
 	}
+	n.requestSync(peer, false)
 }
 
 // handleGossip ingests a summary from neighbor `from`.
@@ -309,40 +334,74 @@ func (n *Node) startPullRetry(id MessageID) Timer {
 	})
 }
 
-// handlePullRequest serves buffered payloads.
+// handlePullRequest serves buffered payloads. IDs whose payload is gone —
+// reclaimed, evicted, or never held — are answered with an explicit
+// PullMiss so the puller advances immediately instead of waiting out its
+// retry timer.
 func (n *Node) handlePullRequest(from NodeID, m *PullRequest) {
+	var missed []MessageID
 	for _, id := range m.IDs {
-		st, ok := n.seen[id]
-		if !ok || st.reclaimed {
+		payload, ok := n.store.Get(sid(id))
+		if !ok {
+			missed = append(missed, id)
 			continue
+		}
+		st := n.seen[id]
+		if st == nil {
+			// The store and seen map are kept in lockstep; a live payload
+			// without bookkeeping should not happen, but serve it anyway.
+			st = &msgState{receivedAt: n.env.Now()}
+			n.seen[id] = st
 		}
 		addID(&st.heardFrom, from) // requester will have it; never announce back
 		n.stats.PullsServed++
-		n.env.Send(from, &Multicast{ID: id, Age: n.ageOf(st), Payload: st.payload, ViaTree: false})
+		n.env.Send(from, &Multicast{ID: id, Age: n.ageOf(st), Payload: payload, ViaTree: false})
+	}
+	if len(missed) > 0 {
+		n.stats.PullMissesSent += int64(len(missed))
+		n.env.Send(from, &PullMiss{IDs: missed})
 	}
 }
 
-// reclaimTick frees payload buffers past their retention window and
-// eventually drops the dedup record too.
+// handlePullMiss reacts to a holder reporting it can no longer serve some
+// pulled IDs: drop that holder and retry the next one now, or — when no
+// holder remains — give up on pulling and fall back to a digest sync with
+// the reporting peer, which can recover the payload if anyone in its
+// reach still buffers it.
+func (n *Node) handlePullMiss(from NodeID, m *PullMiss) {
+	fellBack := false
+	for _, id := range m.IDs {
+		ps, ok := n.pending[id]
+		if !ok {
+			continue
+		}
+		n.stats.PullMissesRecv++
+		removeID(&ps.holders, from)
+		if ps.timer != nil {
+			ps.timer.Stop()
+		}
+		if len(ps.holders) == 0 {
+			delete(n.pending, id)
+			fellBack = true
+			continue
+		}
+		n.firePull(id)
+	}
+	if fellBack {
+		n.requestSync(from, true)
+	}
+}
+
+// reclaimTick drives the store's GC sweep and drops the gossip bookkeeping
+// of records the store has forgotten entirely.
 func (n *Node) reclaimTick() {
 	if !n.running {
 		return
 	}
 	n.reclaimTimer = n.env.After(reclaimScanPeriod, n.reclaimTick)
-	now := n.env.Now()
-	for id, st := range n.seen {
-		if !st.announceDone || st.reclaimAt == 0 {
-			continue
-		}
-		if now > st.reclaimAt && !st.reclaimed {
-			st.reclaimed = true
-			st.payload = nil
-			st.announcedTo = nil
-			st.heardFrom = nil
-		}
-		if now > st.reclaimAt+n.cfg.ReclaimAfter {
-			delete(n.seen, id)
-		}
+	res := n.store.GC(n.env.Now())
+	for _, id := range res.Dropped {
+		delete(n.seen, mid(id))
 	}
 }
 
@@ -351,6 +410,10 @@ func (n *Node) Seen(id MessageID) bool {
 	_, ok := n.seen[id]
 	return ok
 }
+
+// Store exposes the node's message store for inspection (stats surfacing,
+// tests). Treat it as read-only outside the node's own thread discipline.
+func (n *Node) Store() store.MessageStore { return n.store }
 
 // containsID reports membership in a small NodeID slice.
 func containsID(s []NodeID, id NodeID) bool {

@@ -121,6 +121,7 @@ func TestGossipAnnouncesAtMostOncePerNeighbor(t *testing.T) {
 func TestGossipTriggersPull(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.EnableTree = false
+	cfg.SyncInterval = -1 // pin the pull path; sync would also recover it
 	f, a, b := pair(t, cfg)
 	var got []byte
 	b.OnDeliver(func(_ MessageID, payload []byte, _ time.Duration) { got = payload })
@@ -137,6 +138,7 @@ func TestGossipTriggersPull(t *testing.T) {
 func TestPullDelayDefersRequests(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.EnableTree = false
+	cfg.SyncInterval = -1 // pin the pull path; sync would deliver early
 	cfg.PullDelay = 2 * time.Second
 	f, a, b := pair(t, cfg)
 	var deliveredAt time.Duration = -1
@@ -186,6 +188,7 @@ func TestDuplicatePayloadSuppressed(t *testing.T) {
 func TestPullRetryMovesToNextHolder(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.EnableTree = false
+	cfg.SyncInterval = -1 // pin the retry path; sync would also recover it
 	cfg.PullRetry = 500 * time.Millisecond
 	f := newFixture(1)
 	a := f.addNode(1, cfg) // will die
@@ -225,14 +228,21 @@ func TestReclaimFreesPayloadButKeepsDedup(t *testing.T) {
 	if st == nil {
 		t.Fatalf("dedup record dropped too early")
 	}
-	if !st.reclaimed || st.payload != nil {
+	if _, live := a.Store().Get(sid(id)); live {
 		t.Fatalf("payload not reclaimed after window")
 	}
-	// A pull for a reclaimed message is not served.
+	if !a.Store().Has(sid(id)) {
+		t.Fatalf("tombstone dropped too early")
+	}
+	// A pull for a reclaimed message is not served; the puller gets an
+	// explicit miss instead of silence.
 	served := a.Stats().PullsServed
 	a.HandleMessage(b.ID(), &PullRequest{IDs: []MessageID{id}})
 	if a.Stats().PullsServed != served {
 		t.Fatalf("reclaimed message must not be served")
+	}
+	if a.Stats().PullMissesSent != 1 {
+		t.Fatalf("pull miss not sent; counters = %+v", a.Stats())
 	}
 	// Far later even the dedup record goes away.
 	f.run(time.Minute)

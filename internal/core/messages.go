@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"gocast/internal/store"
+)
 
 // Message is the union of all GoCast protocol messages. WireSize returns an
 // approximate serialized size in bytes, used by the link-stress experiments
@@ -30,6 +34,9 @@ const (
 	KindTreeAdvert
 	KindTreeParent
 	KindTreeAdvertReq
+	KindSyncRequest
+	KindSyncReply
+	KindPullMiss
 )
 
 const (
@@ -247,3 +254,53 @@ type TreeAdvertReq struct{}
 
 func (*TreeAdvertReq) Kind() MsgKind { return KindTreeAdvertReq }
 func (*TreeAdvertReq) WireSize() int { return headerWire }
+
+// SyncRequest opens one round of anti-entropy reconciliation: the sender
+// summarizes its message store as per-source [low, high] sequence
+// watermarks and asks the receiver for everything it holds beyond them.
+// Sent on rejoin, on partition heal (new overlay link), periodically at
+// low frequency between overlay neighbors, and as the fallback after an
+// expired pull.
+type SyncRequest struct {
+	Ranges []store.SourceRange
+}
+
+func (*SyncRequest) Kind() MsgKind   { return KindSyncRequest }
+func (m *SyncRequest) WireSize() int { return headerWire + 12*len(m.Ranges) }
+
+// SyncItem is one recovered message inside a SyncReply.
+type SyncItem struct {
+	ID      MessageID
+	Age     time.Duration
+	Payload []byte
+}
+
+// SyncReply returns the payloads the requester's digest was missing,
+// bounded per reply by the responder's SyncBatchBytes budget. More marks a
+// truncated batch: the requester issues a fresh SyncRequest (its digest
+// now advanced) until a reply arrives with More unset, which paces the
+// transfer request-by-request.
+type SyncReply struct {
+	Items []SyncItem
+	More  bool
+}
+
+func (*SyncReply) Kind() MsgKind { return KindSyncReply }
+func (m *SyncReply) WireSize() int {
+	n := headerWire + 1
+	for _, it := range m.Items {
+		n += 8 + 8 + 4 + len(it.Payload)
+	}
+	return n
+}
+
+// PullMiss answers the part of a PullRequest the responder can no longer
+// serve — IDs whose payload was reclaimed, evicted, or never held. An
+// explicit miss lets the puller advance to another holder immediately (or
+// fall back to sync) instead of waiting out its retry timer.
+type PullMiss struct {
+	IDs []MessageID
+}
+
+func (*PullMiss) Kind() MsgKind   { return KindPullMiss }
+func (m *PullMiss) WireSize() int { return headerWire + 8*len(m.IDs) }

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"time"
+
+	"gocast/internal/store"
 )
 
 // DeliverFunc is invoked exactly once per multicast message a node
@@ -57,12 +59,21 @@ type Node struct {
 	pendingAdd    map[NodeID]*addCtx
 	rebalance     *rebalanceCtx
 
-	// Dissemination state (Section 2.1).
+	// Dissemination state (Section 2.1). Payload buffering, retention,
+	// and reclamation are delegated to the pluggable store; seen keeps the
+	// per-neighbor gossip bookkeeping in lockstep with it.
+	store     store.MessageStore
 	seen      map[MessageID]*msgState
 	pending   map[MessageID]*pullState
 	recent    []MessageID
 	nextSeq   uint32
 	gossipIdx int
+
+	// Anti-entropy sync state: round-robin cursor over neighbors and the
+	// last time a sync was initiated toward each peer (rate limit for the
+	// event-triggered rounds).
+	syncIdx    int
+	lastSyncTo map[NodeID]time.Duration
 
 	// Tree state (Section 2.3).
 	treeEpoch  uint32
@@ -86,6 +97,7 @@ type Node struct {
 	maintainTimer Timer
 	heartbeat     Timer
 	reclaimTimer  Timer
+	syncTimer     Timer
 
 	stats Counters
 }
@@ -110,6 +122,17 @@ type neighbor struct {
 // New constructs a node. The returned node is inert until Start is called.
 func New(id NodeID, cfg Config, env Env) *Node {
 	cfg = cfg.validate()
+	limits := store.Limits{
+		MaxMessages: cfg.StoreMaxMessages,
+		MaxBytes:    cfg.StoreMaxBytes,
+		Retention:   cfg.ReclaimAfter,
+	}
+	var st store.MessageStore
+	if cfg.NewStore != nil {
+		st = cfg.NewStore(limits)
+	} else {
+		st = store.NewMemory(limits)
+	}
 	return &Node{
 		id:          id,
 		self:        Entry{ID: id},
@@ -123,8 +146,10 @@ func New(id NodeID, cfg Config, env Env) *Node {
 		lastPong:    make(map[NodeID]time.Duration),
 		neighbors:   make(map[NodeID]*neighbor),
 		pendingAdd:  make(map[NodeID]*addCtx),
+		store:       st,
 		seen:        make(map[MessageID]*msgState),
 		pending:     make(map[MessageID]*pullState),
+		lastSyncTo:  make(map[NodeID]time.Duration),
 		children:    make(map[NodeID]bool),
 		treeRoot:    None,
 		parent:      None,
@@ -173,6 +198,9 @@ func (n *Node) Start() {
 	n.gossipTimer = n.env.After(time.Duration(n.env.Rand(int(n.cfg.GossipPeriod)+1)), n.gossipTick)
 	n.maintainTimer = n.env.After(time.Duration(n.env.Rand(int(n.cfg.MaintainPeriod)+1)), n.maintainTick)
 	n.reclaimTimer = n.env.After(reclaimScanPeriod, n.reclaimTick)
+	if n.syncEnabled() {
+		n.syncTimer = n.env.After(n.cfg.SyncInterval+time.Duration(n.env.Rand(int(n.cfg.SyncInterval)+1)), n.syncTick)
+	}
 	n.measureLandmarks()
 	if n.treeRoot == n.id {
 		n.scheduleHeartbeat(0)
@@ -183,7 +211,7 @@ func (n *Node) Start() {
 // inspected afterwards; it will no longer react to anything.
 func (n *Node) Stop() {
 	n.running = false
-	for _, t := range []Timer{n.gossipTimer, n.maintainTimer, n.heartbeat, n.reclaimTimer} {
+	for _, t := range []Timer{n.gossipTimer, n.maintainTimer, n.heartbeat, n.reclaimTimer, n.syncTimer} {
 		if t != nil {
 			t.Stop()
 		}
@@ -272,6 +300,12 @@ func (n *Node) HandleMessage(from NodeID, m Message) {
 		n.handleTreeParent(from, msg)
 	case *TreeAdvertReq:
 		n.handleTreeAdvertReq(from)
+	case *SyncRequest:
+		n.handleSyncRequest(from, msg)
+	case *SyncReply:
+		n.handleSyncReply(from, msg)
+	case *PullMiss:
+		n.handlePullMiss(from, msg)
 	}
 }
 
@@ -324,6 +358,11 @@ func (n *Node) handleJoinReply(from NodeID, m *JoinReply) {
 	if m.Root != None && n.treeRoot == None {
 		n.treeRoot = m.Root
 	}
+	// A (re)joining node may have missed arbitrarily many messages while
+	// away; its gossip neighbors will only ever announce IDs received from
+	// now on. The join contact is reachable and up to date, so open a sync
+	// round with it immediately to recover the backlog.
+	n.requestSync(from, true)
 }
 
 // degrees snapshots this node's current degrees for piggybacking.

@@ -7,8 +7,9 @@ import (
 
 // TestReannounceToLateNeighbor models the dissemination side of a healed
 // partition: a message that was fully announced (and therefore retired)
-// while a node was unreachable must be re-opened when a link to that node
-// is installed later, so the two sides reconcile.
+// while a node was unreachable must still reach that node when a link is
+// installed later. Retired messages are not re-opened for gossip — the
+// new link triggers a watermark digest sync, which carries the payload.
 func TestReannounceToLateNeighbor(t *testing.T) {
 	f := newFixture(11)
 	cfg := DefaultConfig()
@@ -40,42 +41,44 @@ func TestReannounceToLateNeighbor(t *testing.T) {
 	if !c.Seen(id) {
 		t.Fatalf("late neighbor never received the retired message")
 	}
-	if a.Stats().Reannounced == 0 {
-		t.Fatalf("Reannounced counter not incremented")
+	if c.Stats().SyncItemsRecv == 0 {
+		t.Fatalf("heal did not go through digest sync")
 	}
 }
 
 // TestReannounceScrubsStaleAnnouncedTo covers the re-linked-peer case: an
-// announcement sent over a link that broke may never have arrived, so when
-// the same peer is linked again the message must be announced once more.
+// announcement of a still-in-flight message sent over a link that broke
+// may never have arrived, so when the same peer is linked again the
+// message must be announced once more.
 func TestReannounceScrubsStaleAnnouncedTo(t *testing.T) {
 	f := newFixture(12)
 	cfg := DefaultConfig()
+	cfg.SyncInterval = -1 // pin the gossip path; sync would also reconcile
 	a := f.addNode(1, cfg)
 	b := f.addNode(2, cfg)
 	a.Start()
 	b.Start()
 	a.BecomeRoot()
-	f.link(1, 2, Random)
 
+	// The message is still in flight (a has no neighbors, so it cannot
+	// retire), but a believes it already told 2 over a link that broke.
 	id := a.Multicast([]byte("x"))
-	f.run(2 * time.Second)
 	st := a.seen[id]
-	if st == nil || !st.announceDone || !containsID(st.announcedTo, 2) {
-		t.Fatalf("message not retired with the announcement on record; setup wrong")
-	}
+	st.announcedTo = []NodeID{2}
+	st.heardFrom = []NodeID{2}
 
-	// Simulate the announcement having been lost in flight: b never kept
-	// the message, but a believes it told b.
-	delete(b.seen, id)
-	delete(b.pending, id)
-
-	a.removeNeighbor(2, false)
-	b.removeNeighbor(1, false)
+	// Re-linking the peer must scrub both stale marks so the next gossip
+	// announces the message once more and b can pull it.
 	f.link(1, 2, Random)
 	f.run(3 * time.Second)
+	if containsID(st.announcedTo, 2) && !b.Seen(id) {
+		t.Fatalf("stale announcedTo mark not scrubbed on re-link")
+	}
 	if !b.Seen(id) {
 		t.Fatalf("re-linked peer never recovered the lost announcement")
+	}
+	if a.Stats().Reannounced == 0 {
+		t.Fatalf("Reannounced counter not incremented")
 	}
 }
 

@@ -17,6 +17,17 @@ type Counters struct {
 	PullRetries  int64
 	Reannounced  int64 // retired messages re-opened for a new neighbor
 
+	// Anti-entropy recovery (digest-based store sync).
+	SyncRequestsSent int64 // digest exchanges initiated
+	SyncRequestsRecv int64
+	SyncRepliesSent  int64 // non-empty reply batches served
+	SyncRepliesRecv  int64
+	SyncItemsSent    int64 // payloads served through sync replies
+	SyncItemsRecv    int64 // payloads recovered through sync replies
+	SyncBytesSent    int64 // payload bytes served through sync replies
+	PullMissesSent   int64 // expired-pull indications sent to stalled pullers
+	PullMissesRecv   int64
+
 	// Overlay maintenance.
 	AddsSent      int64
 	AddsAccepted  int64 // add requests this node accepted

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"time"
+
+	"gocast/internal/store"
+)
+
+// Digest-based anti-entropy sync. Gossip summaries announce each message ID
+// at most once per neighbor, so a node that was down, partitioned away, or
+// whose pulls expired can miss messages with no remaining path to them.
+// Sync closes that gap: the requester summarizes its store as per-source
+// [low, high] watermark ranges and the responder streams back everything it
+// holds beyond them, paced by a per-reply byte budget.
+//
+// Rounds are triggered on rejoin (the join contact is the first sync peer),
+// on partition heal (a new overlay link re-opens announcements AND digests),
+// after an expired pull exhausts its holders, and periodically at low
+// frequency between overlay neighbors as a safety net.
+
+// syncEnabled reports whether the sync protocol is active. validate() maps
+// SyncInterval 0 to the default, so only an explicitly negative interval
+// disables sync.
+func (n *Node) syncEnabled() bool { return n.cfg.SyncInterval > 0 }
+
+// syncTick runs the periodic background round against one overlay neighbor
+// chosen round-robin.
+func (n *Node) syncTick() {
+	if !n.running {
+		return
+	}
+	n.syncTimer = n.env.After(n.cfg.SyncInterval, n.syncTick)
+	if len(n.neighborOrder) == 0 {
+		return
+	}
+	if n.syncIdx >= len(n.neighborOrder) {
+		n.syncIdx = 0
+	}
+	peer := n.neighborOrder[n.syncIdx]
+	n.syncIdx = (n.syncIdx + 1) % len(n.neighborOrder)
+	n.requestSync(peer, false)
+}
+
+// requestSync initiates one sync round with peer. Non-forced requests are
+// rate-limited to one per SyncInterval per peer so event triggers (link
+// adds during overlay adaptation) cannot flood; forced requests (rejoin,
+// expired-pull fallback, More-loop continuation) always go out.
+func (n *Node) requestSync(peer NodeID, force bool) {
+	if !n.syncEnabled() || peer == n.id || peer == None {
+		return
+	}
+	now := n.env.Now()
+	if !force {
+		if last, ok := n.lastSyncTo[peer]; ok && now-last < n.cfg.SyncInterval {
+			return
+		}
+	}
+	n.lastSyncTo[peer] = now
+	n.stats.SyncRequestsSent++
+	n.env.Send(peer, &SyncRequest{Ranges: n.store.Digest()})
+}
+
+// handleSyncRequest serves one reply batch: everything this node's store
+// holds beyond the requester's watermarks, oldest sources first, truncated
+// at SyncBatchBytes of payload (but always at least one item, so progress
+// is guaranteed). A truncated reply carries More=true and the requester
+// comes back with an advanced digest — the transfer paces itself
+// request-by-request, bounding the burst a recovering node (or this
+// responder) must absorb.
+func (n *Node) handleSyncRequest(from NodeID, m *SyncRequest) {
+	n.stats.SyncRequestsRecv++
+	missing := store.Missing(n.store.Digest(), m.Ranges)
+	if len(missing) == 0 {
+		return
+	}
+	var items []SyncItem
+	budget := n.cfg.SyncBatchBytes
+	more := false
+	for _, r := range missing {
+		if more {
+			break
+		}
+		n.store.Range(r.Source, r.Low, r.High, func(id store.ID, payload []byte) bool {
+			if len(items) > 0 && len(payload) > budget {
+				more = true
+				return false
+			}
+			mID := mid(id)
+			var age time.Duration
+			st := n.seen[mID]
+			if st != nil {
+				age = n.ageOf(st)
+				// The requester holds the payload once the reply lands;
+				// never gossip-announce this ID back to it.
+				addID(&st.heardFrom, from)
+			}
+			items = append(items, SyncItem{ID: mID, Age: age, Payload: payload})
+			budget -= len(payload)
+			return true
+		})
+	}
+	if len(items) == 0 {
+		return
+	}
+	n.stats.SyncRepliesSent++
+	n.stats.SyncItemsSent += int64(len(items))
+	for _, it := range items {
+		n.stats.SyncBytesSent += int64(len(it.Payload))
+	}
+	n.env.Send(from, &SyncReply{Items: items, More: more})
+}
+
+// handleSyncReply ingests recovered payloads. Each item goes through the
+// normal multicast receive path, which deduplicates, delivers to the
+// application, forwards along tree links, and cancels any outstanding pull
+// for the same ID. More=true means the responder truncated the batch: ask
+// again immediately — the advanced digest shifts the window forward.
+func (n *Node) handleSyncReply(from NodeID, m *SyncReply) {
+	n.stats.SyncRepliesRecv++
+	for _, it := range m.Items {
+		if _, dup := n.seen[it.ID]; !dup {
+			n.stats.SyncItemsRecv++
+		}
+		n.handleMulticast(from, &Multicast{ID: it.ID, Age: it.Age, Payload: it.Payload})
+	}
+	if m.More {
+		n.requestSync(from, true)
+	}
+}

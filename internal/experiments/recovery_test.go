@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestRecoverySyncClosesGapControlDoesNot(t *testing.T) {
+	sc := tinyScale()
+	rep := Recovery(sc, 10*time.Second)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want sync and no-sync", len(rep.Rows))
+	}
+	syncRow, ctrlRow := rep.Rows[0], rep.Rows[1]
+	if syncRow[0] != "sync" || ctrlRow[0] != "no-sync" {
+		t.Fatalf("unexpected row order: %v / %v", syncRow, ctrlRow)
+	}
+	missed, err := strconv.Atoi(syncRow[1])
+	if err != nil || missed < 50 {
+		t.Fatalf("outage built a backlog of %q messages, want >= 50", syncRow[1])
+	}
+	if syncRow[2] == "never" {
+		t.Errorf("sync mode never caught up: %v", syncRow)
+	}
+	if syncRow[3] != "0" {
+		t.Errorf("sync mode left %s residual violations", syncRow[3])
+	}
+	if ctrlRow[3] == "0" {
+		t.Errorf("control caught up without sync; the experiment no longer isolates the protocol")
+	}
+	if ctrlRow[2] != "never" {
+		t.Errorf("control reports catch-up %q, want never", ctrlRow[2])
+	}
+}

@@ -63,6 +63,7 @@ func FastConfig() core.Config {
 	cfg.PullRetry = 200 * time.Millisecond
 	cfg.ReclaimAfter = 30 * time.Second
 	cfg.QuarantineWindow = 2 * time.Second
+	cfg.SyncInterval = 2 * time.Second
 	return cfg
 }
 

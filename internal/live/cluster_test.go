@@ -56,3 +56,48 @@ func TestClusterSizeAndAccessors(t *testing.T) {
 		t.Fatalf("root = %d, want 0", c.Node(0).Root())
 	}
 }
+
+func TestSyncAndStoreStatsSurfacing(t *testing.T) {
+	c := NewCluster(ClusterOptions{Nodes: 2, Config: FastConfig(), Seed: 3})
+	defer c.Close()
+	if !c.AwaitDegree(1, 10*time.Second) {
+		t.Fatalf("pair never linked")
+	}
+	id := c.Node(0).Multicast([]byte("observable"))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Node(1).Seen(id) {
+		if time.Now().After(deadline) {
+			t.Fatalf("multicast never delivered")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	ss := c.Node(1).SyncStats()
+	for _, key := range []string{"sync_requests_sent", "sync_items_recv", "pull_misses_sent"} {
+		if _, ok := ss[key]; !ok {
+			t.Errorf("SyncStats missing %q", key)
+		}
+	}
+	st := c.Node(0).StoreStats()
+	if st["puts"] < 1 {
+		t.Errorf("source store recorded %d puts, want >= 1", st["puts"])
+	}
+	if st["live_messages"] < 1 || st["live_bytes"] < int64(len("observable")) {
+		t.Errorf("store occupancy = %d msgs / %d bytes, want the multicast held live",
+			st["live_messages"], st["live_bytes"])
+	}
+
+	// Stopped nodes answer with zero values, never block.
+	c.Node(1).Kill()
+	if got := c.Node(1).StoreStats(); got != nil {
+		t.Errorf("StoreStats on a stopped node = %v, want nil", got)
+	}
+	if got := c.Node(1).SyncStats(); len(got) != 0 {
+		for k, v := range got {
+			if v != 0 {
+				t.Errorf("SyncStats on a stopped node has %s=%d", k, v)
+			}
+		}
+	}
+}

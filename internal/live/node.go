@@ -205,6 +205,40 @@ func (n *Node) ChurnStats() map[string]int64 {
 	}
 }
 
+// SyncStats snapshots the anti-entropy sync and pull-miss counters in the
+// same map shape as TransportStats, for /stats-style surfacing. Zero
+// values on a stopped node.
+func (n *Node) SyncStats() map[string]int64 {
+	s := n.Stats()
+	return map[string]int64{
+		"sync_requests_sent": s.SyncRequestsSent,
+		"sync_requests_recv": s.SyncRequestsRecv,
+		"sync_replies_sent":  s.SyncRepliesSent,
+		"sync_replies_recv":  s.SyncRepliesRecv,
+		"sync_items_sent":    s.SyncItemsSent,
+		"sync_items_recv":    s.SyncItemsRecv,
+		"sync_bytes_sent":    s.SyncBytesSent,
+		"pull_misses_sent":   s.PullMissesSent,
+		"pull_misses_recv":   s.PullMissesRecv,
+	}
+}
+
+// StoreStats snapshots the message store's occupancy and activity counters
+// (puts, evictions, reclaims, ...). Nil on a stopped node.
+func (n *Node) StoreStats() map[string]int64 {
+	var out map[string]int64
+	n.call(func() {
+		st := n.coreN.Store()
+		out = st.Counters()
+		if out == nil {
+			out = map[string]int64{}
+		}
+		out["live_messages"] = int64(st.Len())
+		out["live_bytes"] = st.Bytes()
+	})
+	return out
+}
+
 // Seen reports whether the node has received the message.
 func (n *Node) Seen(id core.MessageID) bool {
 	var ok bool

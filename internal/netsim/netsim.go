@@ -48,14 +48,18 @@ type Cluster struct {
 	Engine *sim.Engine
 	Matrix *latency.Matrix
 
-	opts    Options
-	rng     *rand.Rand
-	siteOf  []int
-	nodes   []*core.Node
-	alive   []bool
-	joined  []time.Duration // when each node's current life entered the system
-	detect  bool
-	linkLog *metrics.TimeSeries // optional link-change recording
+	opts   Options
+	rng    *rand.Rand
+	siteOf []int
+	nodes  []*core.Node
+	alive  []bool
+	joined []time.Duration // when each node's current life entered the system
+	// firstJoin is when the slot first entered the system, never reset by
+	// Restart — the baseline for judging whether a restarted node caught
+	// up on messages its dead life missed (RecoveryViolations).
+	firstJoin []time.Duration
+	detect    bool
+	linkLog   *metrics.TimeSeries // optional link-change recording
 
 	// Churn state. incar is each node's current incarnation (bumped on
 	// Restart); gen counts lives so that timers armed by a dead past life
@@ -103,6 +107,7 @@ func New(opts Options) *Cluster {
 		nodes:      make([]*core.Node, opts.Nodes),
 		alive:      make([]bool, opts.Nodes),
 		joined:     make([]time.Duration, opts.Nodes),
+		firstJoin:  make([]time.Duration, opts.Nodes),
 		incar:      make([]uint32, opts.Nodes),
 		gen:        make([]int, opts.Nodes),
 		detachedAt: make([]time.Duration, opts.Nodes),
@@ -361,6 +366,7 @@ func (c *Cluster) AddNode(contact int) int {
 	c.siteOf = append(c.siteOf, i%c.Matrix.Sites())
 	c.alive = append(c.alive, true)
 	c.joined = append(c.joined, c.Engine.Now())
+	c.firstJoin = append(c.firstJoin, c.Engine.Now())
 	c.incar = append(c.incar, 0)
 	c.gen = append(c.gen, 0)
 	c.detachedAt = append(c.detachedAt, -1)
@@ -486,6 +492,32 @@ func (c *Cluster) Redelivered() int { return c.redelivered }
 // TreeRepairs returns the distribution of tree-repair latencies: the time
 // from losing a parent (or restarting) to re-attaching to the tree.
 func (c *Cluster) TreeRepairs() *metrics.DelayRecorder { return c.repairs }
+
+// RecoveryViolations counts (message, node) pairs where a live node never
+// received a message injected after the slot FIRST entered the system —
+// including messages its dead past lives missed while down. Where
+// AtomicityViolations judges only stably-up nodes (a restarted life is
+// excused from its predecessor's gaps), this metric demands full catch-up:
+// it reaches zero only when the store-sync protocol has backfilled every
+// restarted node. Messages injected less than `grace` ago are not judged.
+func (c *Cluster) RecoveryViolations(grace time.Duration) int {
+	now := c.Engine.Now()
+	v := 0
+	for m := range c.recv {
+		if c.injectTimes[m]+grace > now {
+			continue
+		}
+		for i := range c.nodes {
+			if !c.alive[i] || c.firstJoin[i] > c.injectTimes[m] {
+				continue
+			}
+			if c.recv[m][i] < 0 {
+				v++
+			}
+		}
+	}
+	return v
+}
 
 // AtomicityViolations counts (message, node) pairs where a node that was
 // stably up for the message's whole lifetime — alive now, and in its
@@ -718,6 +750,16 @@ func (c *Cluster) SumCounters() core.Counters {
 		t.PullsSent += s.PullsSent
 		t.PullsServed += s.PullsServed
 		t.PullRetries += s.PullRetries
+		t.Reannounced += s.Reannounced
+		t.SyncRequestsSent += s.SyncRequestsSent
+		t.SyncRequestsRecv += s.SyncRequestsRecv
+		t.SyncRepliesSent += s.SyncRepliesSent
+		t.SyncRepliesRecv += s.SyncRepliesRecv
+		t.SyncItemsSent += s.SyncItemsSent
+		t.SyncItemsRecv += s.SyncItemsRecv
+		t.SyncBytesSent += s.SyncBytesSent
+		t.PullMissesSent += s.PullMissesSent
+		t.PullMissesRecv += s.PullMissesRecv
 		t.AddsSent += s.AddsSent
 		t.AddsAccepted += s.AddsAccepted
 		t.AddsRejected += s.AddsRejected

@@ -1,0 +1,79 @@
+package store
+
+import (
+	"time"
+
+	"gocast/internal/metrics"
+)
+
+// Counting wraps any MessageStore and counts every call, merging the call
+// counts into the inner store's counters under a "calls_" prefix. It is
+// the swap-in instrumentation double used by tests to verify that the
+// dissemination path really goes through the store interface, and a
+// template for other decorators (tracing, latency injection).
+type Counting struct {
+	Inner MessageStore
+	calls *metrics.AtomicCounter
+}
+
+var _ MessageStore = (*Counting)(nil)
+
+// NewCounting wraps inner with call counting.
+func NewCounting(inner MessageStore) *Counting {
+	return &Counting{Inner: inner, calls: metrics.NewAtomicCounter()}
+}
+
+// Calls returns how many times the named method was invoked.
+func (c *Counting) Calls(method string) int64 { return c.calls.Get(method) }
+
+func (c *Counting) Put(id ID, payload []byte, now time.Duration) bool {
+	c.calls.Inc("Put", 1)
+	return c.Inner.Put(id, payload, now)
+}
+
+func (c *Counting) Get(id ID) ([]byte, bool) {
+	c.calls.Inc("Get", 1)
+	return c.Inner.Get(id)
+}
+
+func (c *Counting) Has(id ID) bool {
+	c.calls.Inc("Has", 1)
+	return c.Inner.Has(id)
+}
+
+func (c *Counting) MarkStable(id ID, now time.Duration) {
+	c.calls.Inc("MarkStable", 1)
+	c.Inner.MarkStable(id, now)
+}
+
+func (c *Counting) Unstable(id ID) {
+	c.calls.Inc("Unstable", 1)
+	c.Inner.Unstable(id)
+}
+
+func (c *Counting) Digest() []SourceRange {
+	c.calls.Inc("Digest", 1)
+	return c.Inner.Digest()
+}
+
+func (c *Counting) Range(source int32, low, high uint32, visit func(id ID, payload []byte) bool) {
+	c.calls.Inc("Range", 1)
+	c.Inner.Range(source, low, high, visit)
+}
+
+func (c *Counting) GC(now time.Duration) GCResult {
+	c.calls.Inc("GC", 1)
+	return c.Inner.GC(now)
+}
+
+func (c *Counting) Len() int     { return c.Inner.Len() }
+func (c *Counting) Bytes() int64 { return c.Inner.Bytes() }
+
+// Counters merges the inner store's counters with the call counts.
+func (c *Counting) Counters() map[string]int64 {
+	out := c.Inner.Counters()
+	for name, v := range c.calls.Snapshot() {
+		out["calls_"+name] = v
+	}
+	return out
+}

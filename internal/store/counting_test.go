@@ -1,0 +1,34 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCountingDelegatesAndCounts(t *testing.T) {
+	c := NewCounting(NewMemory(Limits{Retention: time.Second}))
+	if !c.Put(ID{Source: 1, Seq: 0}, []byte("x"), 0) {
+		t.Fatal("Put not delegated")
+	}
+	if p, ok := c.Get(ID{Source: 1, Seq: 0}); !ok || string(p) != "x" {
+		t.Fatal("Get not delegated")
+	}
+	c.Has(ID{Source: 1, Seq: 0})
+	c.MarkStable(ID{Source: 1, Seq: 0}, 0)
+	c.Unstable(ID{Source: 1, Seq: 0})
+	c.Digest()
+	c.Range(1, 0, 10, func(ID, []byte) bool { return true })
+	c.GC(0)
+	if c.Len() != 1 || c.Bytes() != 1 {
+		t.Fatalf("Len/Bytes not delegated: %d %d", c.Len(), c.Bytes())
+	}
+	for _, m := range []string{"Put", "Get", "Has", "MarkStable", "Unstable", "Digest", "Range", "GC"} {
+		if c.Calls(m) != 1 {
+			t.Fatalf("Calls(%s) = %d", m, c.Calls(m))
+		}
+	}
+	got := c.Counters()
+	if got["calls_Put"] != 1 || got["puts"] != 1 {
+		t.Fatalf("merged counters = %v", got)
+	}
+}

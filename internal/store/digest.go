@@ -1,0 +1,38 @@
+package store
+
+// Missing compares a local digest against a remote peer's digest and
+// returns the sub-ranges of local holdings the remote does not cover:
+// everything for sources absent from the remote digest, and sequence
+// numbers above the remote's high watermark for shared sources.
+//
+// Sequence numbers below a remote low watermark are deliberately NOT
+// reported: a remote that advanced its low watermark held (and reclaimed)
+// those messages, so re-sending them would undo its garbage collection.
+// In-range gaps are invisible to a watermark digest and are left to the
+// regular gossip/pull path, which targets exactly the recently-announced
+// IDs a gap consists of.
+func Missing(local, remote []SourceRange) []SourceRange {
+	if len(local) == 0 {
+		return nil
+	}
+	theirs := make(map[int32]SourceRange, len(remote))
+	for _, r := range remote {
+		theirs[r.Source] = r
+	}
+	var out []SourceRange
+	for _, l := range local {
+		r, known := theirs[l.Source]
+		if !known {
+			out = append(out, l)
+			continue
+		}
+		if l.High > r.High {
+			lo := r.High + 1
+			if lo < l.Low {
+				lo = l.Low
+			}
+			out = append(out, SourceRange{Source: l.Source, Low: lo, High: l.High})
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestMissingEmptyLocal(t *testing.T) {
+	if got := Missing(nil, []SourceRange{{Source: 1, Low: 0, High: 5}}); got != nil {
+		t.Fatalf("Missing(nil, ...) = %v", got)
+	}
+}
+
+func TestMissingRemoteKnowsNothing(t *testing.T) {
+	local := []SourceRange{{Source: 1, Low: 0, High: 5}, {Source: 2, Low: 3, High: 9}}
+	got := Missing(local, nil)
+	if !reflect.DeepEqual(got, local) {
+		t.Fatalf("Missing vs empty remote = %v", got)
+	}
+}
+
+func TestMissingAboveRemoteHigh(t *testing.T) {
+	local := []SourceRange{{Source: 1, Low: 0, High: 10}}
+	remote := []SourceRange{{Source: 1, Low: 0, High: 6}}
+	want := []SourceRange{{Source: 1, Low: 7, High: 10}}
+	if got := Missing(local, remote); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestMissingRespectsLocalLowAboveRemoteHigh(t *testing.T) {
+	// Local reclaimed everything below 20; remote saw up to 6. The gap
+	// 7..19 is gone on both sides — only 20..30 can be offered.
+	local := []SourceRange{{Source: 1, Low: 20, High: 30}}
+	remote := []SourceRange{{Source: 1, Low: 0, High: 6}}
+	want := []SourceRange{{Source: 1, Low: 20, High: 30}}
+	if got := Missing(local, remote); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestMissingDoesNotResendBelowRemoteLow(t *testing.T) {
+	// The remote advanced its low watermark past 5: it held and reclaimed
+	// those messages, so nothing is missing.
+	local := []SourceRange{{Source: 1, Low: 0, High: 5}}
+	remote := []SourceRange{{Source: 1, Low: 6, High: 9}}
+	if got := Missing(local, remote); got != nil {
+		t.Fatalf("re-offered reclaimed messages: %v", got)
+	}
+}
+
+func TestMissingMaxRangeNoOverflow(t *testing.T) {
+	local := []SourceRange{{Source: 1, Low: 0, High: math.MaxUint32}}
+	remote := []SourceRange{{Source: 1, Low: 0, High: math.MaxUint32}}
+	if got := Missing(local, remote); got != nil {
+		t.Fatalf("max-range digest produced %v", got)
+	}
+}
+
+func TestMissingCoveredExactly(t *testing.T) {
+	local := []SourceRange{{Source: 4, Low: 2, High: 8}}
+	remote := []SourceRange{{Source: 4, Low: 2, High: 8}}
+	if got := Missing(local, remote); got != nil {
+		t.Fatalf("identical digests produced %v", got)
+	}
+}

@@ -1,0 +1,238 @@
+package store
+
+import (
+	"sort"
+	"time"
+
+	"gocast/internal/metrics"
+)
+
+// Memory is the production in-memory MessageStore: a hash map for O(1)
+// lookup, per-source sorted sequence indexes for ordered range scans and
+// digests, FIFO eviction against the count and byte caps, and
+// stability-based reclamation with an age fallback. It is not goroutine
+// safe except for Counters, Len, and Bytes snapshots being internally
+// consistent when driven from a single thread; core drives it from the
+// node's event loop.
+type Memory struct {
+	limits Limits
+
+	recs map[ID]*memRec
+	// bySource holds each source's live sequence numbers in ascending
+	// order (payloads arrive in order per source on the hot path, so
+	// inserts are usually appends).
+	bySource map[int32][]uint32
+	// evictQ is insertion-ordered live IDs; eviction pops from the front,
+	// lazily skipping records already reclaimed by GC.
+	evictQ []ID
+	bytes  int64
+	live   int
+
+	counters *metrics.AtomicCounter
+}
+
+type memRec struct {
+	payload  []byte
+	storedAt time.Duration
+	// releaseAt > 0 marks the record stable: every current neighbor had
+	// the message at MarkStable time, and the payload may be reclaimed
+	// once releaseAt passes.
+	releaseAt time.Duration
+	// reclaimed records linger as payload-less tombstones for duplicate
+	// suppression until dropAt.
+	reclaimed bool
+	dropAt    time.Duration
+}
+
+var _ MessageStore = (*Memory)(nil)
+
+// NewMemory builds an empty bounded in-memory store.
+func NewMemory(limits Limits) *Memory {
+	return &Memory{
+		limits:   limits.withDefaults(),
+		recs:     make(map[ID]*memRec),
+		bySource: make(map[int32][]uint32),
+		counters: metrics.NewAtomicCounter(),
+	}
+}
+
+// Limits returns the store's resolved (defaulted) limits.
+func (m *Memory) Limits() Limits { return m.limits }
+
+// Put inserts a payload, evicting the oldest live records if the caps
+// would be exceeded.
+func (m *Memory) Put(id ID, payload []byte, now time.Duration) bool {
+	if _, ok := m.recs[id]; ok {
+		m.counters.Inc("duplicate_puts", 1)
+		return false
+	}
+	m.recs[id] = &memRec{payload: payload, storedAt: now}
+	m.insertSeq(id)
+	m.evictQ = append(m.evictQ, id)
+	m.bytes += int64(len(payload))
+	m.live++
+	m.counters.Inc("puts", 1)
+	m.enforceCaps(now)
+	return true
+}
+
+// enforceCaps reclaims the oldest live records until the count and byte
+// caps hold again. The newest record is evicted only if it alone exceeds
+// the byte cap.
+func (m *Memory) enforceCaps(now time.Duration) {
+	overCount := func() bool { return m.limits.MaxMessages > 0 && m.live > m.limits.MaxMessages }
+	overBytes := func() bool { return m.limits.MaxBytes > 0 && m.bytes > m.limits.MaxBytes }
+	for (overCount() || overBytes()) && len(m.evictQ) > 0 {
+		id := m.evictQ[0]
+		m.evictQ = m.evictQ[1:]
+		r := m.recs[id]
+		if r == nil || r.reclaimed {
+			continue // lazily skip records GC reclaimed first
+		}
+		m.reclaim(id, r, now)
+		m.counters.Inc("evictions", 1)
+	}
+}
+
+// reclaim frees the payload and leaves a tombstone.
+func (m *Memory) reclaim(id ID, r *memRec, now time.Duration) {
+	m.bytes -= int64(len(r.payload))
+	r.payload = nil
+	r.reclaimed = true
+	r.dropAt = now + m.limits.TombstoneFor
+	m.live--
+	m.removeSeq(id)
+}
+
+// Get returns the payload of a live record.
+func (m *Memory) Get(id ID) ([]byte, bool) {
+	r, ok := m.recs[id]
+	if !ok || r.reclaimed {
+		return nil, false
+	}
+	return r.payload, true
+}
+
+// Has reports whether the ID is known, live or tombstoned.
+func (m *Memory) Has(id ID) bool {
+	_, ok := m.recs[id]
+	return ok
+}
+
+// MarkStable schedules reclamation Retention from now.
+func (m *Memory) MarkStable(id ID, now time.Duration) {
+	if r, ok := m.recs[id]; ok && !r.reclaimed {
+		r.releaseAt = now + m.limits.Retention
+	}
+}
+
+// Unstable cancels a pending reclamation.
+func (m *Memory) Unstable(id ID) {
+	if r, ok := m.recs[id]; ok && !r.reclaimed {
+		r.releaseAt = 0
+	}
+}
+
+// Digest summarizes live holdings as sorted per-source watermark ranges.
+func (m *Memory) Digest() []SourceRange {
+	out := make([]SourceRange, 0, len(m.bySource))
+	for src, seqs := range m.bySource {
+		if len(seqs) == 0 {
+			continue
+		}
+		out = append(out, SourceRange{Source: src, Low: seqs[0], High: seqs[len(seqs)-1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// Range visits one source's live messages in [low, high] in ascending
+// sequence order.
+func (m *Memory) Range(source int32, low, high uint32, visit func(id ID, payload []byte) bool) {
+	seqs := m.bySource[source]
+	i := sort.Search(len(seqs), func(k int) bool { return seqs[k] >= low })
+	for ; i < len(seqs) && seqs[i] <= high; i++ {
+		id := ID{Source: source, Seq: seqs[i]}
+		r := m.recs[id]
+		if r == nil || r.reclaimed {
+			continue
+		}
+		if !visit(id, r.payload) {
+			return
+		}
+	}
+}
+
+// GC sweeps: stable payloads past their release time and unstable payloads
+// past MaxAge are reclaimed; expired tombstones are dropped.
+func (m *Memory) GC(now time.Duration) GCResult {
+	var res GCResult
+	for id, r := range m.recs {
+		if r.reclaimed {
+			if now >= r.dropAt {
+				delete(m.recs, id)
+				res.Dropped = append(res.Dropped, id)
+				m.counters.Inc("tombstones_dropped", 1)
+			}
+			continue
+		}
+		if r.releaseAt > 0 && now >= r.releaseAt {
+			m.reclaim(id, r, now)
+			res.Reclaimed = append(res.Reclaimed, id)
+			m.counters.Inc("reclaims_stable", 1)
+		} else if now-r.storedAt >= m.limits.MaxAge {
+			m.reclaim(id, r, now)
+			res.Reclaimed = append(res.Reclaimed, id)
+			m.counters.Inc("reclaims_aged", 1)
+		}
+	}
+	// Compact the eviction queue: records reclaimed by this or earlier
+	// sweeps no longer need an eviction slot, and leaving them would let
+	// the queue grow without bound in steady state.
+	q := m.evictQ[:0]
+	for _, id := range m.evictQ {
+		if r, ok := m.recs[id]; ok && !r.reclaimed {
+			q = append(q, id)
+		}
+	}
+	m.evictQ = q
+	return res
+}
+
+// Len returns the number of live records.
+func (m *Memory) Len() int { return m.live }
+
+// Bytes returns the live payload bytes held.
+func (m *Memory) Bytes() int64 { return m.bytes }
+
+// Counters snapshots the store's activity counters.
+func (m *Memory) Counters() map[string]int64 { return m.counters.Snapshot() }
+
+// insertSeq adds id.Seq to its source's sorted index.
+func (m *Memory) insertSeq(id ID) {
+	seqs := m.bySource[id.Source]
+	if n := len(seqs); n == 0 || seqs[n-1] < id.Seq {
+		m.bySource[id.Source] = append(seqs, id.Seq)
+		return
+	}
+	i := sort.Search(len(seqs), func(k int) bool { return seqs[k] >= id.Seq })
+	seqs = append(seqs, 0)
+	copy(seqs[i+1:], seqs[i:])
+	seqs[i] = id.Seq
+	m.bySource[id.Source] = seqs
+}
+
+// removeSeq deletes id.Seq from its source's sorted index.
+func (m *Memory) removeSeq(id ID) {
+	seqs := m.bySource[id.Source]
+	i := sort.Search(len(seqs), func(k int) bool { return seqs[k] >= id.Seq })
+	if i >= len(seqs) || seqs[i] != id.Seq {
+		return
+	}
+	seqs = append(seqs[:i], seqs[i+1:]...)
+	if len(seqs) == 0 {
+		delete(m.bySource, id.Source)
+	} else {
+		m.bySource[id.Source] = seqs
+	}
+}

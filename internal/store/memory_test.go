@@ -1,0 +1,229 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func id(src int32, seq uint32) ID { return ID{Source: src, Seq: seq} }
+
+func TestPutGetHasAndDuplicates(t *testing.T) {
+	m := NewMemory(Limits{})
+	if !m.Put(id(1, 0), []byte("a"), 0) {
+		t.Fatal("first Put rejected")
+	}
+	if m.Put(id(1, 0), []byte("b"), 0) {
+		t.Fatal("duplicate Put accepted")
+	}
+	p, ok := m.Get(id(1, 0))
+	if !ok || string(p) != "a" {
+		t.Fatalf("Get = %q, %v", p, ok)
+	}
+	if !m.Has(id(1, 0)) || m.Has(id(1, 1)) {
+		t.Fatal("Has wrong")
+	}
+	if m.Len() != 1 || m.Bytes() != 1 {
+		t.Fatalf("Len=%d Bytes=%d", m.Len(), m.Bytes())
+	}
+	if got := m.Counters()["duplicate_puts"]; got != 1 {
+		t.Fatalf("duplicate_puts = %d", got)
+	}
+}
+
+func TestNilPayloadIsStorable(t *testing.T) {
+	// The simulator injects nil payloads; a nil payload must still count
+	// as a live record (distinct from a reclaimed one).
+	m := NewMemory(Limits{})
+	m.Put(id(1, 0), nil, 0)
+	if _, ok := m.Get(id(1, 0)); !ok {
+		t.Fatal("nil payload not retrievable")
+	}
+	if m.Len() != 1 {
+		t.Fatal("nil payload not live")
+	}
+}
+
+func TestStabilityReclaimThenTombstoneDrop(t *testing.T) {
+	lim := Limits{Retention: 10 * time.Second, TombstoneFor: 20 * time.Second}
+	m := NewMemory(lim)
+	m.Put(id(1, 0), []byte("xyz"), 0)
+	m.MarkStable(id(1, 0), 5*time.Second)
+
+	res := m.GC(14 * time.Second) // before releaseAt=15s
+	if len(res.Reclaimed) != 0 {
+		t.Fatal("reclaimed before retention elapsed")
+	}
+	res = m.GC(15 * time.Second)
+	if len(res.Reclaimed) != 1 || res.Reclaimed[0] != id(1, 0) {
+		t.Fatalf("Reclaimed = %v", res.Reclaimed)
+	}
+	if _, ok := m.Get(id(1, 0)); ok {
+		t.Fatal("reclaimed payload still served")
+	}
+	if !m.Has(id(1, 0)) {
+		t.Fatal("tombstone missing right after reclaim")
+	}
+	if m.Bytes() != 0 || m.Len() != 0 {
+		t.Fatalf("Bytes=%d Len=%d after reclaim", m.Bytes(), m.Len())
+	}
+
+	res = m.GC(40 * time.Second) // past dropAt = 15s + 20s
+	if len(res.Dropped) != 1 || res.Dropped[0] != id(1, 0) {
+		t.Fatalf("Dropped = %v", res.Dropped)
+	}
+	if m.Has(id(1, 0)) {
+		t.Fatal("tombstone survived its window")
+	}
+}
+
+func TestUnstableCancelsReclaim(t *testing.T) {
+	m := NewMemory(Limits{Retention: 10 * time.Second, MaxAge: time.Hour})
+	m.Put(id(1, 0), []byte("x"), 0)
+	m.MarkStable(id(1, 0), 0)
+	m.Unstable(id(1, 0))
+	if res := m.GC(30 * time.Second); len(res.Reclaimed) != 0 {
+		t.Fatal("reclaimed a message made unstable again")
+	}
+}
+
+func TestMaxAgeFallbackReclaimsUnstable(t *testing.T) {
+	// A message that never becomes stable (slow neighbor) must still be
+	// reclaimed after MaxAge so memory stays bounded.
+	m := NewMemory(Limits{Retention: 10 * time.Second, MaxAge: 30 * time.Second})
+	m.Put(id(1, 0), []byte("x"), 0)
+	if res := m.GC(29 * time.Second); len(res.Reclaimed) != 0 {
+		t.Fatal("reclaimed before MaxAge")
+	}
+	res := m.GC(30 * time.Second)
+	if len(res.Reclaimed) != 1 {
+		t.Fatal("MaxAge fallback did not reclaim")
+	}
+	if m.Counters()["reclaims_aged"] != 1 {
+		t.Fatal("reclaims_aged counter not incremented")
+	}
+}
+
+func TestCountCapEvictsOldestFirst(t *testing.T) {
+	m := NewMemory(Limits{MaxMessages: 3})
+	for seq := uint32(0); seq < 5; seq++ {
+		m.Put(id(1, seq), []byte{byte(seq)}, time.Duration(seq))
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	for seq := uint32(0); seq < 2; seq++ {
+		if _, ok := m.Get(id(1, seq)); ok {
+			t.Fatalf("seq %d should be evicted", seq)
+		}
+		if !m.Has(id(1, seq)) {
+			t.Fatalf("evicted seq %d lost its dedup tombstone", seq)
+		}
+	}
+	for seq := uint32(2); seq < 5; seq++ {
+		if _, ok := m.Get(id(1, seq)); !ok {
+			t.Fatalf("seq %d should survive", seq)
+		}
+	}
+	if m.Counters()["evictions"] != 2 {
+		t.Fatalf("evictions = %d", m.Counters()["evictions"])
+	}
+}
+
+func TestByteCapHoldsUnderSustainedInsertes(t *testing.T) {
+	const cap = 1000
+	m := NewMemory(Limits{MaxBytes: cap})
+	payload := make([]byte, 64)
+	for seq := uint32(0); seq < 500; seq++ {
+		m.Put(id(2, seq), payload, time.Duration(seq))
+		if m.Bytes() > cap {
+			t.Fatalf("bytes %d exceed cap %d at seq %d", m.Bytes(), cap, seq)
+		}
+	}
+	if m.Len() == 0 {
+		t.Fatal("store drained completely")
+	}
+}
+
+func TestOversizedPayloadEvictsItself(t *testing.T) {
+	m := NewMemory(Limits{MaxBytes: 10})
+	m.Put(id(1, 0), make([]byte, 100), 0)
+	if m.Bytes() > 10 {
+		t.Fatalf("byte cap violated: %d", m.Bytes())
+	}
+	if !m.Has(id(1, 0)) {
+		t.Fatal("oversized payload should leave a tombstone")
+	}
+}
+
+func TestDigestAndRangeOrdering(t *testing.T) {
+	m := NewMemory(Limits{})
+	// Out-of-order arrival (pull responses) must still index correctly.
+	for _, seq := range []uint32{5, 2, 9, 3} {
+		m.Put(id(7, seq), []byte{byte(seq)}, 0)
+	}
+	m.Put(id(3, 1), []byte("z"), 0)
+	d := m.Digest()
+	if len(d) != 2 {
+		t.Fatalf("digest = %v", d)
+	}
+	if d[0] != (SourceRange{Source: 3, Low: 1, High: 1}) {
+		t.Fatalf("digest[0] = %v", d[0])
+	}
+	if d[1] != (SourceRange{Source: 7, Low: 2, High: 9}) {
+		t.Fatalf("digest[1] = %v", d[1])
+	}
+	var got []uint32
+	m.Range(7, 3, 8, func(i ID, _ []byte) bool {
+		got = append(got, i.Seq)
+		return true
+	})
+	if fmt.Sprint(got) != "[3 5]" {
+		t.Fatalf("Range(7,3,8) visited %v", got)
+	}
+	// Early stop.
+	got = nil
+	m.Range(7, 0, 100, func(i ID, _ []byte) bool {
+		got = append(got, i.Seq)
+		return len(got) < 2
+	})
+	if len(got) != 2 {
+		t.Fatalf("early stop visited %v", got)
+	}
+}
+
+func TestDigestExcludesReclaimed(t *testing.T) {
+	m := NewMemory(Limits{Retention: time.Second, MaxAge: time.Hour})
+	m.Put(id(1, 0), []byte("a"), 0)
+	m.Put(id(1, 1), []byte("b"), 0)
+	m.MarkStable(id(1, 0), 0)
+	m.GC(2 * time.Second)
+	d := m.Digest()
+	if len(d) != 1 || d[0].Low != 1 || d[0].High != 1 {
+		t.Fatalf("digest after partial reclaim = %v", d)
+	}
+	var visited int
+	m.Range(1, 0, 10, func(ID, []byte) bool { visited++; return true })
+	if visited != 1 {
+		t.Fatalf("Range visited %d live records, want 1", visited)
+	}
+}
+
+func TestEvictQueueDoesNotGrowUnbounded(t *testing.T) {
+	// Steady state: everything becomes stable and is reclaimed by GC, so
+	// the eviction queue must be compacted by the sweeps.
+	m := NewMemory(Limits{Retention: time.Second, TombstoneFor: time.Second})
+	now := time.Duration(0)
+	for round := 0; round < 50; round++ {
+		for k := 0; k < 20; k++ {
+			sid := id(1, uint32(round*20+k))
+			m.Put(sid, []byte("p"), now)
+			m.MarkStable(sid, now)
+		}
+		now += 5 * time.Second
+		m.GC(now)
+	}
+	if len(m.evictQ) > 40 {
+		t.Fatalf("eviction queue holds %d entries after steady-state GC", len(m.evictQ))
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"gocast/internal/core"
+	"gocast/internal/store"
 )
 
 // MaxFrame bounds a frame's payload, protecting receivers from bogus
@@ -264,6 +265,37 @@ func (e *encoder) message(m core.Message) error {
 		e.b(v.On)
 	case *core.TreeAdvertReq:
 		// No fields.
+	case *core.SyncRequest:
+		if len(v.Ranges) > math.MaxUint16 {
+			return errors.New("wire: too many sync ranges")
+		}
+		e.u16(uint16(len(v.Ranges)))
+		for _, r := range v.Ranges {
+			e.i32(r.Source)
+			e.u32(r.Low)
+			e.u32(r.High)
+		}
+	case *core.SyncReply:
+		if len(v.Items) > math.MaxUint16 {
+			return errors.New("wire: too many sync items")
+		}
+		e.u16(uint16(len(v.Items)))
+		for _, it := range v.Items {
+			e.msgID(it.ID)
+			e.dur(it.Age)
+			if err := e.bytes(it.Payload); err != nil {
+				return err
+			}
+		}
+		e.b(v.More)
+	case *core.PullMiss:
+		if len(v.IDs) > math.MaxUint16 {
+			return errors.New("wire: too many pull-miss IDs")
+		}
+		e.u16(uint16(len(v.IDs)))
+		for _, id := range v.IDs {
+			e.msgID(id)
+		}
 	default:
 		return fmt.Errorf("wire: unknown message type %T", m)
 	}
@@ -488,6 +520,50 @@ func (d *decoder) message(kind core.MsgKind) (core.Message, error) {
 		return &core.TreeParent{On: d.b()}, nil
 	case core.KindTreeAdvertReq:
 		return &core.TreeAdvertReq{}, nil
+	case core.KindSyncRequest:
+		m := &core.SyncRequest{}
+		n := int(d.u16())
+		if n > 0 {
+			if d.off+12*n > len(d.buf) {
+				d.fail()
+				return m, d.err
+			}
+			m.Ranges = make([]store.SourceRange, n)
+			for i := range m.Ranges {
+				m.Ranges[i] = store.SourceRange{Source: d.i32(), Low: d.u32(), High: d.u32()}
+			}
+		}
+		return m, nil
+	case core.KindSyncReply:
+		m := &core.SyncReply{}
+		n := int(d.u16())
+		if n > 0 {
+			// Each item needs at least 20 bytes (ID + age + payload length).
+			if d.off+20*n > len(d.buf) {
+				d.fail()
+				return m, d.err
+			}
+			m.Items = make([]core.SyncItem, n)
+			for i := range m.Items {
+				m.Items[i] = core.SyncItem{ID: d.msgID(), Age: d.dur(), Payload: d.bytes()}
+			}
+		}
+		m.More = d.b()
+		return m, nil
+	case core.KindPullMiss:
+		m := &core.PullMiss{}
+		n := int(d.u16())
+		if n > 0 {
+			if d.off+8*n > len(d.buf) {
+				d.fail()
+				return m, d.err
+			}
+			m.IDs = make([]core.MessageID, n)
+			for i := range m.IDs {
+				m.IDs[i] = d.msgID()
+			}
+		}
+		return m, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
 	}

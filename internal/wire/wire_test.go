@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gocast/internal/core"
+	"gocast/internal/store"
 )
 
 func sampleMessages() []core.Message {
@@ -49,6 +50,21 @@ func sampleMessages() []core.Message {
 		&core.TreeParent{On: true},
 		&core.TreeParent{},
 		&core.TreeAdvertReq{},
+		&core.SyncRequest{Ranges: []store.SourceRange{
+			{Source: 1, Low: 0, High: 42},
+			{Source: -9, Low: 7, High: 0xFFFFFFFF},
+		}},
+		&core.SyncRequest{},
+		&core.SyncReply{
+			Items: []core.SyncItem{
+				{ID: core.MessageID{Source: 2, Seq: 5}, Age: 40 * time.Millisecond, Payload: []byte("recovered")},
+				{ID: core.MessageID{Source: 3, Seq: 0}},
+			},
+			More: true,
+		},
+		&core.SyncReply{},
+		&core.PullMiss{IDs: []core.MessageID{{Source: 4, Seq: 9}, {Source: 4, Seq: 10}}},
+		&core.PullMiss{},
 	}
 }
 
@@ -151,7 +167,7 @@ func TestPropertyRandomRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 300; trial++ {
 		var m core.Message
-		switch rng.Intn(3) {
+		switch rng.Intn(5) {
 		case 0:
 			g := &core.Gossip{Degrees: core.Degrees{
 				Rand:         int16(rng.Intn(8)),
@@ -192,6 +208,31 @@ func TestPropertyRandomRoundTrip(t *testing.T) {
 				rng.Read(mc.Payload)
 			}
 			m = mc
+		case 2:
+			sr := &core.SyncRequest{}
+			for i := 0; i < rng.Intn(6); i++ {
+				low := rng.Uint32()
+				sr.Ranges = append(sr.Ranges, store.SourceRange{
+					Source: int32(rng.Intn(1000)),
+					Low:    low,
+					High:   low + uint32(rng.Intn(1000)),
+				})
+			}
+			m = sr
+		case 3:
+			rep := &core.SyncReply{More: rng.Intn(2) == 0}
+			for i := 0; i < rng.Intn(4); i++ {
+				it := core.SyncItem{
+					ID:  core.MessageID{Source: core.NodeID(rng.Intn(1000)), Seq: rng.Uint32()},
+					Age: time.Duration(rng.Intn(1e9)),
+				}
+				if n := rng.Intn(32); n > 0 {
+					it.Payload = make([]byte, n)
+					rng.Read(it.Payload)
+				}
+				rep.Items = append(rep.Items, it)
+			}
+			m = rep
 		default:
 			pr := &core.PullRequest{}
 			for i := 0; i < rng.Intn(6); i++ {
