@@ -14,6 +14,7 @@ import (
 
 	"gocast/internal/core"
 	"gocast/internal/experiments"
+	"gocast/internal/obs"
 	"gocast/internal/store"
 	"gocast/internal/wire"
 )
@@ -261,6 +262,35 @@ func BenchmarkSyncDigestEncodeDecode(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkObsCounterInc pins the metrics-registry hot path: bumping a
+// pre-looked-up counter from protocol code must stay at 0 allocs/op, or
+// instrumentation would pressure the GC on every forwarded message.
+func BenchmarkObsCounterInc(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("gocast_bench_events_total", "benchmark counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatalf("counter = %d, want %d", c.Value(), b.N)
+	}
+}
+
+// BenchmarkObsHistogramObserve pins the latency-histogram hot path
+// (bucket search + atomic count and sum updates) at 0 allocs/op.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("gocast_bench_latency_seconds", "benchmark histogram", obs.DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 0.0001)
+	}
+	if h.Snapshot().Count != int64(b.N) {
+		b.Fatal("histogram lost observations")
+	}
 }
 
 // BenchmarkSimulationThroughput measures raw simulator speed: simulated

@@ -1,18 +1,25 @@
 // Command gocast-node runs one live GoCast node over TCP/UDP. The first
 // node of a group runs with -root; every other node points -join at any
 // existing member. Lines read from stdin are multicast to the group;
-// received messages are printed to stdout.
+// received messages are printed to stdout. Lines starting with "/" are
+// commands (/status, /stats, /trace [N]) answered locally.
 //
 //	# terminal 1
-//	gocast-node -id 0 -listen 127.0.0.1:7946 -root
+//	gocast-node -id 0 -listen 127.0.0.1:7946 -root -admin-addr 127.0.0.1:9094
 //	# terminal 2
 //	gocast-node -id 1 -listen 127.0.0.1:7947 -join 0@127.0.0.1:7946
+//
+// With -admin-addr set, the node also serves an HTTP admin endpoint:
+// Prometheus metrics on /metrics, a JSON status snapshot on /statusz,
+// liveness on /healthz, recent protocol events on /tracez, and
+// net/http/pprof under /debug/pprof/.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -25,21 +32,59 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	a, err := newApp(os.Args[1:], os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gocast-node:", err)
 		os.Exit(1)
 	}
+	defer a.close()
+
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			a.handleLine(sc.Text(), os.Stdout)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nleaving group")
 }
 
+// run builds the node but exits immediately (flag/bootstrap validation
+// path, kept for tests; the interactive loop lives in main).
 func run(args []string) error {
+	a, err := newApp(args, io.Discard)
+	if err != nil {
+		return err
+	}
+	a.close()
+	return nil
+}
+
+// app is one running gocast-node instance: the node, its transport, and
+// the optional admin endpoint.
+type app struct {
+	node  *gocast.Node
+	tr    *gocast.TCPTransport
+	admin *gocast.AdminServer
+	quiet bool
+}
+
+// newApp parses flags, starts the transport, node, and (optionally) the
+// admin endpoint, and performs the -root/-join bootstrap. Startup banners
+// go to w.
+func newApp(args []string, w io.Writer) (*app, error) {
 	fs := flag.NewFlagSet("gocast-node", flag.ContinueOnError)
 	var (
-		id     = fs.Int("id", 0, "this node's unique ID")
-		listen = fs.String("listen", "127.0.0.1:7946", "TCP/UDP listen address")
-		join   = fs.String("join", "", "contact as id@host:port (empty for the first node)")
-		root   = fs.Bool("root", false, "become the initial tree root")
-		quiet  = fs.Bool("quiet", false, "do not echo received messages")
-		inc    = fs.Uint("incarnation", 0, "incarnation number; a process rejoining under an ID it used before must pass a higher value than its previous life")
+		id        = fs.Int("id", 0, "this node's unique ID")
+		listen    = fs.String("listen", "127.0.0.1:7946", "TCP/UDP listen address")
+		join      = fs.String("join", "", "contact as id@host:port (empty for the first node)")
+		root      = fs.Bool("root", false, "become the initial tree root")
+		quiet     = fs.Bool("quiet", false, "do not echo received messages")
+		inc       = fs.Uint("incarnation", 0, "incarnation number; a process rejoining under an ID it used before must pass a higher value than its previous life")
+		adminAddr = fs.String("admin-addr", "", "HTTP admin listen address serving /metrics, /statusz, /healthz, /tracez, /debug/pprof (empty disables)")
 
 		dialTimeout    = fs.Duration("dial-timeout", 0, "per-connection dial timeout (0 = default 5s)")
 		writeTimeout   = fs.Duration("write-timeout", 0, "per-frame write deadline (0 = default 10s)")
@@ -52,9 +97,12 @@ func run(args []string) error {
 		storeMaxBytes = fs.Int64("store-max-bytes", 0, "message store capacity in payload bytes (0 = default 64 MiB)")
 		syncInterval  = fs.Duration("sync-interval", 0, "period of anti-entropy digest sync with neighbors (0 = default 30s, negative disables)")
 		syncBatch     = fs.Int("sync-batch-bytes", 0, "payload byte budget per sync reply batch (0 = default 256 KiB)")
+
+		traceCap    = fs.Int("trace-capacity", 0, "protocol trace ring size in events (0 = default 1024, negative disables)")
+		traceSample = fs.Int("trace-sample", 0, "record every Nth protocol event in the trace ring (0/1 = all)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, err
 	}
 
 	cfg := gocast.DefaultConfig()
@@ -72,77 +120,122 @@ func run(args []string) error {
 		IdleTimeout:      *idleTimeout,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	node := gocast.NewNode(gocast.NodeOptions{
-		ID:          gocast.NodeID(*id),
-		Config:      cfg,
-		Transport:   tr,
-		Seed:        time.Now().UnixNano(),
-		Incarnation: uint32(*inc),
+	a := &app{tr: tr, quiet: *quiet}
+	a.node = gocast.NewNode(gocast.NodeOptions{
+		ID:            gocast.NodeID(*id),
+		Config:        cfg,
+		Transport:     tr,
+		Seed:          time.Now().UnixNano(),
+		Incarnation:   uint32(*inc),
+		TraceCapacity: *traceCap,
+		TraceSample:   *traceSample,
 		OnDeliver: func(mid gocast.MessageID, payload []byte, age time.Duration) {
 			if !*quiet {
 				fmt.Printf("[%s age=%v] %s\n", mid, age.Round(time.Millisecond), payload)
 			}
 		},
 	})
-	defer node.Close()
-	fmt.Printf("node %d listening on %s\n", *id, tr.Addr())
+	fmt.Fprintf(w, "node %d listening on %s\n", *id, tr.Addr())
+
+	if *adminAddr != "" {
+		a.admin, err = gocast.ServeAdmin(*adminAddr, gocast.AdminOptions{
+			Registry: a.node.Registry(),
+			Trace:    a.node.Trace(),
+			Status:   func() any { return a.node.Status() },
+			Health:   a.node.Health,
+		})
+		if err != nil {
+			a.node.Close()
+			return nil, err
+		}
+		fmt.Fprintf(w, "admin endpoint on http://%s/ (/metrics /statusz /healthz /tracez /debug/pprof)\n", a.admin.Addr())
+	}
 
 	switch {
 	case *root:
-		node.BecomeRoot()
-		node.SetLandmarks([]gocast.Entry{node.Entry()})
-		fmt.Println("acting as initial tree root")
+		a.node.BecomeRoot()
+		a.node.SetLandmarks([]gocast.Entry{a.node.Entry()})
+		fmt.Fprintln(w, "acting as initial tree root")
 	case *join != "":
 		contact, err := parseContact(*join)
 		if err != nil {
-			return err
+			a.close()
+			return nil, err
 		}
-		node.Join(contact)
-		fmt.Printf("joining via node %d at %s\n", contact.ID, contact.Addr)
+		a.node.Join(contact)
+		fmt.Fprintf(w, "joining via node %d at %s\n", contact.ID, contact.Addr)
 	default:
-		return fmt.Errorf("need -root or -join")
+		a.close()
+		return nil, fmt.Errorf("need -root or -join")
 	}
+	return a, nil
+}
 
-	go func() {
-		sc := bufio.NewScanner(os.Stdin)
-		for sc.Scan() {
-			line := strings.TrimSpace(sc.Text())
-			if line == "" {
-				continue
+// close stops the admin endpoint and leaves the group.
+func (a *app) close() {
+	if a.admin != nil {
+		_ = a.admin.Close()
+	}
+	a.node.Close()
+}
+
+// handleLine processes one stdin line: a /command answered locally, or a
+// payload multicast to the group.
+func (a *app) handleLine(line string, w io.Writer) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return
+	}
+	switch {
+	case line == "/status":
+		st := a.node.Status()
+		fmt.Fprintf(w, "degree=%d members=%d root=%d parent=%d store=%d msgs/%d bytes\n",
+			st.Degree, st.Members, st.Root, st.Parent, st.StoreMessages, st.StoreBytes)
+	case line == "/stats":
+		s := a.node.Stats()
+		fmt.Fprintf(w, "delivered=%d injected=%d duplicates=%d pulls=%d peer_downs=%d\n",
+			s.Delivered, s.Injected, s.Duplicates, s.PullsSent, s.PeerDowns)
+		for _, group := range []map[string]int64{a.node.ChurnStats(), a.node.SyncStats(), a.node.StoreStats(), a.node.TransportStats()} {
+			names := make([]string, 0, len(group))
+			for name := range group {
+				names = append(names, name)
 			}
-			if line == "/status" {
-				fmt.Printf("degree=%d root=%d parent=%d\n",
-					node.Degree(), node.Root(), node.Parent())
-				continue
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(w, "%s=%d\n", name, group[name])
 			}
-			if line == "/stats" {
-				s := node.Stats()
-				fmt.Printf("delivered=%d injected=%d duplicates=%d pulls=%d peer_downs=%d\n",
-					s.Delivered, s.Injected, s.Duplicates, s.PullsSent, s.PeerDowns)
-				for _, group := range []map[string]int64{node.ChurnStats(), node.SyncStats(), node.StoreStats(), node.TransportStats()} {
-					names := make([]string, 0, len(group))
-					for name := range group {
-						names = append(names, name)
-					}
-					sort.Strings(names)
-					for _, name := range names {
-						fmt.Printf("%s=%d\n", name, group[name])
-					}
-				}
-				continue
-			}
-			mid := node.Multicast([]byte(line))
-			fmt.Printf("sent %s\n", mid)
 		}
-	}()
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("\nleaving group")
-	return nil
+	case line == "/trace" || strings.HasPrefix(line, "/trace "):
+		tb := a.node.Trace()
+		if tb == nil {
+			fmt.Fprintln(w, "tracing disabled (-trace-capacity < 0)")
+			return
+		}
+		n := 20
+		if rest := strings.TrimSpace(strings.TrimPrefix(line, "/trace")); rest != "" {
+			v, err := strconv.Atoi(rest)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(w, "usage: /trace [N]\n")
+				return
+			}
+			n = v
+		}
+		events := tb.Snapshot()
+		if len(events) > n {
+			events = events[len(events)-n:]
+		}
+		for _, e := range events {
+			fmt.Fprintln(w, e)
+		}
+		fmt.Fprintf(w, "-- %d events shown (%d evicted)\n", len(events), tb.Dropped())
+	case strings.HasPrefix(line, "/"):
+		fmt.Fprintf(w, "unknown command %q (have /status /stats /trace)\n", strings.Fields(line)[0])
+	default:
+		mid := a.node.Multicast([]byte(line))
+		fmt.Fprintf(w, "sent %s\n", mid)
+	}
 }
 
 func parseContact(s string) (gocast.Entry, error) {

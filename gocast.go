@@ -49,7 +49,9 @@ import (
 	"gocast/internal/core"
 	"gocast/internal/live"
 	"gocast/internal/netsim"
+	"gocast/internal/obs"
 	"gocast/internal/store"
+	"gocast/internal/trace"
 )
 
 // Re-exported protocol types. The aliases keep the public API in one
@@ -120,6 +122,27 @@ type (
 	// ChurnStats counts what a churn run actually did.
 	ChurnStats = live.ChurnStats
 
+	// Registry is a lock-cheap metrics registry (counters, gauges, latency
+	// histograms) with Prometheus text exposition; every live Node carries
+	// one, and NodeOptions.Registry shares an external one.
+	Registry = obs.Registry
+	// MetricSnapshot is one registry family's point-in-time state.
+	MetricSnapshot = obs.MetricSnapshot
+	// AdminServer is a running HTTP admin endpoint (/metrics, /statusz,
+	// /healthz, /tracez, /debug/pprof).
+	AdminServer = obs.AdminServer
+	// AdminOptions wires a node's observability surfaces into ServeAdmin.
+	AdminOptions = obs.AdminOptions
+	// StatusSnapshot is a live node's point-in-time status (/statusz body).
+	StatusSnapshot = live.StatusSnapshot
+	// TraceBuffer is a bounded ring of recent protocol events; every live
+	// Node records into one (see NodeOptions.TraceCapacity/TraceSample).
+	TraceBuffer = trace.Buffer
+	// TraceEvent is one recorded protocol event.
+	TraceEvent = trace.Event
+	// TraceFilter selects trace events when querying a TraceBuffer.
+	TraceFilter = trace.Filter
+
 	// MessageStore buffers multicast payloads between receipt and
 	// reclamation; Config.NewStore swaps in alternative implementations.
 	MessageStore = store.MessageStore
@@ -170,6 +193,18 @@ func NewMemoryStore(l StoreLimits) MessageStore { return store.NewMemory(l) }
 
 // NewNode starts a live GoCast node.
 func NewNode(opts NodeOptions) *Node { return live.NewNode(opts) }
+
+// NewRegistry returns an empty metrics registry, for sharing between a
+// node and process-level metrics via NodeOptions.Registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// ServeAdmin starts the HTTP admin endpoint (Prometheus /metrics, JSON
+// /statusz, /healthz, /tracez, net/http/pprof) on addr in a background
+// goroutine.
+func ServeAdmin(addr string, o AdminOptions) (*AdminServer, error) { return obs.ServeAdmin(addr, o) }
+
+// PrometheusContentType is the Content-Type of /metrics responses.
+const PrometheusContentType = obs.PrometheusContentType
 
 // ErrStopped reports an API call against a live node after Close or Kill.
 var ErrStopped = live.ErrStopped

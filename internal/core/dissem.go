@@ -42,6 +42,9 @@ type pullState struct {
 	ageAtLearn time.Duration
 	next       int
 	timer      Timer
+	// pullSentAt is when the most recent PullRequest for this ID left,
+	// 0 while no pull has been issued yet (observability only).
+	pullSentAt time.Duration
 }
 
 const reclaimScanPeriod = 5 * time.Second
@@ -74,6 +77,9 @@ func (n *Node) Multicast(payload []byte) MessageID {
 	n.recent = append(n.recent, id)
 	n.stats.Injected++
 	n.deliverLocal(id, st, payload)
+	if n.obs != nil {
+		n.obs.Event(EvDeliver, None, PackMessageID(id), 0)
+	}
 	n.forwardTree(id, st, payload, None)
 	return id
 }
@@ -102,6 +108,9 @@ func (n *Node) forwardTree(id MessageID, st *msgState, payload []byte, except No
 			continue
 		}
 		n.stats.TreeForwards++
+		if n.obs != nil {
+			n.obs.Event(EvSend, t, PackMessageID(id), 0)
+		}
 		n.env.Send(t, &Multicast{ID: id, Age: n.ageOf(st), Payload: payload, ViaTree: true})
 	}
 }
@@ -134,18 +143,39 @@ func (n *Node) handleMulticast(from NodeID, m *Multicast) {
 		if ps.timer != nil {
 			ps.timer.Stop()
 		}
+		if n.obs != nil && ps.pullSentAt > 0 {
+			n.obs.ObservePullRTT(n.env.Now() - ps.pullSentAt)
+		}
 		delete(n.pending, m.ID)
 	}
 	n.deliverLocal(m.ID, st, m.Payload)
+	if n.obs != nil {
+		if m.ViaTree {
+			n.obs.ObserveTreeForward(n.ageOf(st))
+		}
+		n.obs.Event(EvDeliver, from, PackMessageID(m.ID), int64(n.ageOf(st)))
+	}
 	n.forwardTree(m.ID, st, m.Payload, from)
 }
 
-// gossipTick sends the periodic summary to the next neighbor round-robin.
+// gossipTick re-arms the gossip timer and runs one round, timing it when
+// an observer is installed.
 func (n *Node) gossipTick() {
 	if !n.running {
 		return
 	}
 	n.gossipTimer = n.env.After(n.cfg.GossipPeriod, n.gossipTick)
+	if n.obs == nil {
+		n.gossipRound()
+		return
+	}
+	start := n.env.Now()
+	n.gossipRound()
+	n.obs.ObserveGossipRound(n.env.Now() - start)
+}
+
+// gossipRound sends the periodic summary to the next neighbor round-robin.
+func (n *Node) gossipRound() {
 	if len(n.neighborOrder) == 0 {
 		return
 	}
@@ -289,6 +319,10 @@ func (n *Node) handleGossip(from NodeID, g *Gossip) {
 		if wait <= 0 {
 			pullNow = append(pullNow, gid.ID)
 			ps.next = 1 // first holder about to be asked
+			ps.pullSentAt = n.env.Now()
+			if n.obs != nil {
+				n.obs.Event(EvPull, from, PackMessageID(gid.ID), 0)
+			}
 			ps.timer = n.startPullRetry(gid.ID)
 			continue
 		}
@@ -312,8 +346,13 @@ func (n *Node) firePull(id MessageID) {
 		return
 	}
 	holder := ps.holders[ps.next%len(ps.holders)]
+	attempt := ps.next
 	ps.next++
+	ps.pullSentAt = n.env.Now()
 	n.stats.PullsSent++
+	if n.obs != nil {
+		n.obs.Event(EvPull, holder, PackMessageID(id), int64(attempt))
+	}
 	n.env.Send(holder, &PullRequest{IDs: []MessageID{id}})
 	ps.timer = n.startPullRetry(id)
 }
@@ -399,9 +438,16 @@ func (n *Node) reclaimTick() {
 		return
 	}
 	n.reclaimTimer = n.env.After(reclaimScanPeriod, n.reclaimTick)
+	var start time.Duration
+	if n.obs != nil {
+		start = n.env.Now()
+	}
 	res := n.store.GC(n.env.Now())
 	for _, id := range res.Dropped {
 		delete(n.seen, mid(id))
+	}
+	if n.obs != nil {
+		n.obs.ObserveStoreGC(len(res.Reclaimed), len(res.Dropped), n.env.Now()-start)
 	}
 }
 

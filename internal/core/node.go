@@ -100,6 +100,15 @@ type Node struct {
 	syncTimer     Timer
 
 	stats Counters
+
+	// obs, when non-nil, receives latency observations and sampled protocol
+	// events (see observe.go). Nil keeps every hook a single branch.
+	obs Observer
+
+	// repairing/detachedAt time the window between losing the tree parent
+	// and re-attaching (or taking over as root), for ObserveTreeRepair.
+	repairing  bool
+	detachedAt time.Duration
 }
 
 // distInfinity marks an unknown distance to the tree root.

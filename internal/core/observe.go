@@ -1,0 +1,75 @@
+package core
+
+import "time"
+
+// Observer receives protocol telemetry from a node. A nil observer (the
+// default) costs a single nil-check per hook, so the discrete-event
+// simulator pays nothing; the live runtime installs one that feeds the
+// metrics registry and trace ring.
+//
+// All hooks run on the node's logical thread and must not call back into
+// the node.
+type Observer interface {
+	// ObserveTreeForward records the estimated injection-to-delivery age of
+	// a payload that arrived over a tree link.
+	ObserveTreeForward(age time.Duration)
+	// ObserveGossipRound records the wall time one gossip tick spent
+	// building and sending its summary.
+	ObserveGossipRound(d time.Duration)
+	// ObservePullRTT records the time from sending a PullRequest to the
+	// pulled payload landing.
+	ObservePullRTT(d time.Duration)
+	// ObserveSyncPage records one anti-entropy reply batch: item count and
+	// total payload bytes.
+	ObserveSyncPage(items int, bytes int64)
+	// ObserveTreeRepair records the time the node spent detached from the
+	// tree after losing its parent, until it re-attached or took over as
+	// root.
+	ObserveTreeRepair(d time.Duration)
+	// ObserveStoreGC records one store GC sweep: payloads reclaimed,
+	// records dropped entirely, and sweep duration.
+	ObserveStoreGC(reclaimed, dropped int, d time.Duration)
+	// Event reports one sampled protocol event. The meaning of a and b
+	// depends on ev; see the ObsEvent constants. Message IDs are packed
+	// with PackMessageID.
+	Event(ev ObsEvent, peer NodeID, a, b int64)
+}
+
+// ObsEvent classifies protocol events reported via Observer.Event.
+type ObsEvent uint8
+
+const (
+	// EvSend: a tree push left for peer; a = packed message ID.
+	EvSend ObsEvent = iota + 1
+	// EvDeliver: a payload was delivered locally; peer is the sender (None
+	// for a local injection), a = packed message ID, b = estimated age in
+	// nanoseconds.
+	EvDeliver
+	// EvLinkUp: an overlay link to peer appeared; a = LinkKind, b = RTT ns.
+	EvLinkUp
+	// EvLinkDown: an overlay link to peer vanished; a = LinkKind, b = RTT ns.
+	EvLinkDown
+	// EvParent: the tree parent changed to peer (None when detached);
+	// a = old parent, b = new parent.
+	EvParent
+	// EvRoot: the node's view of the tree root changed to peer;
+	// a = old root, b = new root.
+	EvRoot
+	// EvPull: a PullRequest left for peer; a = packed message ID,
+	// b = attempt number (0 for the immediate first pull).
+	EvPull
+)
+
+// PackMessageID packs a MessageID into one int64 for the Event hook.
+func PackMessageID(id MessageID) int64 {
+	return int64(id.Source)<<32 | int64(id.Seq)
+}
+
+// UnpackMessageID reverses PackMessageID.
+func UnpackMessageID(v int64) MessageID {
+	return MessageID{Source: NodeID(v >> 32), Seq: uint32(v)}
+}
+
+// SetObserver installs (or removes, with nil) the node's observer. Must be
+// called on the node's logical thread, normally before Start.
+func (n *Node) SetObserver(o Observer) { n.obs = o }

@@ -526,6 +526,9 @@ func (n *Node) addNeighbor(e Entry, kind LinkKind, rtt time.Duration) {
 	n.neighbors[e.ID] = nb
 	n.neighborOrder = append(n.neighborOrder, e.ID)
 	n.stats.LinkAdds++
+	if n.obs != nil {
+		n.obs.Event(EvLinkUp, e.ID, int64(kind), int64(rtt))
+	}
 	n.reannounceTo(e.ID)
 	if n.onLinkChange != nil {
 		n.onLinkChange(true, kind, e.ID, rtt)
@@ -551,6 +554,9 @@ func (n *Node) removeNeighbor(peer NodeID, notify bool) {
 		}
 	}
 	n.stats.LinkDrops++
+	if n.obs != nil {
+		n.obs.Event(EvLinkDown, peer, int64(nb.kind), int64(nb.rtt))
+	}
 	if notify {
 		n.env.Send(peer, &Drop{Degrees: n.degrees()})
 	}

@@ -102,10 +102,15 @@ func (n *Node) handleSyncRequest(from NodeID, m *SyncRequest) {
 	if len(items) == 0 {
 		return
 	}
+	var pageBytes int64
+	for _, it := range items {
+		pageBytes += int64(len(it.Payload))
+	}
 	n.stats.SyncRepliesSent++
 	n.stats.SyncItemsSent += int64(len(items))
-	for _, it := range items {
-		n.stats.SyncBytesSent += int64(len(it.Payload))
+	n.stats.SyncBytesSent += pageBytes
+	if n.obs != nil {
+		n.obs.ObserveSyncPage(len(items), pageBytes)
 	}
 	n.env.Send(from, &SyncReply{Items: items, More: more})
 }

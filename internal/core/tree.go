@@ -91,10 +91,14 @@ func (n *Node) handleTreeAdvert(from NodeID, m *TreeAdvert) {
 				n.heartbeat.Stop()
 			}
 		}
+		oldRoot := n.treeRoot
 		n.treeEpoch, n.treeRoot, n.treeWave = m.Epoch, m.Root, m.Wave
 		n.lastWaveAt = n.env.Now()
 		n.distToRoot = d
 		n.lostDist = 0
+		if n.obs != nil && oldRoot != m.Root {
+			n.obs.Event(EvRoot, m.Root, int64(oldRoot), int64(m.Root))
+		}
 		n.setParent(from)
 		n.advertiseTree(None)
 		return
@@ -140,6 +144,15 @@ func (n *Node) setParent(p NodeID) {
 	if p != None {
 		n.env.Send(p, &TreeParent{On: true})
 	}
+	if n.obs != nil {
+		if p != None && n.repairing {
+			n.obs.ObserveTreeRepair(n.env.Now() - n.detachedAt)
+		}
+		n.obs.Event(EvParent, p, int64(old), int64(p))
+	}
+	if p != None {
+		n.repairing = false
+	}
 	if n.onParentChange != nil {
 		n.onParentChange(old, p)
 	}
@@ -177,9 +190,14 @@ func (n *Node) treeOnLinkDown(peer NodeID) {
 	if n.onParentChange != nil {
 		n.onParentChange(peer, None)
 	}
+	if n.obs != nil {
+		n.obs.Event(EvParent, None, int64(peer), int64(None))
+	}
 	if !n.cfg.EnableTree {
 		return
 	}
+	n.repairing = true
+	n.detachedAt = n.env.Now()
 	old := n.distToRoot
 	n.distToRoot = distInfinity
 	// Re-pick from cached same-wave advertisements. Only accept paths
@@ -239,6 +257,7 @@ func (n *Node) checkRootLiveness() {
 	if n.env.Now()-n.lastWaveAt <= n.cfg.RootTimeout+n.rootJitter {
 		return
 	}
+	oldRoot := n.treeRoot
 	n.treeEpoch++
 	n.treeRoot = n.id
 	n.treeWave = 0
@@ -246,6 +265,13 @@ func (n *Node) checkRootLiveness() {
 	n.distToRoot = 0
 	n.lastWaveAt = n.env.Now()
 	n.stats.RootTakeovers++
+	if n.obs != nil {
+		if n.repairing {
+			n.obs.ObserveTreeRepair(n.env.Now() - n.detachedAt)
+		}
+		n.obs.Event(EvRoot, n.id, int64(oldRoot), int64(n.id))
+	}
+	n.repairing = false
 	n.scheduleHeartbeat(0)
 }
 

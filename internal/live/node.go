@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"gocast/internal/core"
+	"gocast/internal/obs"
+	"gocast/internal/trace"
 )
 
 // ErrStopped reports an API call against a node after Close or Kill.
@@ -35,13 +37,26 @@ type NodeOptions struct {
 	// methods from inside it (hand work to another goroutine instead) —
 	// they wait on the same loop and would deadlock.
 	OnDeliver core.DeliverFunc
+	// Registry receives the node's metrics. Nil creates a private registry
+	// (retrievable via Registry()), so the stats accessors always work.
+	// Share one registry across nodes only in single-node processes:
+	// metric names carry no node label, so two nodes sharing a registry
+	// would overwrite each other's mirrors.
+	Registry *obs.Registry
+	// TraceCapacity sizes the protocol event trace ring: 0 selects the
+	// default (1024 events), negative disables tracing entirely.
+	TraceCapacity int
+	// TraceSample records every Nth protocol event in the trace ring
+	// (0 and 1 record all). Latency histograms are never sampled.
+	TraceSample int
 }
 
 // Node hosts one GoCast protocol instance on real time. All protocol work
 // happens on a single mailbox goroutine; the exported methods are safe for
-// concurrent use. After Close or Kill, accessors return zero values —
-// Stopped reports that state, and the internal call path yields
-// ErrStopped — and never block.
+// concurrent use. After Close or Kill, live accessors (Degree, Parent, ...)
+// return zero values — Stopped reports that state, and the internal call
+// path yields ErrStopped — and never block; the stats accessors instead
+// keep returning the final pre-stop snapshot frozen in the registry.
 type Node struct {
 	opts  NodeOptions
 	coreN *core.Node
@@ -50,6 +65,15 @@ type Node struct {
 	mailbox chan func()
 	stopped chan struct{}
 	once    sync.Once
+
+	// Observability surfaces (see obs.go). reg is never nil; tbuf is nil
+	// when tracing is disabled. lastStats/lastStatus cache the most recent
+	// collect so stats stay readable after Close/Kill.
+	reg        *obs.Registry
+	tbuf       *trace.Buffer
+	obsMu      sync.Mutex
+	lastStats  core.Counters
+	lastStatus StatusSnapshot
 }
 
 // NewNode builds and starts a live node. It is immediately ready to
@@ -86,6 +110,7 @@ func NewNode(opts NodeOptions) *Node {
 	if mt, ok := inner.(*MemTransport); ok {
 		mt.SetFrom(opts.ID)
 	}
+	n.setupObs()
 	opts.Transport.SetHandlers(
 		func(from core.NodeID, m core.Message) {
 			n.post(func() {
@@ -172,72 +197,37 @@ func (n *Node) Parent() core.NodeID {
 	return p
 }
 
-// Stats snapshots the node's protocol counters.
+// Stats snapshots the node's protocol counters. After Close/Kill it
+// returns the final pre-stop snapshot instead of zeros.
 func (n *Node) Stats() core.Counters {
-	var s core.Counters
-	n.call(func() { s = n.coreN.Stats() })
-	return s
+	n.collect()
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	return n.lastStats
 }
 
 // TransportStats snapshots the transport's counters, if the transport
 // exposes them (TCPTransport and FaultTransport do); otherwise nil. It
 // remains available after the node stops.
 func (n *Node) TransportStats() map[string]int64 {
-	if s, ok := n.opts.Transport.(interface{ Stats() map[string]int64 }); ok {
-		return s.Stats()
+	out := n.statsView("transport")
+	if len(out) == 0 {
+		return nil
 	}
-	return nil
+	return out
 }
 
 // ChurnStats snapshots the node's churn-resilience counters in the same
-// map shape as TransportStats, for /stats-style surfacing. Zero values on
-// a stopped node.
-func (n *Node) ChurnStats() map[string]int64 {
-	s := n.Stats()
-	return map[string]int64{
-		"incarnation":         int64(n.opts.Incarnation),
-		"stale_inc_rejects":   s.StaleIncRejects,
-		"obits_recorded":      s.ObitsRecorded,
-		"obits_honored":       s.ObitsHonored,
-		"stale_links_dropped": s.StaleLinksDropped,
-		"rejoins_observed":    s.RejoinsObserved,
-		"self_refutes":        s.SelfRefutes,
-	}
-}
+// map shape as TransportStats, for /stats-style surfacing.
+func (n *Node) ChurnStats() map[string]int64 { return n.statsView("churn") }
 
 // SyncStats snapshots the anti-entropy sync and pull-miss counters in the
-// same map shape as TransportStats, for /stats-style surfacing. Zero
-// values on a stopped node.
-func (n *Node) SyncStats() map[string]int64 {
-	s := n.Stats()
-	return map[string]int64{
-		"sync_requests_sent": s.SyncRequestsSent,
-		"sync_requests_recv": s.SyncRequestsRecv,
-		"sync_replies_sent":  s.SyncRepliesSent,
-		"sync_replies_recv":  s.SyncRepliesRecv,
-		"sync_items_sent":    s.SyncItemsSent,
-		"sync_items_recv":    s.SyncItemsRecv,
-		"sync_bytes_sent":    s.SyncBytesSent,
-		"pull_misses_sent":   s.PullMissesSent,
-		"pull_misses_recv":   s.PullMissesRecv,
-	}
-}
+// same map shape as TransportStats, for /stats-style surfacing.
+func (n *Node) SyncStats() map[string]int64 { return n.statsView("sync") }
 
 // StoreStats snapshots the message store's occupancy and activity counters
-// (puts, evictions, reclaims, ...). Nil on a stopped node.
-func (n *Node) StoreStats() map[string]int64 {
-	var out map[string]int64
-	n.call(func() {
-		st := n.coreN.Store()
-		out = st.Counters()
-		if out == nil {
-			out = map[string]int64{}
-		}
-		out["live_messages"] = int64(st.Len())
-		out["live_bytes"] = st.Bytes()
-	})
-	return out
-}
+// (puts, evictions, reclaims, ...).
+func (n *Node) StoreStats() map[string]int64 { return n.statsView("store") }
 
 // Seen reports whether the node has received the message.
 func (n *Node) Seen(id core.MessageID) bool {
@@ -250,6 +240,7 @@ func (n *Node) Seen(id core.MessageID) bool {
 func (n *Node) Close() {
 	n.once.Do(func() {
 		n.call(func() { n.coreN.Leave() })
+		n.collect() // freeze the final counters in the registry
 		close(n.stopped)
 		_ = n.opts.Transport.Close()
 	})
@@ -260,6 +251,7 @@ func (n *Node) Close() {
 func (n *Node) Kill() {
 	n.once.Do(func() {
 		n.call(func() { n.coreN.Stop() })
+		n.collect() // freeze the final counters in the registry
 		close(n.stopped)
 		_ = n.opts.Transport.Close()
 	})

@@ -1,0 +1,342 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"gocast/internal/core"
+	"gocast/internal/obs"
+	"gocast/internal/trace"
+)
+
+// defaultTraceCapacity sizes the per-node trace ring when NodeOptions does
+// not specify one.
+const defaultTraceCapacity = 1024
+
+// StatusSnapshot is a point-in-time view of one node, served by /statusz.
+type StatusSnapshot struct {
+	ID            core.NodeID `json:"id"`
+	Addr          string      `json:"addr"`
+	Incarnation   uint32      `json:"incarnation"`
+	Degree        int         `json:"degree"`
+	Members       int         `json:"members"`
+	Parent        core.NodeID `json:"parent"`
+	Root          core.NodeID `json:"root"`
+	DistToRoot    string      `json:"dist_to_root,omitempty"`
+	StoreMessages int         `json:"store_messages"`
+	StoreBytes    int64       `json:"store_bytes"`
+	Stopped       bool        `json:"stopped"`
+}
+
+// nodeObs adapts core.Observer onto the metrics registry and the trace
+// ring. All methods run on the node's event loop; the histogram and
+// counter handles are captured once so the hot path stays allocation-free.
+type nodeObs struct {
+	n *Node
+
+	treeForward *obs.Histogram
+	gossipRound *obs.Histogram
+	pullRTT     *obs.Histogram
+	treeRepair  *obs.Histogram
+	gcSweep     *obs.Histogram
+	syncPage    *obs.Histogram
+
+	syncPages   *obs.Counter
+	gcReclaimed *obs.Counter
+	gcDropped   *obs.Counter
+
+	sample  int   // record every sample-th protocol event (<=1 = all)
+	evCount int64 // event-loop only, no atomics needed
+}
+
+var _ core.Observer = (*nodeObs)(nil)
+
+func (o *nodeObs) ObserveTreeForward(age time.Duration) { o.treeForward.ObserveDuration(age) }
+func (o *nodeObs) ObserveGossipRound(d time.Duration)   { o.gossipRound.ObserveDuration(d) }
+func (o *nodeObs) ObservePullRTT(d time.Duration)       { o.pullRTT.ObserveDuration(d) }
+func (o *nodeObs) ObserveTreeRepair(d time.Duration)    { o.treeRepair.ObserveDuration(d) }
+
+func (o *nodeObs) ObserveSyncPage(items int, bytes int64) {
+	o.syncPages.Inc()
+	o.syncPage.Observe(float64(bytes))
+}
+
+func (o *nodeObs) ObserveStoreGC(reclaimed, dropped int, d time.Duration) {
+	o.gcSweep.ObserveDuration(d)
+	o.gcReclaimed.Add(int64(reclaimed))
+	o.gcDropped.Add(int64(dropped))
+}
+
+func (o *nodeObs) Event(ev core.ObsEvent, peer core.NodeID, a, b int64) {
+	if o.n.tbuf == nil {
+		return
+	}
+	o.evCount++
+	if o.sample > 1 && (o.evCount-1)%int64(o.sample) != 0 {
+		return
+	}
+	e := trace.Event{At: o.n.env.Now(), Node: int32(o.n.opts.ID), Peer: int32(peer)}
+	switch ev {
+	case core.EvSend:
+		id := core.UnpackMessageID(a)
+		e.Kind = trace.KindSend
+		e.Detail = fmt.Sprintf("msg=%d/%d", id.Source, id.Seq)
+	case core.EvDeliver:
+		id := core.UnpackMessageID(a)
+		e.Kind = trace.KindDeliver
+		e.Detail = fmt.Sprintf("msg=%d/%d age=%v", id.Source, id.Seq, time.Duration(b))
+	case core.EvLinkUp:
+		e.Kind = trace.KindLinkUp
+		e.Detail = fmt.Sprintf("kind=%v rtt=%v", core.LinkKind(a), time.Duration(b))
+	case core.EvLinkDown:
+		e.Kind = trace.KindLinkDown
+		e.Detail = fmt.Sprintf("kind=%v rtt=%v", core.LinkKind(a), time.Duration(b))
+	case core.EvParent:
+		e.Kind = trace.KindParentChange
+		e.Detail = fmt.Sprintf("%d -> %d", a, b)
+	case core.EvRoot:
+		e.Kind = trace.KindRootChange
+		e.Detail = fmt.Sprintf("%d -> %d", a, b)
+	case core.EvPull:
+		id := core.UnpackMessageID(a)
+		e.Kind = trace.KindPull
+		e.Detail = fmt.Sprintf("msg=%d/%d attempt=%d", id.Source, id.Seq, b)
+	default:
+		return
+	}
+	o.n.tbuf.Add(e)
+}
+
+// setupObs wires the node's registry, trace ring, and core observer. Called
+// from NewNode before the event loop starts.
+func (n *Node) setupObs() {
+	reg := n.opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	n.reg = reg
+	capa := n.opts.TraceCapacity
+	if capa == 0 {
+		capa = defaultTraceCapacity
+	}
+	if capa > 0 {
+		n.tbuf = trace.NewBuffer(capa)
+	}
+	n.coreN.SetObserver(&nodeObs{
+		n:           n,
+		sample:      n.opts.TraceSample,
+		treeForward: reg.Histogram("gocast_core_tree_forward_latency_seconds", "estimated injection-to-delivery age of payloads received over tree links", nil),
+		gossipRound: reg.Histogram("gocast_core_gossip_round_duration_seconds", "wall time spent building and sending one gossip summary", nil),
+		pullRTT:     reg.Histogram("gocast_core_pull_rtt_seconds", "time from sending a PullRequest to the pulled payload landing", nil),
+		treeRepair:  reg.Histogram("gocast_core_tree_repair_duration_seconds", "time spent detached from the tree after losing the parent", nil),
+		gcSweep:     reg.Histogram("gocast_store_gc_sweep_duration_seconds", "duration of one message-store GC sweep", nil),
+		syncPage:    reg.Histogram("gocast_sync_page_bytes", "payload bytes per served anti-entropy reply batch", obs.DefByteBuckets),
+		syncPages:   reg.Counter("gocast_sync_pages_served_total", "anti-entropy reply batches served"),
+		gcReclaimed: reg.Counter("gocast_store_gc_reclaimed_total", "payloads reclaimed by store GC sweeps"),
+		gcDropped:   reg.Counter("gocast_store_gc_dropped_total", "records dropped entirely by store GC sweeps"),
+	})
+	// Pre-register the transport counter families present in the transport
+	// chain, so e.g. gocast_transport_tcp_redials_total exists (at zero)
+	// from the very first scrape rather than appearing after the first
+	// redial.
+	for t := n.opts.Transport; t != nil; {
+		if ft, ok := t.(*FaultTransport); ok {
+			for _, c := range []string{CtrFaultBlocked, CtrFaultDropped, CtrFaultDelayed,
+				CtrFaultDuplicated, CtrFaultReordered, CtrFaultPassed} {
+				reg.Counter("gocast_transport_"+c+"_total", "transport counter "+c)
+			}
+			t = ft.Inner()
+			continue
+		}
+		if _, ok := t.(*TCPTransport); ok {
+			for _, c := range []string{CtrDials, CtrDialErrors, CtrRedials, CtrBackoffResets,
+				CtrWriteErrors, CtrFramesRequeue, CtrFramesDropped, CtrQueueOverflow,
+				CtrEncodeErrors, CtrIdleReaped, CtrPeersFailed} {
+				reg.Counter("gocast_transport_"+c+"_total", "transport counter "+c)
+			}
+		}
+		break
+	}
+	reg.AddCollector(n.collect)
+}
+
+// collect mirrors the node's protocol, store, and transport state into the
+// registry and refreshes the cached stats/status snapshots. It runs at
+// scrape time (as a registry collector) and from the stats accessors. Once
+// the node has stopped, the core-side mirror is skipped and the registry
+// keeps the values of the final collect performed during Close/Kill.
+func (n *Node) collect() {
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	var (
+		s            core.Counters
+		inc          uint32
+		degree       int
+		members      int
+		parent, root core.NodeID
+		dist         time.Duration
+		distOK       bool
+		storeCtr     map[string]int64
+		storeLen     int
+		storeBytes   int64
+	)
+	if err := n.call(func() {
+		s = n.coreN.Stats()
+		inc = n.coreN.Incarnation()
+		degree = n.coreN.Degree()
+		members = n.coreN.MemberCount()
+		parent = n.coreN.Parent()
+		root = n.coreN.Root()
+		dist, distOK = n.coreN.DistToRoot()
+		st := n.coreN.Store()
+		storeCtr = st.Counters()
+		storeLen = st.Len()
+		storeBytes = st.Bytes()
+	}); err == nil {
+		n.lastStats = s
+		n.lastStatus = StatusSnapshot{
+			ID:            n.opts.ID,
+			Addr:          n.opts.Transport.Addr(),
+			Incarnation:   inc,
+			Degree:        degree,
+			Members:       members,
+			Parent:        parent,
+			Root:          root,
+			StoreMessages: storeLen,
+			StoreBytes:    storeBytes,
+		}
+		if distOK {
+			n.lastStatus.DistToRoot = dist.String()
+		}
+		n.mirrorCore(s, inc, degree, members, storeCtr, storeLen, storeBytes)
+	}
+	// Transport counters stay readable after the node stops.
+	if ts, ok := n.opts.Transport.(interface{ Stats() map[string]int64 }); ok {
+		for k, v := range ts.Stats() {
+			n.reg.Counter("gocast_transport_"+k+"_total", "transport counter "+k).Set(v)
+		}
+	}
+}
+
+// mirrorCore copies one consistent core snapshot into the registry. Metric
+// names are chosen so that stripping the gocast_<group>_ prefix and _total
+// suffix reproduces the keys the legacy per-group stats maps used.
+func (n *Node) mirrorCore(s core.Counters, inc uint32, degree, members int, storeCtr map[string]int64, storeLen int, storeBytes int64) {
+	set := func(name string, v int64) {
+		n.reg.Counter(name, "core protocol counter (see core.Counters)").Set(v)
+	}
+	// Dissemination and overlay maintenance.
+	set("gocast_core_injected_total", s.Injected)
+	set("gocast_core_delivered_total", s.Delivered)
+	set("gocast_core_payloads_recv_total", s.PayloadsRecv)
+	set("gocast_core_duplicates_total", s.Duplicates)
+	set("gocast_core_tree_forwards_total", s.TreeForwards)
+	set("gocast_core_gossips_sent_total", s.GossipsSent)
+	set("gocast_core_gossips_recv_total", s.GossipsRecv)
+	set("gocast_core_ids_announced_total", s.IDsAnnounced)
+	set("gocast_core_pulls_sent_total", s.PullsSent)
+	set("gocast_core_pulls_served_total", s.PullsServed)
+	set("gocast_core_pull_retries_total", s.PullRetries)
+	set("gocast_core_reannounced_total", s.Reannounced)
+	set("gocast_core_adds_sent_total", s.AddsSent)
+	set("gocast_core_adds_accepted_total", s.AddsAccepted)
+	set("gocast_core_adds_rejected_total", s.AddsRejected)
+	set("gocast_core_link_adds_total", s.LinkAdds)
+	set("gocast_core_link_drops_total", s.LinkDrops)
+	set("gocast_core_rebalances_total", s.Rebalances)
+	set("gocast_core_pings_sent_total", s.PingsSent)
+	set("gocast_core_tree_adverts_total", s.TreeAdverts)
+	set("gocast_core_root_takeovers_total", s.RootTakeovers)
+	set("gocast_core_peer_downs_total", s.PeerDowns)
+	// Anti-entropy sync.
+	set("gocast_sync_requests_sent_total", s.SyncRequestsSent)
+	set("gocast_sync_requests_recv_total", s.SyncRequestsRecv)
+	set("gocast_sync_replies_sent_total", s.SyncRepliesSent)
+	set("gocast_sync_replies_recv_total", s.SyncRepliesRecv)
+	set("gocast_sync_items_sent_total", s.SyncItemsSent)
+	set("gocast_sync_items_recv_total", s.SyncItemsRecv)
+	set("gocast_sync_bytes_sent_total", s.SyncBytesSent)
+	set("gocast_sync_pull_misses_sent_total", s.PullMissesSent)
+	set("gocast_sync_pull_misses_recv_total", s.PullMissesRecv)
+	// Churn hygiene.
+	set("gocast_churn_stale_inc_rejects_total", s.StaleIncRejects)
+	set("gocast_churn_obits_recorded_total", s.ObitsRecorded)
+	set("gocast_churn_obits_honored_total", s.ObitsHonored)
+	set("gocast_churn_stale_links_dropped_total", s.StaleLinksDropped)
+	set("gocast_churn_rejoins_observed_total", s.RejoinsObserved)
+	set("gocast_churn_self_refutes_total", s.SelfRefutes)
+	n.reg.Gauge("gocast_churn_incarnation", "this node's current incarnation number").Set(int64(inc))
+	// Overlay and membership occupancy.
+	n.reg.Gauge("gocast_core_degree", "current overlay degree").Set(int64(degree))
+	n.reg.Gauge("gocast_core_members", "current partial-view member count").Set(int64(members))
+	// Store occupancy and activity.
+	for k, v := range storeCtr {
+		n.reg.Counter("gocast_store_"+k+"_total", "message store counter "+k).Set(v)
+	}
+	n.reg.Gauge("gocast_store_live_messages", "payloads currently buffered in the message store").Set(int64(storeLen))
+	n.reg.Gauge("gocast_store_live_bytes", "payload bytes currently buffered in the message store").Set(storeBytes)
+}
+
+// statsView snapshots the registry's gocast_<group>_* counters and gauges
+// as a flat map, stripping the group prefix and the counter _total suffix —
+// the shape the per-group stats accessors have always returned. Histograms
+// are omitted (scrape /metrics for those). Unlike the pre-registry
+// implementations, the view stays available after Close/Kill, returning the
+// final collected values instead of zeros.
+func (n *Node) statsView(group string) map[string]int64 {
+	prefix := "gocast_" + group + "_"
+	out := map[string]int64{}
+	for _, m := range n.reg.Gather() {
+		if m.Type == obs.TypeHistogram || !strings.HasPrefix(m.Name, prefix) {
+			continue
+		}
+		key := strings.TrimPrefix(m.Name, prefix)
+		if m.Type == obs.TypeCounter {
+			key = strings.TrimSuffix(key, "_total")
+		}
+		out[key] = m.Value
+	}
+	return out
+}
+
+// Registry returns the node's metrics registry (never nil). When
+// NodeOptions.Registry was set, this is that shared registry.
+func (n *Node) Registry() *obs.Registry { return n.reg }
+
+// Trace returns the node's protocol event ring, or nil when tracing was
+// disabled with a negative NodeOptions.TraceCapacity.
+func (n *Node) Trace() *trace.Buffer { return n.tbuf }
+
+// Status returns a point-in-time view of the node for /statusz-style
+// surfacing. After Close/Kill it reports the last state collected before
+// the stop, with Stopped set.
+func (n *Node) Status() StatusSnapshot {
+	n.collect()
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	st := n.lastStatus
+	st.Stopped = n.Stopped()
+	return st
+}
+
+// Health reports nil while the node looks able to participate in the
+// group: running, aware of a tree root, and — once it has ever held an
+// overlay link — still connected to at least one neighbor. The error text
+// becomes the /healthz failure body.
+func (n *Node) Health() error {
+	if n.Stopped() {
+		return ErrStopped
+	}
+	n.collect()
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	if n.lastStats.LinkAdds > 0 && n.lastStatus.Degree == 0 {
+		return fmt.Errorf("overlay disconnected: no neighbors left (%d members known)", n.lastStatus.Members)
+	}
+	if n.coreN.Config().EnableTree && n.lastStatus.Root == core.None {
+		return errors.New("no tree root known")
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package live
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gocast/internal/trace"
+)
+
+// TestHealthFlipsUnhealthyOnPartition pins the /healthz acceptance
+// criterion: a node that loses every overlay neighbor (here: its only peer
+// is killed) reports unhealthy once failure detection notices.
+func TestHealthFlipsUnhealthyOnPartition(t *testing.T) {
+	c := NewCluster(ClusterOptions{Nodes: 2, Config: FastConfig(), Seed: 11})
+	defer c.Close()
+	if !c.AwaitDegree(1, 10*time.Second) {
+		t.Fatalf("pair never linked")
+	}
+	if err := c.Node(0).Health(); err != nil {
+		t.Fatalf("linked node unhealthy: %v", err)
+	}
+
+	c.Node(1).Kill()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		err := c.Node(0).Health()
+		if err != nil {
+			if !strings.Contains(err.Error(), "disconnected") {
+				t.Fatalf("unexpected health error: %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor never turned unhealthy after losing its only neighbor")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// A stopped node is unhealthy by definition.
+	if err := c.Node(1).Health(); err == nil {
+		t.Fatalf("killed node reports healthy")
+	}
+}
+
+// TestObsMetricsAndTraceWiring drives one multicast through a pair and
+// checks that the registry histograms and the trace ring observed it.
+func TestObsMetricsAndTraceWiring(t *testing.T) {
+	c := NewCluster(ClusterOptions{Nodes: 2, Config: FastConfig(), Seed: 12})
+	defer c.Close()
+	if !c.AwaitDegree(1, 10*time.Second) {
+		t.Fatalf("pair never linked")
+	}
+	// Wait for the first heartbeat wave to attach node 1 to the tree, so
+	// the multicast below travels as a tree push (not a gossip pull).
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Node(1).Parent() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("node 1 never attached to the tree")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	id := c.Node(0).Multicast([]byte("trace me"))
+	deadline = time.Now().Add(5 * time.Second)
+	for !c.Node(1).Seen(id) {
+		if time.Now().After(deadline) {
+			t.Fatalf("multicast never delivered")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The receiver got the payload over a tree link, so its tree-forward
+	// latency histogram must have at least one observation.
+	var forwardCount, gossipCount int64
+	for _, m := range c.Node(1).Registry().Gather() {
+		switch m.Name {
+		case "gocast_core_tree_forward_latency_seconds":
+			forwardCount = m.Hist.Count
+		case "gocast_core_gossip_round_duration_seconds":
+			gossipCount = m.Hist.Count
+		}
+	}
+	if forwardCount < 1 {
+		t.Errorf("tree-forward latency histogram empty on the receiver")
+	}
+	if gossipCount < 1 {
+		t.Errorf("gossip round duration histogram empty")
+	}
+
+	// Both ends traced the message: a send on the source, a delivery on
+	// both (the source delivers locally too).
+	tb := c.Node(1).Trace()
+	if tb == nil {
+		t.Fatalf("trace ring disabled by default")
+	}
+	delivers := tb.Query(trace.Filter{Kinds: []trace.Kind{trace.KindDeliver}, Node: -1})
+	if len(delivers) == 0 {
+		t.Errorf("receiver trace has no deliver events: %s", tb.Summary())
+	}
+	ups := tb.Query(trace.Filter{Kinds: []trace.Kind{trace.KindLinkUp}, Node: -1})
+	if len(ups) == 0 {
+		t.Errorf("receiver trace has no link-up events: %s", tb.Summary())
+	}
+}
+
+// TestStatusSnapshotSurvivesStop checks /statusz's data source before and
+// after a stop.
+func TestStatusSnapshotSurvivesStop(t *testing.T) {
+	c := NewCluster(ClusterOptions{Nodes: 2, Config: FastConfig(), Seed: 13})
+	defer c.Close()
+	if !c.AwaitDegree(1, 10*time.Second) {
+		t.Fatalf("pair never linked")
+	}
+	st := c.Node(1).Status()
+	if st.ID != 1 || st.Degree < 1 || st.Addr == "" {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Stopped {
+		t.Fatalf("running node reports stopped")
+	}
+	c.Node(1).Close()
+	st = c.Node(1).Status()
+	if !st.Stopped {
+		t.Fatalf("stopped node's status lacks Stopped")
+	}
+	if st.ID != 1 {
+		t.Fatalf("post-stop status lost identity: %+v", st)
+	}
+}
+
+// TestTraceSampling checks the 1-in-N trace knob: with a large sampling
+// divisor only a fraction of events lands in the ring.
+func TestTraceSampling(t *testing.T) {
+	net := NewMemNetwork(time.Millisecond, 7)
+	n := NewNode(NodeOptions{ID: 1, Config: FastConfig(), Transport: net.Endpoint("s1"), Seed: 1, TraceSample: 1000})
+	defer n.Close()
+	n.BecomeRoot()
+	for i := 0; i < 50; i++ {
+		n.Multicast([]byte("x"))
+	}
+	// 50 local deliveries at 1-in-1000 sampling: at most one event (the
+	// first) may be recorded.
+	if got := n.Trace().Len(); got > 1 {
+		t.Fatalf("trace recorded %d events at 1-in-1000 sampling, want <= 1", got)
+	}
+
+	// Negative capacity disables the ring entirely.
+	n2 := NewNode(NodeOptions{ID: 2, Config: FastConfig(), Transport: net.Endpoint("s2"), Seed: 2, TraceCapacity: -1})
+	defer n2.Close()
+	if n2.Trace() != nil {
+		t.Fatalf("TraceCapacity<0 still allocated a ring")
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"gocast/internal/trace"
+)
+
+// AdminOptions wires a node's observability surfaces into the HTTP admin
+// endpoint. Every field is optional; endpoints without a backing surface
+// answer 404 (trace) or a trivial response (status, health).
+type AdminOptions struct {
+	// Registry backs /metrics (Prometheus text format) and feeds the
+	// metrics portion of /statusz.
+	Registry *Registry
+	// Trace backs /tracez and renders recent protocol events.
+	Trace *trace.Buffer
+	// Status returns the /statusz payload (any JSON-marshalable value):
+	// degrees, parent, root, incarnation, store occupancy.
+	Status func() any
+	// Health reports nil when the node is healthy; the error text becomes
+	// the /healthz failure body (HTTP 503).
+	Health func() error
+}
+
+// NewAdminHandler builds the admin mux:
+//
+//	/metrics  Prometheus text exposition
+//	/statusz  JSON node status snapshot
+//	/healthz  200 "ok" or 503 with the failure reason
+//	/tracez   recent trace-ring events as text (?n=N tail, ?kind=K filter)
+//	/debug/pprof/...  net/http/pprof
+func NewAdminHandler(o AdminOptions) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if o.Registry == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", PrometheusContentType)
+		_ = o.Registry.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		payload := map[string]any{}
+		if o.Status != nil {
+			payload["node"] = o.Status()
+		}
+		if o.Registry != nil {
+			payload["metrics"] = o.Registry.Snapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if o.Health != nil {
+			if err := o.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, req *http.Request) {
+		if o.Trace == nil {
+			http.NotFound(w, req)
+			return
+		}
+		f := trace.Filter{Node: -1}
+		events := o.Trace.Query(f)
+		if s := req.URL.Query().Get("kind"); s != "" {
+			var keep []trace.Event
+			for _, e := range events {
+				if e.Kind.String() == s {
+					keep = append(keep, e)
+				}
+			}
+			events = keep
+		}
+		n := len(events)
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v >= 0 && v < n {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, e := range events[len(events)-n:] {
+			fmt.Fprintln(w, e)
+		}
+		fmt.Fprintf(w, "-- %d/%d events shown (%d evicted)\n", n, len(events), o.Trace.Dropped())
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// AdminServer is a running admin HTTP endpoint.
+type AdminServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeAdmin listens on addr (e.g. "127.0.0.1:0") and serves the admin
+// endpoints in a background goroutine until Close.
+func ServeAdmin(addr string, o AdminOptions) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewAdminHandler(o),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &AdminServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *AdminServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *AdminServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gocast/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("gocast_test_pings_total", "pings").Add(3)
+	tb := trace.NewBuffer(16)
+	tb.Add(trace.Event{At: time.Second, Kind: trace.KindDeliver, Node: 1, Peer: 2, Detail: "msg=1/0"})
+	tb.Add(trace.Event{At: 2 * time.Second, Kind: trace.KindParentChange, Node: 1, Peer: -1, Detail: "0 -> 2"})
+
+	healthy := true
+	srv, err := ServeAdmin("127.0.0.1:0", AdminOptions{
+		Registry: reg,
+		Trace:    tb,
+		Status:   func() any { return map[string]int{"degree": 6} },
+		Health: func() error {
+			if !healthy {
+				return errors.New("overlay disconnected")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "gocast_test_pings_total 3") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var status struct {
+		Node    map[string]int `json:"node"`
+		Metrics map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if status.Node["degree"] != 6 {
+		t.Errorf("statusz node = %v", status.Node)
+	}
+	if _, ok := status.Metrics["gocast_test_pings_total"]; !ok {
+		t.Errorf("statusz metrics missing counter: %v", status.Metrics)
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthy /healthz = %d %q", code, body)
+	}
+	healthy = false
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "overlay disconnected") {
+		t.Errorf("unhealthy /healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/tracez")
+	if code != http.StatusOK || !strings.Contains(body, "deliver") || !strings.Contains(body, "parent") {
+		t.Errorf("/tracez = %d:\n%s", code, body)
+	}
+	code, body = get(t, base+"/tracez?n=1")
+	if strings.Contains(body, "deliver") || !strings.Contains(body, "parent") {
+		t.Errorf("/tracez?n=1 should show only the newest event (%d):\n%s", code, body)
+	}
+	code, body = get(t, base+"/tracez?kind=deliver")
+	if !strings.Contains(body, "deliver") || strings.Contains(body, "parent") {
+		t.Errorf("/tracez?kind=deliver filter broken (%d):\n%s", code, body)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("pprof cmdline = %d", code)
+	}
+}
+
+func TestAdminWithoutSurfaces(t *testing.T) {
+	srv, err := ServeAdmin("127.0.0.1:0", AdminOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, _ := get(t, base+"/metrics"); code != http.StatusNotFound {
+		t.Errorf("/metrics without registry = %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/tracez"); code != http.StatusNotFound {
+		t.Errorf("/tracez without buffer = %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz without checker = %d, want 200", code)
+	}
+	code, body := get(t, base+"/statusz")
+	if code != http.StatusOK {
+		t.Errorf("/statusz = %d %s", code, body)
+	}
+}

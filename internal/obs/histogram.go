@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets are the default histogram bounds for latency metrics,
+// in seconds: 1 ms to 60 s, roughly exponential. They cover everything
+// from in-process gossip rounds (sub-millisecond, landing in the first
+// bucket) to wide-area tree repair under churn.
+var DefLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// DefByteBuckets are histogram bounds for payload-size metrics, in bytes.
+var DefByteBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20,
+}
+
+// Histogram counts observations in fixed buckets and tracks their sum,
+// supporting Prometheus histogram exposition and quantile estimates
+// (p50/p90/p99) interpolated within buckets. Observe is a handful of
+// atomic adds with zero allocations and is safe for concurrent use with
+// readers; readers see each observation's bucket, sum, and count updates
+// independently, so a snapshot taken mid-observation can be off by the
+// in-flight observation — acceptable for monitoring, and race-free.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds; implicit +Inf bucket at the end
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Uint64  // float64 bits, CAS-updated
+	count  atomic.Int64
+}
+
+// NewHistogram returns a histogram with the given bucket upper bounds
+// (nil or empty selects DefLatencyBuckets). Bounds must be sorted
+// ascending; the +Inf bucket is implicit.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: histogram bounds must be sorted strictly ascending")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the bucket containing the target rank. Values in the +Inf bucket
+// are reported as the largest finite bound. Returns 0 with no data.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Snapshot the bucket counts once so the estimate is internally
+	// consistent even while writers are active.
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: the best point estimate available is the
+			// largest finite bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		if c == 0 {
+			return upper
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSnapshot is a consistent-enough copy for exposition.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"-"`
+	Counts []int64   `json:"-"` // per-bucket (non-cumulative), +Inf last
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+}
+
+// Snapshot copies the histogram's state and quantile estimates.
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	// Sum is read after the buckets; with concurrent writers it can lead
+	// the bucket counts by in-flight observations, which Prometheus
+	// tolerates (scrapes are not atomic either).
+	s.Sum = h.Sum()
+	s.P50 = h.Quantile(0.50)
+	s.P90 = h.Quantile(0.90)
+	s.P99 = h.Quantile(0.99)
+	return s
+}

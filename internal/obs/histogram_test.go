@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 1, 1, 1} // le=1 gets 0.5 and 1 (bounds are inclusive), le=2 gets 1.5, le=4 gets 3, +Inf gets 100
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-106) > 1e-9 {
+		t.Errorf("sum = %v, want 106", s.Sum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(nil)
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile != 0")
+	}
+	// 100 observations of ~50ms: p50 and p99 must land in the (25ms, 50ms]
+	// bucket.
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(50 * time.Millisecond)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if got <= 0.025 || got > 0.050 {
+			t.Errorf("q%v = %v, want within (0.025, 0.050]", q, got)
+		}
+	}
+	// A clear bimodal split: 90 fast (~5ms) + 10 slow (~5s). p50 stays in
+	// the fast bucket, p99 lands in the slow one.
+	h2 := NewHistogram(nil)
+	for i := 0; i < 90; i++ {
+		h2.Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(5)
+	}
+	if p50 := h2.Quantile(0.5); p50 > 0.01 {
+		t.Errorf("p50 = %v, want <= 0.01", p50)
+	}
+	if p99 := h2.Quantile(0.99); p99 < 2.5 || p99 > 5 {
+		t.Errorf("p99 = %v, want within [2.5, 5]", p99)
+	}
+	// Observations beyond every bound are reported as the largest finite
+	// bound, never infinity.
+	h3 := NewHistogram([]float64{1})
+	h3.Observe(1e9)
+	if got := h3.Quantile(0.99); got != 1 {
+		t.Errorf("overflow quantile = %v, want 1 (largest finite bound)", got)
+	}
+}
+
+// TestHistogramConcurrentObserveAndRead drives writers and quantile
+// readers in parallel; under -race this proves the hot path is data-race
+// free, and afterwards the totals must be exact.
+func TestHistogramConcurrentObserveAndRead(t *testing.T) {
+	h := NewHistogram(nil)
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = h.Quantile(0.99)
+				_ = h.Snapshot()
+			}
+		}()
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("count = %d, want %d", got, writers*perWriter)
+	}
+	var fromBuckets int64
+	for _, c := range h.Snapshot().Counts {
+		fromBuckets += c
+	}
+	if fromBuckets != writers*perWriter {
+		t.Fatalf("bucket total = %d, want %d", fromBuckets, writers*perWriter)
+	}
+	// Sum of 0..99/1000 per 100 observations = 4.95; writers*perWriter/100
+	// blocks of that.
+	wantSum := 4.95 * float64(writers*perWriter) / 100
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-3 {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestUnsortedBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unsorted bounds accepted")
+		}
+	}()
+	NewHistogram([]float64{2, 1})
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (text/plain; version=0.0.4): one # HELP and # TYPE line per
+// family, families sorted by name, histograms with cumulative le buckets
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.Gather() {
+		if err := writeFamily(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusContentType is the Content-Type of WritePrometheus output.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func writeFamily(w io.Writer, m MetricSnapshot) error {
+	help := m.Help
+	if help == "" {
+		help = m.Name
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		m.Name, escapeHelp(help), m.Name, m.Type); err != nil {
+		return err
+	}
+	switch m.Type {
+	case TypeCounter, TypeGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.Value)
+		return err
+	case TypeHistogram:
+		h := m.Hist
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, le, cum); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			m.Name, formatFloat(h.Sum), m.Name, h.Count)
+		return err
+	}
+	return nil
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Snapshot returns a JSON-friendly view of the registry: counters and
+// gauges as numbers, histograms as {count, sum, p50, p90, p99} objects.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.Gather() {
+		switch m.Type {
+		case TypeHistogram:
+			out[m.Name] = m.Hist
+		default:
+			out[m.Name] = m.Value
+		}
+	}
+	return out
+}
+
+// WriteJSON renders Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

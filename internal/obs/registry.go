@@ -1,0 +1,222 @@
+// Package obs is GoCast's unified observability layer: a lock-cheap
+// metrics registry (counters, gauges, fixed-bucket latency histograms),
+// Prometheus text-format exposition, a JSON snapshot, and the HTTP admin
+// endpoint live deployments scrape.
+//
+// Hot-path operations — Counter.Add, Gauge.Set, Histogram.Observe — are
+// single atomic updates with zero allocations, so protocol code can call
+// them per message. Registration (Registry.Counter and friends) takes a
+// mutex and is meant for setup or scrape time, not per-event use.
+//
+// Metric names follow gocast_<subsystem>_<name>[_<unit>][_total]:
+// gocast_core_tree_forward_latency_seconds, gocast_sync_items_sent_total,
+// gocast_store_live_bytes. Names are validated at registration.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. The zero value is unusable;
+// obtain counters from a Registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (must be >= 0 to keep the counter monotonic; negative
+// deltas are ignored).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Set overwrites the counter's value. It exists for collectors that mirror
+// an externally accumulated monotonic total (core protocol counters,
+// transport counters) into the registry at scrape time; hot paths should
+// use Inc/Add.
+func (c *Counter) Set(v int64) { c.v.Store(v) }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Type classifies a registered metric.
+type Type uint8
+
+// Metric types.
+const (
+	TypeCounter Type = iota + 1
+	TypeGauge
+	TypeHistogram
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// metric is one registered family.
+type metric struct {
+	name string
+	help string
+	typ  Type
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds a process's (or one node's) metrics. Lookup and
+// registration are mutex-protected; the returned Counter/Gauge/Histogram
+// handles are lock-free and should be captured once, not re-looked-up on
+// hot paths.
+type Registry struct {
+	mu         sync.Mutex
+	metrics    map[string]*metric
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// validName reports whether name matches the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if len(name) == 0 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the named metric, creating it via mk on first use.
+// Registration is idempotent per (name, type); re-registering a name under
+// a different type panics — that is a programming error, not runtime
+// input.
+func (r *Registry) lookup(name, help string, typ Type, mk func(*metric)) *metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.typ != typ {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, typ, m.typ))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, typ: typ}
+	mk(m)
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.lookup(name, help, TypeCounter, func(m *metric) { m.counter = &Counter{} })
+	return m.counter
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.lookup(name, help, TypeGauge, func(m *metric) { m.gauge = &Gauge{} })
+	return m.gauge
+}
+
+// Histogram returns the named histogram, registering it on first use with
+// the given bucket upper bounds (nil selects DefLatencyBuckets). Bounds
+// are fixed at registration; later calls ignore the argument.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.lookup(name, help, TypeHistogram, func(m *metric) { m.hist = NewHistogram(bounds) })
+	return m.hist
+}
+
+// AddCollector registers fn to run at the start of every Gather (and thus
+// every scrape and snapshot). Collectors refresh mirrored values — e.g.
+// copying a node's protocol counters into registry metrics — so the
+// registry only pays for them when someone is looking.
+func (r *Registry) AddCollector(fn func()) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// MetricSnapshot is one family's point-in-time state.
+type MetricSnapshot struct {
+	Name  string
+	Help  string
+	Type  Type
+	Value int64              // counters and gauges
+	Hist  *HistogramSnapshot // histograms
+}
+
+// Gather runs the collectors and returns every family sorted by name.
+func (r *Registry) Gather() []MetricSnapshot {
+	// Collectors run outside the lock: they call back into the registry
+	// (Gauge(...).Set) and may snapshot other subsystems.
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn()
+	}
+
+	r.mu.Lock()
+	out := make([]MetricSnapshot, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		s := MetricSnapshot{Name: m.name, Help: m.help, Type: m.typ}
+		switch m.typ {
+		case TypeCounter:
+			s.Value = m.counter.Value()
+		case TypeGauge:
+			s.Value = m.gauge.Value()
+		case TypeHistogram:
+			s.Hist = m.hist.Snapshot()
+		}
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

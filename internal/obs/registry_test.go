@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gocast_test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	c.Add(-2) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("gocast_test_depth", "depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("gocast_test_x_total", "x")
+	b := r.Counter("gocast_test_x_total", "ignored on re-registration")
+	if a != b {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("handles do not share state")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gocast_test_y_total", "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("gocast_test_y_total", "y")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	for _, name := range []string{"", "0leading", "has space", "dash-ed", "dot.ted"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", name)
+				}
+			}()
+			NewRegistry().Counter(name, "bad")
+		}()
+	}
+	// And these are fine.
+	for _, name := range []string{"a", "_x", "ns:sub_name", "gocast_core_gossips_sent_total"} {
+		NewRegistry().Counter(name, "good")
+	}
+}
+
+func TestGatherSortedAndCollectorRuns(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gocast_test_b_total", "b")
+	r.Counter("gocast_test_a_total", "a")
+	collected := 0
+	r.AddCollector(func() {
+		collected++
+		r.Gauge("gocast_test_mirrored", "set by collector").Set(42)
+	})
+	ms := r.Gather()
+	if collected != 1 {
+		t.Fatalf("collector ran %d times, want 1", collected)
+	}
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("gather not sorted: %v", names)
+		}
+	}
+	found := false
+	for _, m := range ms {
+		if m.Name == "gocast_test_mirrored" && m.Value == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("collector-set gauge missing from gather: %v", names)
+	}
+}
+
+// TestHotPathAllocs pins the acceptance criterion: counter increment and
+// histogram observe allocate nothing.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gocast_test_hot_total", "hot")
+	h := r.Histogram("gocast_test_hot_seconds", "hot", nil)
+	if allocs := testing.AllocsPerRun(1000, func() { c.Inc() }); allocs != 0 {
+		t.Errorf("Counter.Inc allocates %v/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.042) }); allocs != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op, want 0", allocs)
+	}
+	g := r.Gauge("gocast_test_hot_depth", "hot")
+	if allocs := testing.AllocsPerRun(1000, func() { g.Set(3) }); allocs != 0 {
+		t.Errorf("Gauge.Set allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gocast_test_n_total", "n").Add(3)
+	r.Histogram("gocast_test_lat_seconds", "lat", nil).Observe(0.2)
+	snap := r.Snapshot()
+	if v, ok := snap["gocast_test_n_total"].(int64); !ok || v != 3 {
+		t.Fatalf("counter snapshot = %#v", snap["gocast_test_n_total"])
+	}
+	hs, ok := snap["gocast_test_lat_seconds"].(*HistogramSnapshot)
+	if !ok || hs.Count != 1 {
+		t.Fatalf("histogram snapshot = %#v", snap["gocast_test_lat_seconds"])
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"gocast_test_n_total": 3`, `"p50"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("JSON snapshot missing %s:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Runs the root-package benchmarks (bench_test.go) and records each
+# benchmark's name, ns/op, and allocs/op in BENCH_<date>.json at the
+# repo root, so the performance trajectory is tracked PR over PR.
+#
+# Usage: scripts/bench.sh [bench-regexp] [benchtime]
+#   scripts/bench.sh                 # all benchmarks, one iteration each
+#   scripts/bench.sh 'Obs' 100000x   # just the registry hot paths
+set -eu
+
+cd "$(dirname "$0")/.."
+pattern="${1:-.}"
+benchtime="${2:-1x}"
+out="BENCH_$(date +%F).json"
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem -timeout 0 . |
+	tee /dev/stderr |
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			ns = ""; allocs = ""
+			for (i = 2; i <= NF; i++) {
+				if ($i == "ns/op") ns = $(i - 1)
+				if ($i == "allocs/op") allocs = $(i - 1)
+			}
+			if (ns == "") next
+			if (allocs == "") allocs = "null"
+			if (n++) printf ",\n"
+			printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs
+		}
+		BEGIN { printf "[\n" }
+		END   { printf "\n]\n" }
+	' >"$out"
+
+echo "wrote $out" >&2
