@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -32,16 +33,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gocast-experiments", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "which figure to regenerate: all,1,3a,3b,3a-curves,3b-curves,4,5a,5b,6,hears,redundancy,linkchanges,randsweep,diameter,stress,fanoutsweep,ablate,churn,recovery ('all' skips the -curves variants)")
-		scale  = fs.String("scale", "quick", "experiment scale: paper or quick")
-		nodes  = fs.Int("nodes", 0, "override the node count")
-		seed   = fs.Int64("seed", 0, "override the random seed")
-		warmup = fs.Duration("warmup", 0, "override the adaptation warmup")
-		msgs   = fs.Int("messages", 0, "override the message count")
+		fig      = fs.String("fig", "all", "which figure to regenerate: all,1,3a,3b,3a-curves,3b-curves,4,5a,5b,6,hears,redundancy,linkchanges,randsweep,diameter,stress,fanoutsweep,ablate,churn,recovery ('all' skips the -curves variants)")
+		scale    = fs.String("scale", "quick", "experiment scale: paper or quick")
+		nodes    = fs.Int("nodes", 0, "override the node count")
+		seed     = fs.Int64("seed", 0, "override the random seed")
+		warmup   = fs.Duration("warmup", 0, "override the adaptation warmup")
+		msgs     = fs.Int("messages", 0, "override the message count")
+		parallel = fs.Int("parallel", 1, "simulations to run concurrently within an experiment (0 = NumCPU); results are identical at any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *parallel <= 0 {
+		*parallel = runtime.NumCPU()
+	}
+	experiments.SetParallelism(*parallel)
 
 	var sc experiments.Scale
 	switch *scale {

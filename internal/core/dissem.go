@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"time"
 
 	"gocast/internal/store"
@@ -27,12 +28,17 @@ import (
 type msgState struct {
 	receivedAt   time.Duration
 	ageAtReceipt time.Duration
-	// announcedTo and heardFrom bound the per-neighbor gossip rule: gossip
-	// each ID to each neighbor at most once, never back to a node it was
-	// heard from.
-	announcedTo  []NodeID
-	heardFrom    []NodeID
-	announceDone bool
+	// announcedMask and heardMask bound the per-neighbor gossip rule
+	// (gossip each ID to each neighbor at most once, never back to a node
+	// it was heard from) as bitmasks over the node's neighbor-slot table:
+	// bit s set means this ID was announced to / heard from the holder of
+	// slot s. Degree is bounded at C+1 ≈ 6–7, so a uint64 is ample; peers
+	// without a slot (non-neighbors) are simply not recorded, which is
+	// equivalent — a re-added neighbor's marks are scrubbed either way
+	// (see reannounceTo), and non-neighbors are never consulted.
+	announcedMask uint64
+	heardMask     uint64
+	announceDone  bool
 }
 
 // pullState tracks a message known only by ID (from gossips).
@@ -47,7 +53,140 @@ type pullState struct {
 	pullSentAt time.Duration
 }
 
+// invalidSlot marks a neighbor holding no bitmask slot (only possible
+// past 64 concurrent slot holders).
+const invalidSlot = 0xFF
+
+// slotBit returns the bitmask bit of peer's neighbor slot, or 0 when peer
+// is not a current neighbor (OR-ing 0 into a mask is a no-op, matching
+// the old slices' irrelevant bookkeeping for non-neighbors).
+func (n *Node) slotBit(peer NodeID) uint64 {
+	nb := n.neighbors[peer]
+	if nb == nil || nb.slot == invalidSlot {
+		return 0
+	}
+	return 1 << nb.slot
+}
+
+// allocSlot assigns a bitmask slot to a new neighbor: its parked slot
+// from a previous link if one is retired, else a free slot.
+func (n *Node) allocSlot(peer NodeID) uint8 {
+	if s, ok := n.retiredSlots[peer]; ok {
+		delete(n.retiredSlots, peer)
+		return s
+	}
+	if n.slotUsed == ^uint64(0) {
+		n.scrubRetiredSlots()
+	}
+	if n.slotUsed == ^uint64(0) {
+		return invalidSlot
+	}
+	s := uint8(bits.TrailingZeros64(^n.slotUsed))
+	n.slotUsed |= 1 << s
+	return s
+}
+
+// retireSlot parks a removed neighbor's slot WITHOUT clearing its bits,
+// so a later re-add still sees what was announced to that peer — the same
+// information the old per-message NodeID slices retained across link
+// breaks (it feeds the Reannounced accounting in reannounceTo).
+func (n *Node) retireSlot(peer NodeID, slot uint8) {
+	if slot == invalidSlot {
+		return
+	}
+	n.retiredSlots[peer] = slot
+}
+
+// scrubRetiredSlots clears every retired slot's bits from the in-flight
+// messages and frees the slots. Needed only when all 64 slots are taken,
+// which bounded degree makes rare.
+func (n *Node) scrubRetiredSlots() {
+	if len(n.retiredSlots) == 0 {
+		return
+	}
+	var mask uint64
+	for _, s := range n.retiredSlots {
+		mask |= 1 << s
+	}
+	for _, id := range n.recent {
+		if st := n.seen[pid(id)]; st != nil {
+			st.announcedMask &^= mask
+			st.heardMask &^= mask
+		}
+	}
+	n.slotUsed &^= mask
+	for k := range n.retiredSlots {
+		delete(n.retiredSlots, k)
+	}
+}
+
+// getMsgState takes a zeroed record from the free list (or allocates).
+func (n *Node) getMsgState() *msgState {
+	if k := len(n.msgFree) - 1; k >= 0 {
+		st := n.msgFree[k]
+		n.msgFree = n.msgFree[:k]
+		*st = msgState{}
+		return st
+	}
+	return &msgState{}
+}
+
+// putMsgState returns a record whose ID left the seen map.
+func (n *Node) putMsgState(st *msgState) { n.msgFree = append(n.msgFree, st) }
+
+// getPullState takes a reset record from the free list, keeping the
+// holders slice's capacity.
+func (n *Node) getPullState() *pullState {
+	if k := len(n.pullFree) - 1; k >= 0 {
+		ps := n.pullFree[k]
+		n.pullFree = n.pullFree[:k]
+		h := ps.holders[:0]
+		*ps = pullState{holders: h}
+		return ps
+	}
+	return &pullState{}
+}
+
+// putPullState recycles a record removed from the pending map. Armed
+// retry closures capture the MessageID, never the record, so a late
+// firing after recycling finds nothing in pending and is inert.
+func (n *Node) putPullState(ps *pullState) { n.pullFree = append(n.pullFree, ps) }
+
+// newGossip, newMulticast, and newPullRequest take wire structs from the
+// env's pool when it has one (the simulator recycles them after
+// delivery); otherwise they allocate. After env.Send the struct belongs
+// to the substrate and must not be touched again.
+func (n *Node) newGossip() *Gossip {
+	if n.pool != nil {
+		return n.pool.GetGossip()
+	}
+	return &Gossip{}
+}
+
+func (n *Node) newMulticast(id MessageID, age time.Duration, payload []byte, viaTree bool) *Multicast {
+	if n.pool != nil {
+		m := n.pool.GetMulticast()
+		m.ID, m.Age, m.Payload, m.ViaTree = id, age, payload, viaTree
+		return m
+	}
+	return &Multicast{ID: id, Age: age, Payload: payload, ViaTree: viaTree}
+}
+
+func (n *Node) newPullRequest() *PullRequest {
+	if n.pool != nil {
+		return n.pool.GetPullRequest()
+	}
+	return &PullRequest{}
+}
+
 const reclaimScanPeriod = 5 * time.Second
+
+// pid packs a MessageID into the uint64 key of the seen and pending
+// maps. Struct-keyed Go maps hash through the generic layout; a uint64
+// key takes the runtime's fast64 path, which is measurably cheaper at
+// millions of lookups per simulated second (the per-gossip-ID dedupe
+// check is the single hottest map access in the simulator).
+func pid(id MessageID) uint64 { return uint64(uint32(id.Source))<<32 | uint64(id.Seq) }
 
 // sid converts a MessageID to its store key.
 func sid(id MessageID) store.ID {
@@ -71,8 +210,9 @@ func (n *Node) NextMessageID() MessageID {
 func (n *Node) Multicast(payload []byte) MessageID {
 	id := MessageID{Source: n.id, Seq: n.nextSeq}
 	n.nextSeq++
-	st := &msgState{receivedAt: n.env.Now()}
-	n.seen[id] = st
+	st := n.getMsgState()
+	st.receivedAt = n.env.Now()
+	n.seen[pid(id)] = st
 	n.store.Put(sid(id), payload, n.env.Now())
 	n.recent = append(n.recent, id)
 	n.stats.Injected++
@@ -104,24 +244,24 @@ func (n *Node) forwardTree(id MessageID, st *msgState, payload []byte, except No
 		return
 	}
 	for _, t := range n.TreeNeighbors() {
-		if t == except || containsID(st.heardFrom, t) {
+		if t == except || st.heardMask&n.slotBit(t) != 0 {
 			continue
 		}
 		n.stats.TreeForwards++
 		if n.obs != nil {
 			n.obs.Event(EvSend, t, PackMessageID(id), 0)
 		}
-		n.env.Send(t, &Multicast{ID: id, Age: n.ageOf(st), Payload: payload, ViaTree: true})
+		n.env.Send(t, n.newMulticast(id, n.ageOf(st), payload, true))
 	}
 }
 
 // handleMulticast receives a payload, via tree push, pull response, or
 // sync recovery.
 func (n *Node) handleMulticast(from NodeID, m *Multicast) {
-	if st, ok := n.seen[m.ID]; ok {
+	if st, ok := n.seen[pid(m.ID)]; ok {
 		// Redundant copy (the 2% case discussed in Section 2.1).
 		n.stats.Duplicates++
-		addID(&st.heardFrom, from)
+		st.heardMask |= n.slotBit(from)
 		return
 	}
 	// The age estimate accumulates hop by hop: the sender stamps its own
@@ -130,23 +270,21 @@ func (n *Node) handleMulticast(from NodeID, m *Multicast) {
 	if nb := n.neighbors[from]; nb != nil {
 		age += n.linkLatency(nb)
 	}
-	st := &msgState{
-		receivedAt:   n.env.Now(),
-		ageAtReceipt: age,
-		heardFrom:    []NodeID{from},
-	}
-	n.seen[m.ID] = st
+	st := n.getMsgState()
+	st.receivedAt = n.env.Now()
+	st.ageAtReceipt = age
+	st.heardMask = n.slotBit(from)
+	n.seen[pid(m.ID)] = st
 	n.store.Put(sid(m.ID), m.Payload, n.env.Now())
 	n.recent = append(n.recent, m.ID)
 	n.stats.PayloadsRecv++
-	if ps, ok := n.pending[m.ID]; ok {
-		if ps.timer != nil {
-			ps.timer.Stop()
-		}
+	if ps, ok := n.pending[pid(m.ID)]; ok {
+		ps.timer.Stop()
 		if n.obs != nil && ps.pullSentAt > 0 {
 			n.obs.ObservePullRTT(n.env.Now() - ps.pullSentAt)
 		}
-		delete(n.pending, m.ID)
+		delete(n.pending, pid(m.ID))
+		n.putPullState(ps)
 	}
 	n.deliverLocal(m.ID, st, m.Payload)
 	if n.obs != nil {
@@ -164,7 +302,7 @@ func (n *Node) gossipTick() {
 	if !n.running {
 		return
 	}
-	n.gossipTimer = n.env.After(n.cfg.GossipPeriod, n.gossipTick)
+	n.gossipTimer = n.env.After(n.cfg.GossipPeriod, n.tickGossip)
 	if n.obs == nil {
 		n.gossipRound()
 		return
@@ -188,27 +326,28 @@ func (n *Node) gossipRound() {
 	if nb == nil {
 		return
 	}
-	var ids []GossipID
+	g := n.newGossip()
+	var bit uint64
+	if nb.slot != invalidSlot {
+		bit = 1 << nb.slot
+	}
 	for _, id := range n.recent {
-		st := n.seen[id]
+		st := n.seen[pid(id)]
 		if st == nil || st.announceDone {
 			continue
 		}
-		if containsID(st.heardFrom, y) || containsID(st.announcedTo, y) {
+		if (st.heardMask|st.announcedMask)&bit != 0 {
 			continue
 		}
-		st.announcedTo = append(st.announcedTo, y)
-		ids = append(ids, GossipID{ID: id, Age: n.ageOf(st)})
+		st.announcedMask |= bit
+		g.IDs = append(g.IDs, GossipID{ID: id, Age: n.ageOf(st)})
 	}
 	n.compactRecent()
-	g := &Gossip{
-		IDs:     ids,
-		Members: n.sampleMembers(n.cfg.MemberSampleSize, y),
-		Degrees: n.degrees(),
-		Obits:   n.activeObits(),
-	}
+	g.Members = n.appendSampleMembers(g.Members, n.cfg.MemberSampleSize, y)
+	g.Degrees = n.degrees()
+	g.Obits = n.appendActiveObits(g.Obits)
 	n.stats.GossipsSent++
-	n.stats.IDsAnnounced += int64(len(ids))
+	n.stats.IDsAnnounced += int64(len(g.IDs))
 	n.env.Send(y, g)
 }
 
@@ -219,18 +358,14 @@ func (n *Node) gossipRound() {
 func (n *Node) compactRecent() {
 	out := n.recent[:0]
 	for _, id := range n.recent {
-		st := n.seen[id]
+		st := n.seen[pid(id)]
 		if st == nil {
 			continue
 		}
-		covered := true
-		for _, y := range n.neighborOrder {
-			if !containsID(st.heardFrom, y) && !containsID(st.announcedTo, y) {
-				covered = false
-				break
-			}
-		}
-		if covered {
+		// Covered once every current neighbor's slot bit is present in
+		// either mask. liveMask is exactly the current neighbors' bits, so
+		// stale bits from retired slots cannot count toward coverage.
+		if (st.heardMask|st.announcedMask)&n.liveMask == n.liveMask {
 			st.announceDone = true
 			n.store.MarkStable(sid(id), n.env.Now())
 			continue
@@ -257,16 +392,18 @@ func (n *Node) compactRecent() {
 // routine overlay adaptation does not turn every link change into a
 // digest exchange.
 func (n *Node) reannounceTo(peer NodeID) {
-	for _, id := range n.recent {
-		st := n.seen[id]
-		if st == nil || st.announceDone {
-			continue
+	if bit := n.slotBit(peer); bit != 0 {
+		for _, id := range n.recent {
+			st := n.seen[pid(id)]
+			if st == nil || st.announceDone {
+				continue
+			}
+			if st.announcedMask&bit != 0 {
+				n.stats.Reannounced++
+			}
+			st.announcedMask &^= bit
+			st.heardMask &^= bit
 		}
-		if containsID(st.announcedTo, peer) {
-			n.stats.Reannounced++
-		}
-		removeID(&st.announcedTo, peer)
-		removeID(&st.heardFrom, peer)
 	}
 	n.requestSync(peer, false)
 }
@@ -297,27 +434,29 @@ func (n *Node) handleGossip(from NodeID, g *Gossip) {
 	if nb := n.neighbors[from]; nb != nil {
 		linkLat = n.linkLatency(nb)
 	}
-	var pullNow []MessageID
+	var pull *PullRequest
 	for _, gid := range g.IDs {
-		if st, ok := n.seen[gid.ID]; ok {
-			addID(&st.heardFrom, from)
+		if st, ok := n.seen[pid(gid.ID)]; ok {
+			st.heardMask |= n.slotBit(from)
 			continue
 		}
-		if ps, ok := n.pending[gid.ID]; ok {
+		if ps, ok := n.pending[pid(gid.ID)]; ok {
 			addID(&ps.holders, from)
 			continue
 		}
 		age := gid.Age + linkLat
-		ps := &pullState{
-			holders:    []NodeID{from},
-			learnedAt:  n.env.Now(),
-			ageAtLearn: age,
-		}
-		n.pending[gid.ID] = ps
+		ps := n.getPullState()
+		ps.holders = append(ps.holders, from)
+		ps.learnedAt = n.env.Now()
+		ps.ageAtLearn = age
+		n.pending[pid(gid.ID)] = ps
 		// Give the tree PullDelay (f) since injection before pulling.
 		wait := n.cfg.PullDelay - age
 		if wait <= 0 {
-			pullNow = append(pullNow, gid.ID)
+			if pull == nil {
+				pull = n.newPullRequest()
+			}
+			pull.IDs = append(pull.IDs, gid.ID)
 			ps.next = 1 // first holder about to be asked
 			ps.pullSentAt = n.env.Now()
 			if n.obs != nil {
@@ -329,20 +468,21 @@ func (n *Node) handleGossip(from NodeID, g *Gossip) {
 		id := gid.ID
 		ps.timer = n.env.After(wait, func() { n.firePull(id) })
 	}
-	if len(pullNow) > 0 {
+	if pull != nil {
 		n.stats.PullsSent++
-		n.env.Send(from, &PullRequest{IDs: pullNow})
+		n.env.Send(from, pull)
 	}
 }
 
 // firePull requests a message from the next known holder.
 func (n *Node) firePull(id MessageID) {
-	ps, ok := n.pending[id]
+	ps, ok := n.pending[pid(id)]
 	if !ok {
 		return
 	}
 	if len(ps.holders) == 0 {
-		delete(n.pending, id)
+		delete(n.pending, pid(id))
+		n.putPullState(ps)
 		return
 	}
 	holder := ps.holders[ps.next%len(ps.holders)]
@@ -353,19 +493,22 @@ func (n *Node) firePull(id MessageID) {
 	if n.obs != nil {
 		n.obs.Event(EvPull, holder, PackMessageID(id), int64(attempt))
 	}
-	n.env.Send(holder, &PullRequest{IDs: []MessageID{id}})
+	pr := n.newPullRequest()
+	pr.IDs = append(pr.IDs, id)
+	n.env.Send(holder, pr)
 	ps.timer = n.startPullRetry(id)
 }
 
 // startPullRetry arms the retry timer for an outstanding pull.
 func (n *Node) startPullRetry(id MessageID) Timer {
 	return n.env.After(n.cfg.PullRetry, func() {
-		if ps, ok := n.pending[id]; ok {
+		if ps, ok := n.pending[pid(id)]; ok {
 			n.stats.PullRetries++
 			if ps.next > len(ps.holders)+3 {
 				// All known holders unresponsive; give up and wait for
 				// another gossip to re-announce the ID.
-				delete(n.pending, id)
+				delete(n.pending, pid(id))
+				n.putPullState(ps)
 				return
 			}
 			n.firePull(id)
@@ -385,16 +528,17 @@ func (n *Node) handlePullRequest(from NodeID, m *PullRequest) {
 			missed = append(missed, id)
 			continue
 		}
-		st := n.seen[id]
+		st := n.seen[pid(id)]
 		if st == nil {
 			// The store and seen map are kept in lockstep; a live payload
 			// without bookkeeping should not happen, but serve it anyway.
-			st = &msgState{receivedAt: n.env.Now()}
-			n.seen[id] = st
+			st = n.getMsgState()
+			st.receivedAt = n.env.Now()
+			n.seen[pid(id)] = st
 		}
-		addID(&st.heardFrom, from) // requester will have it; never announce back
+		st.heardMask |= n.slotBit(from) // requester will have it; never announce back
 		n.stats.PullsServed++
-		n.env.Send(from, &Multicast{ID: id, Age: n.ageOf(st), Payload: payload, ViaTree: false})
+		n.env.Send(from, n.newMulticast(id, n.ageOf(st), payload, false))
 	}
 	if len(missed) > 0 {
 		n.stats.PullMissesSent += int64(len(missed))
@@ -410,17 +554,16 @@ func (n *Node) handlePullRequest(from NodeID, m *PullRequest) {
 func (n *Node) handlePullMiss(from NodeID, m *PullMiss) {
 	fellBack := false
 	for _, id := range m.IDs {
-		ps, ok := n.pending[id]
+		ps, ok := n.pending[pid(id)]
 		if !ok {
 			continue
 		}
 		n.stats.PullMissesRecv++
 		removeID(&ps.holders, from)
-		if ps.timer != nil {
-			ps.timer.Stop()
-		}
+		ps.timer.Stop()
 		if len(ps.holders) == 0 {
-			delete(n.pending, id)
+			delete(n.pending, pid(id))
+			n.putPullState(ps)
 			fellBack = true
 			continue
 		}
@@ -437,14 +580,18 @@ func (n *Node) reclaimTick() {
 	if !n.running {
 		return
 	}
-	n.reclaimTimer = n.env.After(reclaimScanPeriod, n.reclaimTick)
+	n.reclaimTimer = n.env.After(reclaimScanPeriod, n.tickReclaim)
 	var start time.Duration
 	if n.obs != nil {
 		start = n.env.Now()
 	}
 	res := n.store.GC(n.env.Now())
 	for _, id := range res.Dropped {
-		delete(n.seen, mid(id))
+		key := pid(mid(id))
+		if st := n.seen[key]; st != nil {
+			delete(n.seen, key)
+			n.putMsgState(st)
+		}
 	}
 	if n.obs != nil {
 		n.obs.ObserveStoreGC(len(res.Reclaimed), len(res.Dropped), n.env.Now()-start)
@@ -453,7 +600,7 @@ func (n *Node) reclaimTick() {
 
 // Seen reports whether the node has received (or injected) the message.
 func (n *Node) Seen(id MessageID) bool {
-	_, ok := n.seen[id]
+	_, ok := n.seen[pid(id)]
 	return ok
 }
 

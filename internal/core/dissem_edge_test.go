@@ -30,7 +30,7 @@ func TestGossipHolderDeduplication(t *testing.T) {
 	// the holder list must not grow duplicates.
 	b.HandleMessage(1, &Gossip{IDs: []GossipID{{ID: id}}})
 	b.HandleMessage(1, &Gossip{IDs: []GossipID{{ID: id}}})
-	ps := b.pending[id]
+	ps := b.pending[pid(id)]
 	if ps == nil {
 		t.Fatalf("no pending pull created")
 	}

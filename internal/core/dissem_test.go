@@ -224,7 +224,7 @@ func TestReclaimFreesPayloadButKeepsDedup(t *testing.T) {
 	f.run(2 * time.Second)
 	id := a.Multicast([]byte("data"))
 	f.run(30 * time.Second) // past announce + reclaim window + scan period
-	st := a.seen[id]
+	st := a.seen[pid(id)]
 	if st == nil {
 		t.Fatalf("dedup record dropped too early")
 	}
@@ -246,7 +246,7 @@ func TestReclaimFreesPayloadButKeepsDedup(t *testing.T) {
 	}
 	// Far later even the dedup record goes away.
 	f.run(time.Minute)
-	if a.seen[id] != nil {
+	if a.seen[pid(id)] != nil {
 		t.Fatalf("dedup record should eventually be dropped")
 	}
 }

@@ -83,7 +83,8 @@ func (e *fixtureEnv) Rand(n int) int {
 func (e *fixtureEnv) Learn(Entry) {}
 
 func (e *fixtureEnv) After(d time.Duration, fn func()) Timer {
-	return e.f.eng.After(d, fn)
+	// *sim.Engine satisfies TimerCanceller directly.
+	return MakeTimer(e.f.eng, uint64(e.f.eng.Schedule(e.f.eng.Now()+d, fn)))
 }
 
 func (e *fixtureEnv) Send(to NodeID, m Message) { e.deliver(to, m) }

@@ -46,7 +46,15 @@ func (n *Node) learnEntry(e Entry) {
 	n.noteRejoin(e)
 	if known {
 		if e.Inc > old.Inc || len(e.Landmarks) > 0 || len(old.Landmarks) == 0 {
-			n.members[e.ID] = e
+			// Steady-state gossip re-delivers the same entry constantly
+			// (senders hand out one cached landmark slice, so identity
+			// comparison of the slice headers catches the common case);
+			// skip the map write when the stored value would not change.
+			if e.Inc != old.Inc || e.Addr != old.Addr ||
+				len(e.Landmarks) != len(old.Landmarks) ||
+				(len(e.Landmarks) > 0 && &e.Landmarks[0] != &old.Landmarks[0]) {
+				n.members[e.ID] = e
+			}
 		}
 		return
 	}
@@ -174,8 +182,18 @@ func (n *Node) activeObits() []Obituary {
 	if len(n.obits) == 0 {
 		return nil
 	}
+	return n.appendActiveObits(make([]Obituary, 0, len(n.obits)))
+}
+
+// appendActiveObits is activeObits appending into caller-owned storage,
+// reusing the node's scratch ID buffer so the gossip hot path allocates
+// nothing once the scratch has grown.
+func (n *Node) appendActiveObits(out []Obituary) []Obituary {
+	if len(n.obits) == 0 {
+		return out
+	}
 	now := n.env.Now()
-	var ids []NodeID
+	ids := n.obitScratch[:0]
 	for id, ob := range n.obits {
 		if now >= ob.Until {
 			if now >= ob.Until+4*n.cfg.QuarantineWindow {
@@ -188,10 +206,10 @@ func (n *Node) activeObits() []Obituary {
 		}
 	}
 	sortNodeIDs(ids)
-	out := make([]Obituary, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, Obituary{ID: id, Inc: n.obits[id].Inc})
 	}
+	n.obitScratch = ids[:0]
 	return out
 }
 
@@ -258,10 +276,21 @@ func (n *Node) sampleMembers(k int, exclude NodeID) []Entry {
 	if k <= 0 {
 		return nil
 	}
-	out := make([]Entry, 0, k+1)
+	return n.appendSampleMembers(make([]Entry, 0, k+1), k, exclude)
+}
+
+// appendSampleMembers is sampleMembers appending into caller-owned
+// storage (the pooled Gossip's Members buffer on the hot path). It draws
+// exactly the same RNG sequence as sampleMembers: one Rand call iff the
+// view is non-empty and k > 0.
+func (n *Node) appendSampleMembers(out []Entry, k int, exclude NodeID) []Entry {
+	if k <= 0 {
+		return out
+	}
 	if len(n.order) > 0 {
+		base := len(out)
 		start := n.env.Rand(len(n.order))
-		for i := 0; i < len(n.order) && len(out) < k; i++ {
+		for i := 0; i < len(n.order) && len(out)-base < k; i++ {
 			id := n.order[(start+i)%len(n.order)]
 			if id == exclude {
 				continue
@@ -271,16 +300,21 @@ func (n *Node) sampleMembers(k int, exclude NodeID) []Entry {
 			}
 		}
 	}
-	out = append(out, n.selfEntry())
-	return out
+	return append(out, n.selfEntry())
 }
 
 // selfEntry returns this node's own membership entry including its
-// current landmark vector.
+// current landmark vector. The vector copy is cached until landVec
+// changes; on change a fresh slice is allocated rather than rewriting the
+// cached one, because receivers keep the returned slice in their views.
 func (n *Node) selfEntry() Entry {
 	e := n.self
 	if len(n.landVec) > 0 {
-		e.Landmarks = append([]uint16(nil), n.landVec...)
+		if !n.selfLmOK {
+			n.selfLm = append([]uint16(nil), n.landVec...)
+			n.selfLmOK = true
+		}
+		e.Landmarks = n.selfLm
 	}
 	return e
 }

@@ -59,12 +59,21 @@ type Node struct {
 	pendingAdd    map[NodeID]*addCtx
 	rebalance     *rebalanceCtx
 
+	// Neighbor-slot allocation for the per-message bitmasks (see
+	// dissem.go). slotUsed marks slots taken by live or retired holders;
+	// liveMask is the OR of current neighbors' slot bits; retiredSlots
+	// parks a removed neighbor's slot with its bits intact so a re-add
+	// still knows what was announced to that peer.
+	slotUsed     uint64
+	liveMask     uint64
+	retiredSlots map[NodeID]uint8
+
 	// Dissemination state (Section 2.1). Payload buffering, retention,
 	// and reclamation are delegated to the pluggable store; seen keeps the
 	// per-neighbor gossip bookkeeping in lockstep with it.
 	store     store.MessageStore
-	seen      map[MessageID]*msgState
-	pending   map[MessageID]*pullState
+	seen      map[uint64]*msgState  // keyed by pid(MessageID)
+	pending   map[uint64]*pullState // keyed by pid(MessageID)
 	recent    []MessageID
 	nextSeq   uint32
 	gossipIdx int
@@ -105,6 +114,32 @@ type Node struct {
 	// events (see observe.go). Nil keeps every hook a single branch.
 	obs Observer
 
+	// pool is the env's optional message-struct recycler (nil on envs
+	// without the capability; the send helpers then allocate).
+	pool MessagePool
+
+	// Free lists for the per-message bookkeeping records and reusable
+	// scratch, so steady-state dissemination allocates nothing.
+	msgFree     []*msgState
+	pullFree    []*pullState
+	obitScratch []NodeID
+	// selfLm caches the landmark-vector copy handed out in selfEntry;
+	// selfLmOK is cleared whenever landVec changes.
+	selfLm   []uint16
+	selfLmOK bool
+	// degCache caches degrees(); degCacheOK is cleared whenever the
+	// neighbor set or a nearby link's RTT changes.
+	degCache   Degrees
+	degCacheOK bool
+
+	// Periodic-tick callbacks are bound once at construction: method
+	// values allocate per use, and the ticks re-arm every period.
+	tickGossip    func()
+	tickMaintain  func()
+	tickReclaim   func()
+	tickSync      func()
+	tickHeartbeat func()
+
 	// repairing/detachedAt time the window between losing the tree parent
 	// and re-attaching (or taking over as root), for ObserveTreeRepair.
 	repairing  bool
@@ -122,6 +157,10 @@ type neighbor struct {
 	deg       Degrees // last piggybacked degrees from the peer
 	degKnown  bool
 	lastHeard time.Duration
+	// slot indexes this neighbor's bit in the per-message bitmasks
+	// (invalidSlot when more than 64 concurrent slots are in use, which
+	// bounded degree makes unreachable in practice).
+	slot uint8
 	// advert is the peer's last tree advertisement, kept so a node whose
 	// parent vanishes can re-pick a parent without waiting for a wave.
 	advert    TreeAdvert
@@ -142,28 +181,38 @@ func New(id NodeID, cfg Config, env Env) *Node {
 	} else {
 		st = store.NewMemory(limits)
 	}
-	return &Node{
-		id:          id,
-		self:        Entry{ID: id},
-		cfg:         cfg,
-		env:         env,
-		maintenance: true,
-		members:     make(map[NodeID]Entry),
-		obits:       make(map[NodeID]obitRecord),
-		rtt:         make(map[NodeID]time.Duration),
-		pings:       make(map[uint32]*pingCtx),
-		lastPong:    make(map[NodeID]time.Duration),
-		neighbors:   make(map[NodeID]*neighbor),
-		pendingAdd:  make(map[NodeID]*addCtx),
-		store:       st,
-		seen:        make(map[MessageID]*msgState),
-		pending:     make(map[MessageID]*pullState),
-		lastSyncTo:  make(map[NodeID]time.Duration),
-		children:    make(map[NodeID]bool),
-		treeRoot:    None,
-		parent:      None,
-		distToRoot:  distInfinity,
+	n := &Node{
+		id:           id,
+		self:         Entry{ID: id},
+		cfg:          cfg,
+		env:          env,
+		maintenance:  true,
+		members:      make(map[NodeID]Entry),
+		obits:        make(map[NodeID]obitRecord),
+		rtt:          make(map[NodeID]time.Duration),
+		pings:        make(map[uint32]*pingCtx),
+		lastPong:     make(map[NodeID]time.Duration),
+		neighbors:    make(map[NodeID]*neighbor),
+		pendingAdd:   make(map[NodeID]*addCtx),
+		retiredSlots: make(map[NodeID]uint8),
+		store:        st,
+		seen:         make(map[uint64]*msgState),
+		pending:      make(map[uint64]*pullState),
+		lastSyncTo:   make(map[NodeID]time.Duration),
+		children:     make(map[NodeID]bool),
+		treeRoot:     None,
+		parent:       None,
+		distToRoot:   distInfinity,
 	}
+	if p, ok := env.(MessagePool); ok {
+		n.pool = p
+	}
+	n.tickGossip = n.gossipTick
+	n.tickMaintain = n.maintainTick
+	n.tickReclaim = n.reclaimTick
+	n.tickSync = n.syncTick
+	n.tickHeartbeat = n.heartbeatTick
+	return n
 }
 
 // ID returns the node's identifier.
@@ -204,11 +253,11 @@ func (n *Node) Start() {
 	n.running = true
 	n.rootJitter = time.Duration(n.env.Rand(int(5 * time.Second)))
 	n.lastWaveAt = n.env.Now()
-	n.gossipTimer = n.env.After(time.Duration(n.env.Rand(int(n.cfg.GossipPeriod)+1)), n.gossipTick)
-	n.maintainTimer = n.env.After(time.Duration(n.env.Rand(int(n.cfg.MaintainPeriod)+1)), n.maintainTick)
-	n.reclaimTimer = n.env.After(reclaimScanPeriod, n.reclaimTick)
+	n.gossipTimer = n.env.After(time.Duration(n.env.Rand(int(n.cfg.GossipPeriod)+1)), n.tickGossip)
+	n.maintainTimer = n.env.After(time.Duration(n.env.Rand(int(n.cfg.MaintainPeriod)+1)), n.tickMaintain)
+	n.reclaimTimer = n.env.After(reclaimScanPeriod, n.tickReclaim)
 	if n.syncEnabled() {
-		n.syncTimer = n.env.After(n.cfg.SyncInterval+time.Duration(n.env.Rand(int(n.cfg.SyncInterval)+1)), n.syncTick)
+		n.syncTimer = n.env.After(n.cfg.SyncInterval+time.Duration(n.env.Rand(int(n.cfg.SyncInterval)+1)), n.tickSync)
 	}
 	n.measureLandmarks()
 	if n.treeRoot == n.id {
@@ -220,15 +269,11 @@ func (n *Node) Start() {
 // inspected afterwards; it will no longer react to anything.
 func (n *Node) Stop() {
 	n.running = false
-	for _, t := range []Timer{n.gossipTimer, n.maintainTimer, n.heartbeat, n.reclaimTimer, n.syncTimer} {
-		if t != nil {
-			t.Stop()
-		}
+	for _, t := range [...]Timer{n.gossipTimer, n.maintainTimer, n.heartbeat, n.reclaimTimer, n.syncTimer} {
+		t.Stop()
 	}
 	for _, ps := range n.pending {
-		if ps.timer != nil {
-			ps.timer.Stop()
-		}
+		ps.timer.Stop()
 	}
 }
 
@@ -374,8 +419,14 @@ func (n *Node) handleJoinReply(from NodeID, m *JoinReply) {
 	n.requestSync(from, true)
 }
 
-// degrees snapshots this node's current degrees for piggybacking.
+// degrees snapshots this node's current degrees for piggybacking. The
+// snapshot is cached between neighbor-set (or nearby-RTT) changes: every
+// gossip and most overlay messages carry degrees, so recounting the
+// neighbor map each time shows up in profiles.
 func (n *Node) degrees() Degrees {
+	if n.degCacheOK {
+		return n.degCache
+	}
 	var d Degrees
 	var maxNear time.Duration
 	for _, nb := range n.neighbors {
@@ -390,27 +441,21 @@ func (n *Node) degrees() Degrees {
 		}
 	}
 	d.MaxNearbyRTT = maxNear
+	n.degCache = d
+	n.degCacheOK = true
 	return d
 }
 
 // degreeOf counts this node's neighbors of one kind.
 func (n *Node) degreeOf(kind LinkKind) int {
-	c := 0
-	for _, nb := range n.neighbors {
-		if nb.kind == kind {
-			c++
-		}
+	d := n.degrees()
+	if kind == Random {
+		return int(d.Rand)
 	}
-	return c
+	return int(d.Near)
 }
 
 // maxNearbyRTT returns the worst nearby-link RTT (condition C3).
 func (n *Node) maxNearbyRTT() time.Duration {
-	var max time.Duration
-	for _, nb := range n.neighbors {
-		if nb.kind == Nearby && nb.rtt > max {
-			max = nb.rtt
-		}
-	}
-	return max
+	return n.degrees().MaxNearbyRTT
 }

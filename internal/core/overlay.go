@@ -522,8 +522,12 @@ func (n *Node) addNeighbor(e Entry, kind LinkKind, rtt time.Duration) {
 			rtt = known
 		}
 	}
-	nb := &neighbor{entry: e, kind: kind, rtt: rtt, lastHeard: n.env.Now()}
+	nb := &neighbor{entry: e, kind: kind, rtt: rtt, lastHeard: n.env.Now(), slot: n.allocSlot(e.ID)}
 	n.neighbors[e.ID] = nb
+	n.degCacheOK = false
+	if nb.slot != invalidSlot {
+		n.liveMask |= 1 << nb.slot
+	}
 	n.neighborOrder = append(n.neighborOrder, e.ID)
 	n.stats.LinkAdds++
 	if n.obs != nil {
@@ -544,6 +548,11 @@ func (n *Node) removeNeighbor(peer NodeID, notify bool) {
 		return
 	}
 	delete(n.neighbors, peer)
+	n.degCacheOK = false
+	if nb.slot != invalidSlot {
+		n.liveMask &^= 1 << nb.slot
+	}
+	n.retireSlot(peer, nb.slot)
 	for i, v := range n.neighborOrder {
 		if v == peer {
 			n.neighborOrder = append(n.neighborOrder[:i], n.neighborOrder[i+1:]...)

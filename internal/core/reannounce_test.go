@@ -30,7 +30,7 @@ func TestReannounceToLateNeighbor(t *testing.T) {
 	if c.Seen(id) {
 		t.Fatalf("isolated node received the multicast with no link")
 	}
-	if st := a.seen[id]; st == nil || !st.announceDone {
+	if st := a.seen[pid(id)]; st == nil || !st.announceDone {
 		t.Fatalf("message not retired at the source; the test setup is wrong")
 	}
 
@@ -61,18 +61,21 @@ func TestReannounceScrubsStaleAnnouncedTo(t *testing.T) {
 	a.BecomeRoot()
 
 	// The message is still in flight (a has no neighbors, so it cannot
-	// retire), but a believes it already told 2 over a link that broke.
+	// retire), but a believes it already told 2 over a link that broke:
+	// peer 2 holds a retired slot whose announced/heard bits are still set.
 	id := a.Multicast([]byte("x"))
-	st := a.seen[id]
-	st.announcedTo = []NodeID{2}
-	st.heardFrom = []NodeID{2}
+	st := a.seen[pid(id)]
+	slot := a.allocSlot(2)
+	st.announcedMask = 1 << slot
+	st.heardMask = 1 << slot
+	a.retireSlot(2, slot)
 
 	// Re-linking the peer must scrub both stale marks so the next gossip
 	// announces the message once more and b can pull it.
 	f.link(1, 2, Random)
 	f.run(3 * time.Second)
-	if containsID(st.announcedTo, 2) && !b.Seen(id) {
-		t.Fatalf("stale announcedTo mark not scrubbed on re-link")
+	if st.announcedMask&(1<<slot) != 0 && !b.Seen(id) {
+		t.Fatalf("stale announced mark not scrubbed on re-link")
 	}
 	if !b.Seen(id) {
 		t.Fatalf("re-linked peer never recovered the lost announcement")

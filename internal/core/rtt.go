@@ -34,6 +34,7 @@ type pingCtx struct {
 func (n *Node) SetLandmarks(ls []Entry) {
 	n.landmarks = append([]Entry(nil), ls...)
 	n.landVec = make([]uint16, len(ls))
+	n.selfLmOK = false
 	for _, e := range ls {
 		n.learnEntry(e)
 	}
@@ -47,6 +48,7 @@ func (n *Node) measureLandmarks() {
 	for i, lm := range n.landmarks {
 		if lm.ID == n.id {
 			n.landVec[i] = 1 // RTT to self: local loopback, ~1 ms
+			n.selfLmOK = false
 			continue
 		}
 		n.sendPing(lm.ID, pingCtx{target: lm.ID, purpose: pingLandmark, landmark: i})
@@ -151,6 +153,7 @@ func (n *Node) handlePong(from NodeID, m *Pong) {
 		nb.degKnown = true
 		if ctx.purpose == pingMeasureLink || nb.rtt == 0 {
 			nb.rtt = rtt
+			n.degCacheOK = false
 		}
 	}
 	switch ctx.purpose {
@@ -164,6 +167,7 @@ func (n *Node) handlePong(from NodeID, m *Pong) {
 				ms = 0xffff
 			}
 			n.landVec[ctx.landmark] = uint16(ms)
+			n.selfLmOK = false
 		}
 	case pingProbeReplace:
 		n.resumeReplace(m.From, rtt, m.Degrees)

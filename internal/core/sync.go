@@ -29,7 +29,7 @@ func (n *Node) syncTick() {
 	if !n.running {
 		return
 	}
-	n.syncTimer = n.env.After(n.cfg.SyncInterval, n.syncTick)
+	n.syncTimer = n.env.After(n.cfg.SyncInterval, n.tickSync)
 	if len(n.neighborOrder) == 0 {
 		return
 	}
@@ -87,12 +87,12 @@ func (n *Node) handleSyncRequest(from NodeID, m *SyncRequest) {
 			}
 			mID := mid(id)
 			var age time.Duration
-			st := n.seen[mID]
+			st := n.seen[pid(mID)]
 			if st != nil {
 				age = n.ageOf(st)
 				// The requester holds the payload once the reply lands;
 				// never gossip-announce this ID back to it.
-				addID(&st.heardFrom, from)
+				st.heardMask |= n.slotBit(from)
 			}
 			items = append(items, SyncItem{ID: mID, Age: age, Payload: payload})
 			budget -= len(payload)
@@ -123,7 +123,7 @@ func (n *Node) handleSyncRequest(from NodeID, m *SyncRequest) {
 func (n *Node) handleSyncReply(from NodeID, m *SyncReply) {
 	n.stats.SyncRepliesRecv++
 	for _, it := range m.Items {
-		if _, dup := n.seen[it.ID]; !dup {
+		if _, dup := n.seen[pid(it.ID)]; !dup {
 			n.stats.SyncItemsRecv++
 		}
 		n.handleMulticast(from, &Multicast{ID: it.ID, Age: it.Age, Payload: it.Payload})

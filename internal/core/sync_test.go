@@ -170,7 +170,7 @@ func TestPullMissWithNoHoldersFallsBackToSync(t *testing.T) {
 	if f.count(2, 5, isSyncRequest) != reqBefore+1 {
 		t.Fatalf("expired pull did not fall back to sync")
 	}
-	if _, stillPending := b.pending[id]; stillPending {
+	if _, stillPending := b.pending[pid(id)]; stillPending {
 		t.Fatalf("pull state not cleared after final miss")
 	}
 }

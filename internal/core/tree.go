@@ -12,10 +12,8 @@ import "time"
 
 // scheduleHeartbeat arms the root's wave timer.
 func (n *Node) scheduleHeartbeat(d time.Duration) {
-	if n.heartbeat != nil {
-		n.heartbeat.Stop()
-	}
-	n.heartbeat = n.env.After(d, n.heartbeatTick)
+	n.heartbeat.Stop()
+	n.heartbeat = n.env.After(d, n.tickHeartbeat)
 }
 
 // heartbeatTick floods a new wave if this node still believes it is root.
@@ -87,9 +85,7 @@ func (n *Node) handleTreeAdvert(from NodeID, m *TreeAdvert) {
 		// New wave (or new root): adopt unconditionally.
 		if n.treeRoot == n.id && m.Root != n.id {
 			// Someone with higher rank is root; stand down.
-			if n.heartbeat != nil {
-				n.heartbeat.Stop()
-			}
+			n.heartbeat.Stop()
 		}
 		oldRoot := n.treeRoot
 		n.treeEpoch, n.treeRoot, n.treeWave = m.Epoch, m.Root, m.Wave

@@ -71,10 +71,32 @@ func (k LinkKind) String() string {
 	}
 }
 
-// Timer is a cancellable scheduled callback provided by the Env.
-type Timer interface {
-	// Stop cancels the timer, reporting whether it prevented the callback.
-	Stop() bool
+// TimerCanceller cancels scheduled callbacks by handle. Substrates
+// implement it once (e.g. *sim.Engine satisfies it directly), so a Timer
+// is two words and creating one allocates nothing.
+type TimerCanceller interface {
+	// CancelTimer cancels the callback identified by id, reporting whether
+	// it prevented the callback from running.
+	CancelTimer(id uint64) bool
+}
+
+// Timer is a cancellable scheduled callback provided by the Env. It is a
+// small value — copy it freely. The zero Timer is inert: Stop reports
+// false, so owners need no nil checks.
+type Timer struct {
+	c  TimerCanceller
+	id uint64
+}
+
+// MakeTimer binds a substrate canceller and its handle into a Timer.
+func MakeTimer(c TimerCanceller, id uint64) Timer { return Timer{c: c, id: id} }
+
+// Stop cancels the timer, reporting whether it prevented the callback.
+func (t Timer) Stop() bool {
+	if t.c == nil {
+		return false
+	}
+	return t.c.CancelTimer(t.id)
 }
 
 // Env is the substrate a Node runs on. Implementations must deliver all
@@ -99,4 +121,17 @@ type Env interface {
 	// Learn tells the substrate about another node's contact information
 	// (needed by live transports to resolve NodeIDs to addresses).
 	Learn(e Entry)
+}
+
+// MessagePool is an optional Env capability: substrates that recycle the
+// high-volume wire structs (the simulator releases a message back to its
+// pool once HandleMessage returns) implement it so the dissemination hot
+// path allocates no message structs in steady state. Pooled structs come
+// back with their slice fields truncated to zero length but with capacity
+// retained; the node appends into them. Envs without the capability fall
+// back to plain allocation.
+type MessagePool interface {
+	GetGossip() *Gossip
+	GetMulticast() *Multicast
+	GetPullRequest() *PullRequest
 }

@@ -177,9 +177,14 @@ func Figure3(sc Scale, failFrac float64) *Report {
 		Name:   name,
 		Header: []string{"protocol", "mean", "p50", "p90", "p99", "max", "delivered"},
 	}
+	protocols := AllProtocols()
+	results := make([]DelayResult, len(protocols))
+	runIndexed(len(protocols), func(i int) {
+		results[i] = RunDelay(protocols[i], sc, failFrac)
+	})
 	var gocastMean, gossipMean time.Duration
-	for _, p := range AllProtocols() {
-		r := RunDelay(p, sc, failFrac)
+	for i, p := range protocols {
+		r := results[i]
 		switch p {
 		case ProtoGoCast:
 			gocastMean = r.CDF.Mean()
@@ -216,19 +221,31 @@ func Figure4(small, large Scale, failFrac float64) *Report {
 		Name:   "Figure 4: GoCast delay vs system size",
 		Header: []string{"nodes", "failures", "p50", "p90", "p99", "max", "delivered"},
 	}
+	type point struct {
+		sc Scale
+		ff float64
+	}
+	var points []point
 	for _, sc := range []Scale{small, large} {
 		for _, ff := range []float64{0, failFrac} {
-			r := RunDelay(ProtoGoCast, sc, ff)
-			rep.Rows = append(rep.Rows, []string{
-				fmt.Sprintf("%d", sc.Nodes),
-				fmt.Sprintf("%.0f%%", ff*100),
-				fmtDur(r.CDF.Quantile(0.50)),
-				fmtDur(r.CDF.Quantile(0.90)),
-				fmtDur(r.CDF.Quantile(0.99)),
-				fmtDur(r.CDF.Max()),
-				fmt.Sprintf("%.4f", r.Ratio),
-			})
+			points = append(points, point{sc, ff})
 		}
+	}
+	results := make([]DelayResult, len(points))
+	runIndexed(len(points), func(i int) {
+		results[i] = RunDelay(ProtoGoCast, points[i].sc, points[i].ff)
+	})
+	for i, pt := range points {
+		r := results[i]
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", pt.sc.Nodes),
+			fmt.Sprintf("%.0f%%", pt.ff*100),
+			fmtDur(r.CDF.Quantile(0.50)),
+			fmtDur(r.CDF.Quantile(0.90)),
+			fmtDur(r.CDF.Quantile(0.99)),
+			fmtDur(r.CDF.Max()),
+			fmt.Sprintf("%.4f", r.Ratio),
+		})
 	}
 	rep.Notes = append(rep.Notes,
 		"paper shape: small no-failure gap between sizes; with failures the larger system has a longer tail")
@@ -258,11 +275,14 @@ func Figure3Curves(sc Scale, failFrac float64, points int, max time.Duration) *R
 		name = fmt.Sprintf("Figure 3(b) curves: delivery CDF by protocol, %.0f%% failures", failFrac*100)
 	}
 	rep := &Report{Name: name, Header: []string{"delay"}}
-	var cols [][]metrics.Point
-	for _, p := range AllProtocols() {
+	protocols := AllProtocols()
+	cols := make([][]metrics.Point, len(protocols))
+	for _, p := range protocols {
 		rep.Header = append(rep.Header, string(p))
-		cols = append(cols, CDFSeries(p, sc, failFrac, points, max))
 	}
+	runIndexed(len(protocols), func(i int) {
+		cols[i] = CDFSeries(protocols[i], sc, failFrac, points, max)
+	})
 	for i := 0; i < points; i++ {
 		row := []string{fmt.Sprintf("%.3fs", cols[0][i].X)}
 		for _, col := range cols {
@@ -305,7 +325,9 @@ func ChurnSweep(sc Scale, ratesPerMin []float64) *Report {
 		Header: []string{"events/min", "executed", "restarts", "p50", "p99", "delivered",
 			"atomic-viol", "stale-links", "repair-p50", "degree-ok"},
 	}
-	for _, rate := range ratesPerMin {
+	rows := make([][]string, len(ratesPerMin))
+	runIndexed(len(ratesPerMin), func(ri int) {
+		rate := ratesPerMin[ri]
 		c := buildOverlayCluster(sc, cfg)
 		c.Run(sc.Warmup)
 		plan := churn.Plan{
@@ -335,7 +357,7 @@ func ChurnSweep(sc Scale, ratesPerMin []float64) *Report {
 			repair = fmtDur(tr.CDF().Quantile(0.5))
 		}
 		rh := c.RandDegreeHistogram()
-		rep.Rows = append(rep.Rows, []string{
+		rows[ri] = []string{
 			fmt.Sprintf("%.1f", rate),
 			fmt.Sprintf("%d", st.Events()),
 			fmt.Sprintf("%d", c.Restarts()),
@@ -346,8 +368,9 @@ func ChurnSweep(sc Scale, ratesPerMin []float64) *Report {
 			fmt.Sprintf("%d", c.StaleLinks()),
 			repair,
 			fmt.Sprintf("%.3f", rh.Fraction(cfg.CRand)+rh.Fraction(cfg.CRand+1)),
-		})
-	}
+		}
+	})
+	rep.Rows = append(rep.Rows, rows...)
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("%d nodes, %d messages over a %v churn window, first %d nodes protected, seed %d",
 			sc.Nodes, msgs, window, protected, sc.Seed),

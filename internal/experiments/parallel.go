@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Experiment runners fan independent simulations — one per protocol, seed,
+// or sweep point — across a worker pool. Every simulation owns its engine,
+// cluster, and RNG chain, so runs are independent by construction, and
+// results are always written to an index-addressed slot and assembled in
+// input order afterwards: the rendered tables are byte-identical at any
+// worker count.
+
+// parallelism is the worker count used by runIndexed. The package default
+// is sequential; cmd/gocast-experiments raises it via SetParallelism.
+var parallelism = 1
+
+// SetParallelism sets how many experiment simulations may run
+// concurrently. Values below 1 mean sequential.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism = n
+}
+
+// Parallelism returns the current worker count.
+func Parallelism() int { return parallelism }
+
+// runIndexed invokes fn(0..n-1), fanning the calls across up to
+// min(parallelism, n) goroutines. fn must confine its writes to its own
+// index's result slot.
+func runIndexed(n int, fn func(i int)) {
+	workers := parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

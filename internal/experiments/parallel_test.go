@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParallelMatchesSequential is the load-bearing guarantee behind
+// `gocast-experiments -parallel`: fanning an experiment's independent
+// simulations across workers must render byte-identical reports, because
+// every simulation owns its engine and RNG chain and results are
+// assembled in input order. Figure 3 fans across protocols, Figure 4
+// across sweep points, and the CDF curves across protocols with shared
+// column assembly — together they cover every runIndexed call shape.
+func TestParallelMatchesSequential(t *testing.T) {
+	sc := tinyScale()
+	sc.Nodes = 64
+	sc.Warmup = 40 * time.Second
+	sc.Messages = 10
+	large := sc
+	large.Nodes = 96
+	large.Seed = sc.Seed + 7
+
+	cases := []struct {
+		name string
+		gen  func() *Report
+	}{
+		{"figure3", func() *Report { return Figure3(sc, 0.10) }},
+		{"figure4", func() *Report { return Figure4(sc, large, 0.20) }},
+		{"figure3curves", func() *Report { return Figure3Curves(sc, 0, 10, 4*time.Second) }},
+	}
+
+	defer SetParallelism(1)
+	for _, tc := range cases {
+		SetParallelism(1)
+		seq := tc.gen().String()
+		SetParallelism(8)
+		par := tc.gen().String()
+		if seq != par {
+			t.Fatalf("%s: parallel output differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				tc.name, seq, par)
+		}
+	}
+}
+
+// TestRunIndexedCoversAllIndices pins the worker-pool contract: every
+// index is visited exactly once regardless of worker count.
+func TestRunIndexedCoversAllIndices(t *testing.T) {
+	defer SetParallelism(1)
+	for _, workers := range []int{1, 2, 7, 64} {
+		SetParallelism(workers)
+		const n = 41
+		hits := make([]int32, n)
+		runIndexed(n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}

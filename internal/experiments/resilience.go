@@ -31,7 +31,8 @@ func Figure6(sc Scale, failRatios []float64, crands []int) *Report {
 	// sets), exactly the quantity the paper plots.
 	const trials = 5
 	cols := make([][]float64, len(crands))
-	for ci, cr := range crands {
+	runIndexed(len(crands), func(ci int) {
+		cr := crands[ci]
 		cfg := core.DefaultConfig()
 		cfg.CRand = cr
 		cfg.CNear = 6 - cr
@@ -57,7 +58,7 @@ func Figure6(sc Scale, failRatios []float64, crands []int) *Report {
 			}
 			cols[ci] = append(cols[ci], sum/trials)
 		}
-	}
+	})
 	for fi, fr := range failRatios {
 		row := []string{fmt.Sprintf("%.0f%%", fr*100)}
 		for ci := range crands {

@@ -395,7 +395,7 @@ func (e *liveEnv) After(d time.Duration, fn func()) core.Timer {
 			}
 		})
 	})
-	return t
+	return core.MakeTimer(t, 0)
 }
 
 type liveTimer struct {
@@ -403,7 +403,9 @@ type liveTimer struct {
 	stopped atomic.Bool
 }
 
-func (t *liveTimer) Stop() bool {
+// CancelTimer makes *liveTimer a core.TimerCanceller; the id is unused
+// because each wall-clock timer has its own canceller.
+func (t *liveTimer) CancelTimer(uint64) bool {
 	t.stopped.Store(true)
 	return t.t.Stop()
 }

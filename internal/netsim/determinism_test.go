@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gocast/internal/core"
+)
+
+// deliveryRecord is one entry in the run's delivery trace: which node
+// delivered which message at which virtual time, in delivery order.
+type deliveryRecord struct {
+	node int
+	id   core.MessageID
+	at   time.Duration
+}
+
+// runTracedScenario drives one fixed-seed scenario that leans on every
+// pooled hot path — gossip rounds and pulls (wire-struct and msgState
+// pools), kills and restarts (timer cancellation, lazy queue compaction,
+// slab recycling), link churn (neighbor-slot retire/re-add) — and
+// returns the full delivery trace plus every node's complete counter set.
+func runTracedScenario(seed int64) ([]deliveryRecord, []core.Counters) {
+	cfg := core.DefaultConfig()
+	c := New(Options{Nodes: 48, Seed: seed, Config: cfg})
+	c.BootstrapMembership(cfg.MemberViewSize / 2)
+	c.WireRandom(cfg.TargetDegree() / 2)
+
+	var trace []deliveryRecord
+	for i := 0; i < c.Nodes(); i++ {
+		i := i
+		c.Node(i).OnDeliver(func(id core.MessageID, _ []byte, _ time.Duration) {
+			trace = append(trace, deliveryRecord{node: i, id: id, at: c.Now()})
+		})
+	}
+
+	c.Start(0)
+	c.Run(60 * time.Second)
+	for i := 0; i < 6; i++ {
+		c.Inject(i*5, nil)
+		c.Run(2 * time.Second)
+	}
+	// Churn stresses the scheduler's cancellation/compaction paths and the
+	// neighbor-slot retire/re-add cycle mid-stream.
+	c.Kill(7)
+	c.Kill(19)
+	c.Run(20 * time.Second)
+	c.Restart(7, 3)
+	c.Run(10 * time.Second)
+	for i := 0; i < 6; i++ {
+		c.Inject(i*7+1, nil)
+		c.Run(2 * time.Second)
+	}
+	c.Run(30 * time.Second)
+
+	stats := make([]core.Counters, c.Nodes())
+	for i := range stats {
+		stats[i] = c.Node(i).Stats()
+	}
+	return trace, stats
+}
+
+// TestDeterminismStatsAndTraces is the pooling regression gate: object
+// pools, the 4-ary scheduler, lazy compaction, and neighbor bitmasks must
+// not perturb event ordering or RNG draw sequence, so two runs of the
+// same seed must agree on every delivery (node, message, virtual time,
+// order) and on every node's complete protocol counter set — not just
+// aggregate summaries, where compensating drifts could hide.
+func TestDeterminismStatsAndTraces(t *testing.T) {
+	t1, s1 := runTracedScenario(42)
+	t2, s2 := runTracedScenario(42)
+
+	if len(t1) != len(t2) {
+		t.Fatalf("delivery trace lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("delivery trace diverges at %d: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("node %d counters differ across identical runs:\n%+v\nvs\n%+v", i, s1[i], s2[i])
+		}
+	}
+	if len(t1) == 0 {
+		t.Fatal("scenario produced no deliveries; determinism check is vacuous")
+	}
+}
+
+// TestFigureOutputStableAcrossSeeds guards the byte-level contract the
+// figure tables rely on: the rendered report for a fixed seed is a pure
+// function of the seed. Rendering twice must produce identical bytes.
+func TestFigureOutputStableAcrossSeeds(t *testing.T) {
+	render := func() string {
+		c := New(Options{Nodes: 32, Seed: 9, Config: core.DefaultConfig()})
+		c.BootstrapMembership(16)
+		c.WireRandom(3)
+		c.Start(0)
+		c.Run(45 * time.Second)
+		c.InjectStream(10, 100, nil)
+		c.Run(20 * time.Second)
+		h := c.DegreeHistogram()
+		return fmt.Sprintf("%v|%v|%v|%d",
+			c.Delays().CDF().Quantile(0.5), c.Delays().CDF().Max(),
+			h.Fraction(6)+h.Fraction(7), c.SumCounters().GossipsSent)
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("fixed-seed figure rendering differs:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -79,6 +79,19 @@ type Cluster struct {
 	// detach time is noted; the next re-attach records the repair latency.
 	detachedAt []time.Duration
 	repairs    *metrics.DelayRecorder
+
+	// Free lists for the hot-path simulation records. The engine is
+	// single-threaded, so plain slices suffice. deliveryFree recycles the
+	// per-send delivery records (each with a prebuilt closure, so a send
+	// schedules without allocating); wrapFree recycles the env.After
+	// wrapper records that guard callbacks with the life check. The wire
+	// pools recycle Gossip/Multicast/PullRequest structs handed to core
+	// via the MessagePool capability and released after delivery.
+	deliveryFree []*delivery
+	wrapFree     []*timerWrap
+	gossipFree   []*core.Gossip
+	mcFree       []*core.Multicast
+	prFree       []*core.PullRequest
 }
 
 // New builds a cluster; nodes are created but idle until Start.
@@ -790,7 +803,127 @@ type env struct {
 	rng *rand.Rand
 }
 
-var _ core.Env = (*env)(nil)
+var (
+	_ core.Env         = (*env)(nil)
+	_ core.MessagePool = (*env)(nil)
+)
+
+// timerWrap is one pooled env.After record: run is built once and guards
+// the callback with the life check, so arming a timer in steady state
+// allocates nothing. A record recycles itself when it fires; a record
+// whose timer is cancelled is simply dropped (the engine releases the run
+// closure, and the record is garbage-collected).
+type timerWrap struct {
+	env *env
+	fn  func()
+	run func()
+}
+
+func (c *Cluster) getWrap() *timerWrap {
+	if n := len(c.wrapFree) - 1; n >= 0 {
+		w := c.wrapFree[n]
+		c.wrapFree = c.wrapFree[:n]
+		return w
+	}
+	w := &timerWrap{}
+	w.run = func() {
+		e, fn := w.env, w.fn
+		w.env, w.fn = nil, nil
+		c.wrapFree = append(c.wrapFree, w)
+		if e.live() {
+			fn()
+		}
+	}
+	return w
+}
+
+// delivery is one pooled in-flight transmission: run is built once and
+// rewritten fields make scheduling a send allocation-free.
+type delivery struct {
+	c    *Cluster
+	from core.NodeID
+	to   core.NodeID
+	m    core.Message
+	run  func()
+}
+
+func (c *Cluster) getDelivery() *delivery {
+	if n := len(c.deliveryFree) - 1; n >= 0 {
+		d := c.deliveryFree[n]
+		c.deliveryFree = c.deliveryFree[:n]
+		return d
+	}
+	d := &delivery{c: c}
+	d.run = func() {
+		from, to, m := d.from, d.to, d.m
+		d.m = nil
+		c.deliveryFree = append(c.deliveryFree, d)
+		// Delivered to whichever life currently owns the address; the
+		// receiver's stale-incarnation guards reject dead-past-life traffic.
+		if c.alive[to] {
+			c.nodes[to].HandleMessage(from, m)
+		}
+		c.releaseMsg(m)
+	}
+	return d
+}
+
+// Wire-struct pools. Get hands core a struct with slice fields truncated
+// but capacity retained; releaseMsg returns it after the receiver ran (or
+// the transmission was dropped). Receivers retain nothing from these
+// structs except payload slices and Entry values, both of which live
+// outside the pooled records, so recycling is safe.
+
+func (e *env) GetGossip() *core.Gossip {
+	c := e.c
+	if n := len(c.gossipFree) - 1; n >= 0 {
+		g := c.gossipFree[n]
+		c.gossipFree = c.gossipFree[:n]
+		return g
+	}
+	return &core.Gossip{}
+}
+
+func (e *env) GetMulticast() *core.Multicast {
+	c := e.c
+	if n := len(c.mcFree) - 1; n >= 0 {
+		m := c.mcFree[n]
+		c.mcFree = c.mcFree[:n]
+		return m
+	}
+	return &core.Multicast{}
+}
+
+func (e *env) GetPullRequest() *core.PullRequest {
+	c := e.c
+	if n := len(c.prFree) - 1; n >= 0 {
+		p := c.prFree[n]
+		c.prFree = c.prFree[:n]
+		return p
+	}
+	return &core.PullRequest{}
+}
+
+// releaseMsg returns a pooled wire struct to its free list. Every
+// Gossip/Multicast/PullRequest flowing through Cluster.send originates
+// from the pools above (core obtains them via the MessagePool
+// capability); other message kinds are left to the garbage collector.
+func (c *Cluster) releaseMsg(m core.Message) {
+	switch v := m.(type) {
+	case *core.Gossip:
+		v.IDs = v.IDs[:0]
+		v.Members = v.Members[:0]
+		v.Obits = v.Obits[:0]
+		v.Degrees = core.Degrees{}
+		c.gossipFree = append(c.gossipFree, v)
+	case *core.Multicast:
+		*v = core.Multicast{}
+		c.mcFree = append(c.mcFree, v)
+	case *core.PullRequest:
+		v.IDs = v.IDs[:0]
+		c.prFree = append(c.prFree, v)
+	}
+}
 
 // live reports whether this env's life is still the slot's current one.
 func (e *env) live() bool {
@@ -810,22 +943,23 @@ func (e *env) Rand(n int) int {
 func (e *env) Learn(core.Entry) {}
 
 func (e *env) After(d time.Duration, fn func()) core.Timer {
-	return e.c.Engine.After(d, func() {
-		if e.live() {
-			fn()
-		}
-	})
+	w := e.c.getWrap()
+	w.env = e
+	w.fn = fn
+	h := e.c.Engine.Schedule(e.c.Engine.Now()+d, w.run)
+	return core.MakeTimer(e.c.Engine, uint64(h))
 }
 
 func (e *env) Send(to core.NodeID, m core.Message) { e.c.send(e, to, m, true) }
 
 func (e *env) SendDatagram(to core.NodeID, m core.Message) { e.c.send(e, to, m, false) }
 
+// send takes ownership of m: core hands each pooled wire struct to exactly
+// one Send call, so every path out of here — dropped or delivered — must
+// end in releaseMsg.
 func (c *Cluster) send(from *env, to core.NodeID, m core.Message, reliable bool) {
-	if int(to) < 0 || int(to) >= len(c.nodes) || from.id == to {
-		return
-	}
-	if !from.live() {
+	if int(to) < 0 || int(to) >= len(c.nodes) || from.id == to || !from.live() {
+		c.releaseMsg(m)
 		return
 	}
 	if c.opts.Observer != nil {
@@ -843,14 +977,10 @@ func (c *Cluster) send(from *env, to core.NodeID, m core.Message, reliable bool)
 				}
 			})
 		}
+		c.releaseMsg(m)
 		return
 	}
-	d := c.OneWay(int(from.id), int(to))
-	c.Engine.After(d, func() {
-		// Delivered to whichever life currently owns the address; the
-		// receiver's stale-incarnation guards reject dead-past-life traffic.
-		if c.alive[to] {
-			c.nodes[to].HandleMessage(from.id, m)
-		}
-	})
+	dl := c.getDelivery()
+	dl.from, dl.to, dl.m = from.id, to, m
+	c.Engine.Schedule(c.Engine.Now()+c.OneWay(int(from.id), int(to)), dl.run)
 }

@@ -75,7 +75,7 @@ type node struct {
 type pull struct {
 	holders []int
 	next    int
-	timer   *sim.Timer
+	timer   sim.Timer
 }
 
 // message types (modelled, not serialized)
@@ -272,9 +272,7 @@ func (n *node) receivePayload(m int, injected bool) {
 	}
 	n.have[m] = true
 	if p, ok := n.pending[m]; ok {
-		if p.timer != nil {
-			p.timer.Stop()
-		}
+		p.timer.Stop()
 		delete(n.pending, m)
 	}
 	n.s.recv[m][n.id] = n.s.Engine.Now()
@@ -396,7 +394,7 @@ func (n *node) handlePull(from int, ids []int) {
 	}
 }
 
-func (n *node) startRetry(m int) *sim.Timer {
+func (n *node) startRetry(m int) sim.Timer {
 	return n.s.Engine.After(n.s.opts.PullRetry, func() {
 		p, ok := n.pending[m]
 		if !ok || !n.s.alive[n.id] {

@@ -5,26 +5,68 @@
 // is fully reproducible given the same seed and the same sequence of
 // scheduling calls. All protocol randomness should be drawn from the
 // engine's RNG (or RNGs derived from it) to keep runs reproducible.
+//
+// The scheduler is built for allocation-free steady-state operation:
+// event records live in a slab recycled through a free list, the priority
+// queue is an index-free 4-ary heap of small value slots (no interface
+// boxing, better cache behavior than container/heap's binary heap), and
+// timers are generation-checked integer handles, so Schedule/Cancel touch
+// no heap memory once the slab and queue have grown to the workload's
+// high-water mark. Cancelled timers are discarded lazily: a stopped timer
+// keeps its queue slot until it is popped or until cancelled entries
+// exceed half of the queue, at which point the queue is compacted in one
+// pass.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
+
+// Handle identifies one scheduled event. The zero Handle is invalid and
+// never issued; Cancel on it reports false. A handle encodes the event's
+// slab slot and the slot's generation, so a handle kept after its event
+// fired (or after Cancel) can never affect a later event that happens to
+// reuse the same slot.
+type Handle uint64
+
+func makeHandle(idx, gen uint32) Handle { return Handle(uint64(gen)<<32 | uint64(idx)) }
+
+func (h Handle) split() (idx, gen uint32) { return uint32(h), uint32(h >> 32) }
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
 	now     time.Duration
 	seq     uint64
-	queue   eventHeap
+	queue   []heapSlot // 4-ary min-heap ordered by (at, seq)
+	events  []event    // slab; heapSlot.idx indexes into it
+	free    []uint32   // recycled slab slots
+	stale   int        // cancelled events still occupying queue slots
 	rng     *rand.Rand
 	stopped bool
 
 	// Executed counts events that have fired, for diagnostics and tests.
 	executed uint64
+}
+
+// heapSlot is one priority-queue entry: the event's deadline, its
+// scheduling sequence number (FIFO tie-break), and its slab slot.
+type heapSlot struct {
+	at  time.Duration
+	seq uint64
+	idx uint32
+}
+
+// event is one slab record. gen is bumped every time the slot is
+// recycled, invalidating outstanding handles. A scheduled event holds its
+// callback in fn; cancellation clears fn immediately (releasing the
+// closure) and marks the record stale until its queue slot is discarded.
+type event struct {
+	fn        func()
+	gen       uint32
+	cancelled bool
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose RNG is
@@ -44,27 +86,34 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of events currently scheduled (including
-// cancelled timers that have not yet been discarded).
+// cancelled timers whose queue slots have not yet been discarded).
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// Timer is a handle to a scheduled event; Stop cancels it.
+// Cancelled returns the number of cancelled timers still occupying queue
+// slots — the queue-bloat diagnostic. It drops to zero whenever the lazy
+// compaction runs or the stale slots are popped.
+func (e *Engine) Cancelled() int { return e.stale }
+
+// Timer is a handle to a scheduled event; Stop cancels it. Timer is a
+// small value: copy it freely and embed it in owner structs. The zero
+// Timer is inert (Stop reports false).
 type Timer struct {
-	ev *event
+	e *Engine
+	h Handle
 }
 
 // Stop cancels the timer. It reports whether the call prevented the event
 // from firing (false if the event already fired or was already stopped).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+func (t Timer) Stop() bool {
+	if t.e == nil {
 		return false
 	}
-	t.ev.cancelled = true
-	return true
+	return t.e.Cancel(t.h)
 }
 
 // After schedules fn to run d after the current time and returns a Timer
 // that can cancel it. Negative d is treated as zero.
-func (e *Engine) After(d time.Duration, fn func()) *Timer {
+func (e *Engine) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -74,17 +123,186 @@ func (e *Engine) After(d time.Duration, fn func()) *Timer {
 // At schedules fn to run at absolute virtual time at. Times in the past are
 // clamped to the current time (the event fires after all events already
 // scheduled for the current instant).
-func (e *Engine) At(at time.Duration, fn func()) *Timer {
+func (e *Engine) At(at time.Duration, fn func()) Timer {
+	return Timer{e: e, h: e.Schedule(at, fn)}
+}
+
+// Schedule is the raw scheduling primitive: it queues fn for absolute time
+// at (clamped to now) and returns a Handle for Cancel. It allocates
+// nothing once the slab and queue have reached the workload's steady-state
+// size. Substrate adapters that wrap engine timers in their own handle
+// types should use Schedule/Cancel directly to avoid the Timer wrapper.
+func (e *Engine) Schedule(at time.Duration, fn func()) Handle {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
 	if at < e.now {
 		at = e.now
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var idx uint32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.events = append(e.events, event{gen: 1})
+		idx = uint32(len(e.events) - 1)
+	}
+	ev := &e.events[idx]
+	ev.fn = fn
+	ev.cancelled = false
+	e.push(heapSlot{at: at, seq: e.seq, idx: idx})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	return makeHandle(idx, ev.gen)
+}
+
+// Cancel stops the event identified by h, reporting whether it prevented
+// the callback from firing. The event's queue slot is discarded lazily:
+// immediately freed slots would require a heap delete at a random
+// position; instead the slot is skipped when popped, and when cancelled
+// slots outnumber live ones the whole queue is compacted in one pass.
+func (e *Engine) Cancel(h Handle) bool {
+	idx, gen := h.split()
+	if int(idx) >= len(e.events) {
+		return false
+	}
+	ev := &e.events[idx]
+	if ev.gen != gen || ev.cancelled || ev.fn == nil {
+		return false
+	}
+	ev.cancelled = true
+	ev.fn = nil // release the closure now, not at pop time
+	e.stale++
+	if e.stale*2 > len(e.queue) {
+		e.compact()
+	}
+	return true
+}
+
+// CancelTimer is Cancel with an untyped handle, letting *Engine satisfy
+// handle-canceller interfaces of packages that must not import sim (e.g.
+// core.TimerCanceller).
+func (e *Engine) CancelTimer(h uint64) bool { return e.Cancel(Handle(h)) }
+
+// recycle returns a slab slot to the free list, invalidating handles.
+func (e *Engine) recycle(idx uint32) {
+	ev := &e.events[idx]
+	ev.fn = nil
+	ev.cancelled = false
+	ev.gen++
+	e.free = append(e.free, idx)
+}
+
+// compact rebuilds the queue without the cancelled slots, freeing them.
+// It preserves the (at, seq) order relation, so pop order — and therefore
+// simulation determinism — is unaffected.
+func (e *Engine) compact() {
+	kept := e.queue[:0]
+	for _, s := range e.queue {
+		if e.events[s.idx].cancelled {
+			e.recycle(s.idx)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	e.queue = kept
+	e.stale = 0
+	// Heapify: sift down from the last internal node.
+	for i := (len(e.queue) - 2) / 4; i >= 0; i-- {
+		e.siftDown(i)
+	}
+	e.shrink()
+}
+
+// shrink reallocates the queue's backing array when a churn burst has left
+// capacity more than 4x the live length, so one spike does not pin memory
+// for the rest of a long run.
+func (e *Engine) shrink() {
+	if c := cap(e.queue); c > 64 && c > 4*len(e.queue) {
+		q := make([]heapSlot, len(e.queue), 2*len(e.queue))
+		copy(q, e.queue)
+		e.queue = q
+	}
+}
+
+func slotLess(a, b heapSlot) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(s heapSlot) {
+	e.queue = append(e.queue, s)
+	// Sift up.
+	i := len(e.queue) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !slotLess(e.queue[i], e.queue[p]) {
+			break
+		}
+		e.queue[i], e.queue[p] = e.queue[p], e.queue[i]
+		i = p
+	}
+}
+
+// popMin removes and returns the queue's minimum slot.
+func (e *Engine) popMin() heapSlot {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	e.shrink()
+	return top
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if slotLess(q[c], q[best]) {
+				best = c
+			}
+		}
+		if !slotLess(q[best], q[i]) {
+			return
+		}
+		q[i], q[best] = q[best], q[i]
+		i = best
+	}
+}
+
+// next pops slots until it finds a live event, discarding stale ones. It
+// returns the slot and the callback, or false when the queue is empty.
+// The slab slot is recycled before the callback is returned, so the
+// callback may freely schedule new events.
+func (e *Engine) next() (heapSlot, func(), bool) {
+	for len(e.queue) > 0 {
+		s := e.popMin()
+		ev := &e.events[s.idx]
+		if ev.cancelled {
+			e.stale--
+			e.recycle(s.idx)
+			continue
+		}
+		fn := ev.fn
+		e.recycle(s.idx)
+		return s, fn, true
+	}
+	return heapSlot{}, nil, false
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -96,22 +314,29 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(until time.Duration) {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.at > until {
-			break
-		}
-		heap.Pop(&e.queue)
-		if ev.cancelled {
+		// Peek: discard stale slots at the top so a cancelled far-future
+		// timer does not mask live events behind the horizon check.
+		top := e.queue[0]
+		if e.events[top.idx].cancelled {
+			e.popMin()
+			e.stale--
+			e.recycle(top.idx)
 			continue
 		}
-		if ev.at < e.now {
-			// Cannot happen: heap order plus clamping in At.
-			panic(fmt.Sprintf("sim: event at %v in the past (now %v)", ev.at, e.now))
+		if top.at > until {
+			break
 		}
-		e.now = ev.at
-		ev.fired = true
+		s, fn, ok := e.next()
+		if !ok {
+			break
+		}
+		if s.at < e.now {
+			// Cannot happen: heap order plus clamping in Schedule.
+			panic(fmt.Sprintf("sim: event at %v in the past (now %v)", s.at, e.now))
+		}
+		e.now = s.at
 		e.executed++
-		ev.fn()
+		fn()
 	}
 	if e.now < until {
 		e.now = until
@@ -122,62 +347,25 @@ func (e *Engine) Run(until time.Duration) {
 // timers make this non-terminating.
 func (e *Engine) RunAll() {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancelled {
-			continue
+	for !e.stopped {
+		s, fn, ok := e.next()
+		if !ok {
+			return
 		}
-		e.now = ev.at
-		ev.fired = true
+		e.now = s.at
 		e.executed++
-		ev.fn()
+		fn()
 	}
 }
 
 // Step fires the next pending event, if any, and reports whether one fired.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		ev.fired = true
-		e.executed++
-		ev.fn()
-		return true
+	s, fn, ok := e.next()
+	if !ok {
+		return false
 	}
-	return false
-}
-
-type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	cancelled bool
-	fired     bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	e.now = s.at
+	e.executed++
+	fn()
+	return true
 }

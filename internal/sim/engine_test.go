@@ -239,7 +239,7 @@ func TestPropertyCancellation(t *testing.T) {
 	f := func(delays []uint16, cancelMask []bool) bool {
 		e := NewEngine(5)
 		fired := make([]bool, len(delays))
-		timers := make([]*Timer, len(delays))
+		timers := make([]Timer, len(delays))
 		for i, d := range delays {
 			i := i
 			timers[i] = e.After(time.Duration(d)*time.Millisecond, func() { fired[i] = true })

@@ -17,7 +17,10 @@ import (
 type Memory struct {
 	limits Limits
 
-	recs map[ID]*memRec
+	// recs is keyed by the packed (source, seq) pair: a uint64 key takes
+	// the runtime's fast map path, where the two-field struct key would
+	// hash through the generic path on every Put/Get/Has.
+	recs map[uint64]*memRec
 	// bySource holds each source's live sequence numbers in ascending
 	// order (payloads arrive in order per source on the hot path, so
 	// inserts are usually appends).
@@ -46,11 +49,17 @@ type memRec struct {
 
 var _ MessageStore = (*Memory)(nil)
 
+// pk packs an ID into the uint64 map key.
+func pk(id ID) uint64 { return uint64(uint32(id.Source))<<32 | uint64(id.Seq) }
+
+// unpk reverses pk.
+func unpk(k uint64) ID { return ID{Source: int32(k >> 32), Seq: uint32(k)} }
+
 // NewMemory builds an empty bounded in-memory store.
 func NewMemory(limits Limits) *Memory {
 	return &Memory{
 		limits:   limits.withDefaults(),
-		recs:     make(map[ID]*memRec),
+		recs:     make(map[uint64]*memRec),
 		bySource: make(map[int32][]uint32),
 		counters: metrics.NewAtomicCounter(),
 	}
@@ -62,11 +71,11 @@ func (m *Memory) Limits() Limits { return m.limits }
 // Put inserts a payload, evicting the oldest live records if the caps
 // would be exceeded.
 func (m *Memory) Put(id ID, payload []byte, now time.Duration) bool {
-	if _, ok := m.recs[id]; ok {
+	if _, ok := m.recs[pk(id)]; ok {
 		m.counters.Inc("duplicate_puts", 1)
 		return false
 	}
-	m.recs[id] = &memRec{payload: payload, storedAt: now}
+	m.recs[pk(id)] = &memRec{payload: payload, storedAt: now}
 	m.insertSeq(id)
 	m.evictQ = append(m.evictQ, id)
 	m.bytes += int64(len(payload))
@@ -85,7 +94,7 @@ func (m *Memory) enforceCaps(now time.Duration) {
 	for (overCount() || overBytes()) && len(m.evictQ) > 0 {
 		id := m.evictQ[0]
 		m.evictQ = m.evictQ[1:]
-		r := m.recs[id]
+		r := m.recs[pk(id)]
 		if r == nil || r.reclaimed {
 			continue // lazily skip records GC reclaimed first
 		}
@@ -106,7 +115,7 @@ func (m *Memory) reclaim(id ID, r *memRec, now time.Duration) {
 
 // Get returns the payload of a live record.
 func (m *Memory) Get(id ID) ([]byte, bool) {
-	r, ok := m.recs[id]
+	r, ok := m.recs[pk(id)]
 	if !ok || r.reclaimed {
 		return nil, false
 	}
@@ -115,20 +124,20 @@ func (m *Memory) Get(id ID) ([]byte, bool) {
 
 // Has reports whether the ID is known, live or tombstoned.
 func (m *Memory) Has(id ID) bool {
-	_, ok := m.recs[id]
+	_, ok := m.recs[pk(id)]
 	return ok
 }
 
 // MarkStable schedules reclamation Retention from now.
 func (m *Memory) MarkStable(id ID, now time.Duration) {
-	if r, ok := m.recs[id]; ok && !r.reclaimed {
+	if r, ok := m.recs[pk(id)]; ok && !r.reclaimed {
 		r.releaseAt = now + m.limits.Retention
 	}
 }
 
 // Unstable cancels a pending reclamation.
 func (m *Memory) Unstable(id ID) {
-	if r, ok := m.recs[id]; ok && !r.reclaimed {
+	if r, ok := m.recs[pk(id)]; ok && !r.reclaimed {
 		r.releaseAt = 0
 	}
 }
@@ -153,7 +162,7 @@ func (m *Memory) Range(source int32, low, high uint32, visit func(id ID, payload
 	i := sort.Search(len(seqs), func(k int) bool { return seqs[k] >= low })
 	for ; i < len(seqs) && seqs[i] <= high; i++ {
 		id := ID{Source: source, Seq: seqs[i]}
-		r := m.recs[id]
+		r := m.recs[pk(id)]
 		if r == nil || r.reclaimed {
 			continue
 		}
@@ -167,10 +176,11 @@ func (m *Memory) Range(source int32, low, high uint32, visit func(id ID, payload
 // past MaxAge are reclaimed; expired tombstones are dropped.
 func (m *Memory) GC(now time.Duration) GCResult {
 	var res GCResult
-	for id, r := range m.recs {
+	for k, r := range m.recs {
+		id := unpk(k)
 		if r.reclaimed {
 			if now >= r.dropAt {
-				delete(m.recs, id)
+				delete(m.recs, k)
 				res.Dropped = append(res.Dropped, id)
 				m.counters.Inc("tombstones_dropped", 1)
 			}
@@ -191,7 +201,7 @@ func (m *Memory) GC(now time.Duration) GCResult {
 	// the queue grow without bound in steady state.
 	q := m.evictQ[:0]
 	for _, id := range m.evictQ {
-		if r, ok := m.recs[id]; ok && !r.reclaimed {
+		if r, ok := m.recs[pk(id)]; ok && !r.reclaimed {
 			q = append(q, id)
 		}
 	}

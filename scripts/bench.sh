@@ -3,12 +3,29 @@
 # benchmark's name, ns/op, and allocs/op in BENCH_<date>.json at the
 # repo root, so the performance trajectory is tracked PR over PR.
 #
-# Usage: scripts/bench.sh [bench-regexp] [benchtime]
+# Usage: scripts/bench.sh [-compare] [bench-regexp] [benchtime]
 #   scripts/bench.sh                 # all benchmarks, one iteration each
 #   scripts/bench.sh 'Obs' 100000x   # just the registry hot paths
+#   scripts/bench.sh -compare        # also diff against the latest
+#                                    # committed BENCH_*.json (read from
+#                                    # git, so overwriting the worktree
+#                                    # copy cannot skew the baseline)
+#
+# Note -benchtime=1x (the default) amortizes nothing: one-time setup in a
+# benchmark body is billed to the single op. Benchmarks with non-trivial
+# setup must ResetTimer, or their 1x numbers record the harness, not the
+# hot path (this is exactly what the 2026-08-06 BenchmarkObsCounterInc
+# entry shows). For stable microbenchmark numbers pass an explicit
+# benchtime.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+compare=0
+if [ "${1:-}" = "-compare" ]; then
+	compare=1
+	shift
+fi
 pattern="${1:-.}"
 benchtime="${2:-1x}"
 out="BENCH_$(date +%F).json"
@@ -34,3 +51,61 @@ go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem -timeout 0
 	' >"$out"
 
 echo "wrote $out" >&2
+
+if [ "$compare" = 1 ]; then
+	base="$(git ls-files 'BENCH_*.json' | sort | tail -1)"
+	if [ -z "$base" ]; then
+		echo "bench.sh: no committed BENCH_*.json to compare against" >&2
+		exit 1
+	fi
+	echo >&2
+	echo "# delta vs committed $base (negative = improvement)" >&2
+	git show "HEAD:$base" | awk -v freshfile="$out" '
+		function field(line, key,    rest) {
+			if (!match(line, "\"" key "\": [0-9.]+")) return ""
+			rest = substr(line, RSTART, RLENGTH)
+			sub(/.*: /, "", rest)
+			return rest
+		}
+		function bname(line,    rest) {
+			if (!match(line, /"name": "[^"]*"/)) return ""
+			rest = substr(line, RSTART, RLENGTH)
+			sub(/"name": "/, "", rest)
+			sub(/"$/, "", rest)
+			return rest
+		}
+		function pct(old, new) {
+			if (old == "" || new == "" || old + 0 == 0) return "    n/a"
+			return sprintf("%+6.1f%%", 100 * (new - old) / old)
+		}
+		BEGIN {
+			while ((getline line < freshfile) > 0) {
+				n = bname(line)
+				if (n == "") continue
+				fns[n] = field(line, "ns_per_op")
+				fal[n] = field(line, "allocs_per_op")
+				if (!(n in seen)) { order[++cnt] = n; seen[n] = 1 }
+			}
+			close(freshfile)
+		}
+		{
+			n = bname($0)
+			if (n == "") next
+			bns[n] = field($0, "ns_per_op")
+			bal[n] = field($0, "allocs_per_op")
+			if (!(n in seen)) { order[++cnt] = n; seen[n] = 1 }
+		}
+		END {
+			printf "%-34s %15s %15s %8s %12s %12s %8s\n",
+				"benchmark", "old-ns/op", "new-ns/op", "d-ns", "old-allocs", "new-allocs", "d-allocs"
+			for (i = 1; i <= cnt; i++) {
+				n = order[i]
+				if (!(n in bns)) { printf "%-34s %s\n", n, "(new benchmark)"; continue }
+				if (!(n in fns)) { printf "%-34s %s\n", n, "(not in fresh run)"; continue }
+				printf "%-34s %15.0f %15.0f %8s %12s %12s %8s\n",
+					n, bns[n], fns[n], pct(bns[n], fns[n]),
+					bal[n], fal[n], pct(bal[n], fal[n])
+			}
+		}
+	' >&2
+fi
