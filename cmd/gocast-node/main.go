@@ -93,6 +93,9 @@ func newApp(args []string, w io.Writer) (*app, error) {
 		redialMax      = fs.Duration("redial-backoff-max", 0, "redial backoff cap (0 = default 3s)")
 		idleTimeout    = fs.Duration("idle-timeout", 0, "reap outbound connections idle this long (0 = default 5m, negative disables)")
 
+		memBudget  = fs.Int64("mem-budget", 0, "overload memory budget in bytes over store plus queued frames; the node degrades near it and sheds publishes at it (0 = unlimited)")
+		shedPolicy = fs.String("shed-policy", "", "overload shed policy: priority (default; Background sheds first) or off (no classing, legacy single-queue behavior)")
+
 		storeMaxMsgs  = fs.Int("store-max-msgs", 0, "message store capacity in messages (0 = default 16384)")
 		storeMaxBytes = fs.Int64("store-max-bytes", 0, "message store capacity in payload bytes (0 = default 64 MiB)")
 		syncInterval  = fs.Duration("sync-interval", 0, "period of anti-entropy digest sync with neighbors (0 = default 30s, negative disables)")
@@ -103,6 +106,11 @@ func newApp(args []string, w io.Writer) (*app, error) {
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	switch *shedPolicy {
+	case "", "priority", "off":
+	default:
+		return nil, fmt.Errorf("-shed-policy %q: want priority or off", *shedPolicy)
 	}
 
 	cfg := gocast.DefaultConfig()
@@ -118,6 +126,7 @@ func newApp(args []string, w io.Writer) (*app, error) {
 		RedialBackoff:    *redialBackoff,
 		RedialBackoffMax: *redialMax,
 		IdleTimeout:      *idleTimeout,
+		ShedPolicy:       *shedPolicy,
 	})
 	if err != nil {
 		return nil, err
@@ -131,6 +140,10 @@ func newApp(args []string, w io.Writer) (*app, error) {
 		Incarnation:   uint32(*inc),
 		TraceCapacity: *traceCap,
 		TraceSample:   *traceSample,
+		Overload: gocast.OverloadOptions{
+			MemBudget:  *memBudget,
+			ShedPolicy: *shedPolicy,
+		},
 		OnDeliver: func(mid gocast.MessageID, payload []byte, age time.Duration) {
 			if !*quiet {
 				fmt.Printf("[%s age=%v] %s\n", mid, age.Round(time.Millisecond), payload)
@@ -191,8 +204,8 @@ func (a *app) handleLine(line string, w io.Writer) {
 	switch {
 	case line == "/status":
 		st := a.node.Status()
-		fmt.Fprintf(w, "degree=%d members=%d root=%d parent=%d store=%d msgs/%d bytes\n",
-			st.Degree, st.Members, st.Root, st.Parent, st.StoreMessages, st.StoreBytes)
+		fmt.Fprintf(w, "degree=%d members=%d root=%d parent=%d store=%d msgs/%d bytes overload=%s\n",
+			st.Degree, st.Members, st.Root, st.Parent, st.StoreMessages, st.StoreBytes, st.Overload)
 	case line == "/stats":
 		s := a.node.Stats()
 		fmt.Fprintf(w, "delivered=%d injected=%d duplicates=%d pulls=%d peer_downs=%d\n",

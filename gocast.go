@@ -103,6 +103,9 @@ type (
 	Direction = live.Direction
 	// SlowLink adds extra delay to traffic matching one direction.
 	SlowLink = live.SlowLink
+	// BandwidthCap throttles matching traffic to a byte rate, modeled as a
+	// serial link with burst allowance.
+	BandwidthCap = live.BandwidthCap
 	// Cluster is an in-process group of live nodes.
 	Cluster = live.Cluster
 	// ClusterOptions configures an in-process cluster.
@@ -143,6 +146,23 @@ type (
 	// TraceFilter selects trace events when querying a TraceBuffer.
 	TraceFilter = trace.Filter
 
+	// Class is a message's admission class under overload (Critical,
+	// Repair, Background); queues shed Background first.
+	Class = core.Class
+	// OverloadLevel is a node's degradation state (Healthy, Degraded,
+	// Shedding), driven by queue occupancy and budget pressure.
+	OverloadLevel = core.OverloadLevel
+	// OverloadOptions tunes a live node's overload protection: mailbox
+	// lane capacities, memory budget, shed policy, and the degradation
+	// state machine's thresholds.
+	OverloadOptions = live.OverloadOptions
+	// QueuePressure is a transport's send-queue occupancy summary, feeding
+	// the overload governor.
+	QueuePressure = live.QueuePressure
+	// AdmissionCaps bounds per-class in-flight traffic in simulation,
+	// mirroring the live admission model.
+	AdmissionCaps = netsim.AdmissionCaps
+
 	// MessageStore buffers multicast payloads between receipt and
 	// reclamation; Config.NewStore swaps in alternative implementations.
 	MessageStore = store.MessageStore
@@ -170,6 +190,20 @@ const (
 
 // None is the absent-node sentinel.
 const None = core.None
+
+// Message admission classes.
+const (
+	ClassCritical   = core.ClassCritical
+	ClassRepair     = core.ClassRepair
+	ClassBackground = core.ClassBackground
+)
+
+// Overload degradation levels.
+const (
+	OverloadHealthy  = core.OverloadHealthy
+	OverloadDegraded = core.OverloadDegraded
+	OverloadShedding = core.OverloadShedding
+)
 
 // DefaultConfig returns the paper's recommended parameters (C_rand=1,
 // C_near=5, 0.1 s gossip and maintenance periods, 15 s heartbeats).
@@ -208,6 +242,10 @@ const PrometheusContentType = obs.PrometheusContentType
 
 // ErrStopped reports an API call against a live node after Close or Kill.
 var ErrStopped = live.ErrStopped
+
+// ErrOverloaded reports a Publish rejected because the node is Shedding;
+// retry after backoff, or watch Node.Overload for recovery.
+var ErrOverloaded = live.ErrOverloaded
 
 // NewTCPTransport listens for the group's TCP and UDP traffic with
 // default resilience options.

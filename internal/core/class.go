@@ -1,0 +1,132 @@
+package core
+
+import "time"
+
+// Message classing for overload protection. Every protocol message falls
+// into one of three admission classes, ordered by how much the system is
+// willing to sacrifice for it under load. Queues (the live node's mailbox,
+// the TCP transport's per-peer frame queues, netsim's admission model) use
+// the class to decide what to shed first when they saturate: Background
+// sheds first, Repair next, and Critical only at a hard budget — because
+// everything a Background or Repair message carries can be recovered later
+// by the anti-entropy sync protocol, while Critical traffic (tree
+// forwards, membership, failure detection) is what keeps the group
+// correct and connected in the first place.
+
+// Class is a message's admission class under overload.
+type Class uint8
+
+const (
+	// ClassCritical traffic keeps the group correct: tree-forwarded
+	// payloads, membership and overlay maintenance, failure detection
+	// (gossip summaries double as link keepalives), and tree control.
+	// Shed only at a hard memory budget.
+	ClassCritical Class = iota
+	// ClassRepair traffic recovers recent losses: gossip pulls, pull
+	// responses, and pull-miss indications. Shedding it delays recovery
+	// (the next gossip or a sync round retries) but loses nothing.
+	ClassRepair
+	// ClassBackground traffic is bulk catch-up that explicitly paces
+	// itself: anti-entropy sync digests and pages. It is the first thing
+	// shed; a dropped round is retried on the next sync interval.
+	ClassBackground
+
+	// NumClasses is the number of admission classes.
+	NumClasses = 3
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassCritical:
+		return "critical"
+	case ClassRepair:
+		return "repair"
+	case ClassBackground:
+		return "background"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassOf returns a message's admission class. Multicast payloads are
+// Critical when pushed along a tree link (the primary dissemination path)
+// and Repair when served in response to a pull.
+func ClassOf(m Message) Class {
+	switch v := m.(type) {
+	case *Multicast:
+		if v.ViaTree {
+			return ClassCritical
+		}
+		return ClassRepair
+	case *PullRequest, *PullMiss:
+		return ClassRepair
+	case *SyncRequest, *SyncReply:
+		return ClassBackground
+	default:
+		// Join, ping/pong, add/drop/rebalance, gossip (keepalive +
+		// summaries), and tree control all guard liveness.
+		return ClassCritical
+	}
+}
+
+// OverloadLevel is a node's degradation state, driven by queue occupancy
+// and budget pressure (see internal/live's governor). The protocol reacts
+// to it directly: a Degraded or Shedding node stretches its periodic
+// gossip and sync intervals by Config.DegradedIntervalScale so it stops
+// amplifying the load it cannot absorb.
+type OverloadLevel uint8
+
+const (
+	// OverloadHealthy is normal operation.
+	OverloadHealthy OverloadLevel = iota
+	// OverloadDegraded stretches gossip/sync intervals; everything is
+	// still admitted and delivered.
+	OverloadDegraded
+	// OverloadShedding additionally rejects new local publishes
+	// (live.ErrOverloaded) so producers get backpressure instead of
+	// silent loss.
+	OverloadShedding
+)
+
+func (l OverloadLevel) String() string {
+	switch l {
+	case OverloadHealthy:
+		return "healthy"
+	case OverloadDegraded:
+		return "degraded"
+	case OverloadShedding:
+		return "shedding"
+	default:
+		return "unknown"
+	}
+}
+
+// SetOverload moves the node to the given degradation level. Must be
+// called on the node's logical thread. Raising the level takes effect on
+// the next periodic tick (timers are not re-armed mid-flight); lowering
+// it restores the configured intervals the same way.
+func (n *Node) SetOverload(l OverloadLevel) { n.overload = l }
+
+// Overload returns the node's current degradation level.
+func (n *Node) Overload() OverloadLevel { return n.overload }
+
+// loadScale returns the multiplier applied to the periodic gossip and
+// sync intervals at the node's current degradation level.
+func (n *Node) loadScale() time.Duration {
+	if n.overload == OverloadHealthy {
+		return 1
+	}
+	return time.Duration(n.cfg.DegradedIntervalScale)
+}
+
+// scaledGossipPeriod is the effective gossip period under the current
+// degradation level.
+func (n *Node) scaledGossipPeriod() time.Duration {
+	return n.cfg.GossipPeriod * n.loadScale()
+}
+
+// scaledSyncInterval is the effective sync interval under the current
+// degradation level.
+func (n *Node) scaledSyncInterval() time.Duration {
+	return n.cfg.SyncInterval * n.loadScale()
+}

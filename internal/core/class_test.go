@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClassOfCoversEveryMessageKind(t *testing.T) {
+	cases := []struct {
+		m    Message
+		want Class
+	}{
+		{&JoinRequest{}, ClassCritical},
+		{&JoinReply{}, ClassCritical},
+		{&Ping{}, ClassCritical},
+		{&Pong{}, ClassCritical},
+		{&AddRequest{}, ClassCritical},
+		{&AddReply{}, ClassCritical},
+		{&Drop{}, ClassCritical},
+		{&Rebalance{}, ClassCritical},
+		{&RebalanceReply{}, ClassCritical},
+		{&Gossip{}, ClassCritical},
+		{&TreeAdvert{}, ClassCritical},
+		{&TreeParent{}, ClassCritical},
+		{&TreeAdvertReq{}, ClassCritical},
+		{&Multicast{ViaTree: true}, ClassCritical},
+		{&Multicast{ViaTree: false}, ClassRepair},
+		{&PullRequest{}, ClassRepair},
+		{&PullMiss{}, ClassRepair},
+		{&SyncRequest{}, ClassBackground},
+		{&SyncReply{}, ClassBackground},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.m); got != c.want {
+			t.Errorf("ClassOf(%T{ViaTree?}) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if ClassCritical.String() != "critical" || ClassRepair.String() != "repair" ||
+		ClassBackground.String() != "background" {
+		t.Fatalf("class names wrong: %v %v %v", ClassCritical, ClassRepair, ClassBackground)
+	}
+	if OverloadHealthy.String() != "healthy" || OverloadDegraded.String() != "degraded" ||
+		OverloadShedding.String() != "shedding" {
+		t.Fatalf("level names wrong: %v %v %v", OverloadHealthy, OverloadDegraded, OverloadShedding)
+	}
+}
+
+// TestOverloadStretchesGossipAndSync pins the Degraded effect: the
+// periodic gossip (and sync) rate drops by DegradedIntervalScale while the
+// node is overloaded, and recovers once it returns to Healthy.
+func TestOverloadStretchesGossipAndSync(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GossipPeriod = 100 * time.Millisecond
+	cfg.SyncInterval = 500 * time.Millisecond
+	cfg.DegradedIntervalScale = 4
+	f := newFixture(1)
+	a := f.addNode(1, cfg)
+	b := f.addNode(2, cfg)
+	a.Start()
+	b.Start()
+	f.link(1, 2, Nearby)
+	f.run(3 * time.Second)
+
+	rate := func(run func()) float64 {
+		before := a.Stats().GossipsSent
+		start := f.eng.Now()
+		run()
+		elapsed := f.eng.Now() - start
+		return float64(a.Stats().GossipsSent-before) / elapsed.Seconds()
+	}
+
+	healthy := rate(func() { f.run(5 * time.Second) })
+	a.SetOverload(OverloadDegraded)
+	if a.Overload() != OverloadDegraded {
+		t.Fatalf("Overload() = %v, want degraded", a.Overload())
+	}
+	degraded := rate(func() { f.run(5 * time.Second) })
+	a.SetOverload(OverloadHealthy)
+	f.run(time.Second) // let the last stretched re-arm expire
+	recovered := rate(func() { f.run(5 * time.Second) })
+
+	// ~10/s healthy vs ~2.5/s degraded; allow slack for timer phase.
+	if degraded > healthy/2 {
+		t.Fatalf("degraded gossip rate %.1f/s not stretched vs healthy %.1f/s", degraded, healthy)
+	}
+	if recovered < healthy*0.7 {
+		t.Fatalf("recovered gossip rate %.1f/s did not return toward healthy %.1f/s", recovered, healthy)
+	}
+	syncs := a.Stats().SyncRequestsSent
+	if syncs == 0 {
+		t.Fatalf("expected periodic syncs to have run")
+	}
+}

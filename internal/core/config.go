@@ -67,6 +67,12 @@ type Config struct {
 	// SyncBatchBytes caps payload bytes per SyncReply, pacing recovery so
 	// a rejoining node cannot be flooded (0 = default 256 KiB).
 	SyncBatchBytes int
+	// DegradedIntervalScale is the factor by which an overloaded node
+	// (OverloadDegraded or OverloadShedding, see SetOverload) stretches
+	// its periodic gossip and sync intervals, reducing the traffic it
+	// generates while it catches up (0 = default 4; 1 disables
+	// stretching).
+	DegradedIntervalScale int
 	// NeighborTimeout declares an overlay neighbor dead when nothing has
 	// been heard from it for this long (gossips act as keepalives).
 	NeighborTimeout time.Duration
@@ -104,27 +110,28 @@ type Config struct {
 // GoCast protocol.
 func DefaultConfig() Config {
 	return Config{
-		CRand:            1,
-		CNear:            5,
-		DegreeSlack:      5,
-		C1Lower:          1,
-		DropTrigger:      2,
-		ReplaceRatio:     0.5,
-		GossipPeriod:     100 * time.Millisecond,
-		MaintainPeriod:   100 * time.Millisecond,
-		HeartbeatPeriod:  15 * time.Second,
-		PullDelay:        0,
-		PullRetry:        time.Second,
-		ReclaimAfter:     2 * time.Minute,
-		SyncInterval:     30 * time.Second,
-		SyncBatchBytes:   256 << 10,
-		NeighborTimeout:  5 * time.Second,
-		QuarantineWindow: 30 * time.Second,
-		RootTimeout:      40 * time.Second,
-		EnableTree:       true,
-		MemberViewSize:   96,
-		MemberSampleSize: 3,
-		LandmarkCount:    8,
+		CRand:                 1,
+		CNear:                 5,
+		DegreeSlack:           5,
+		C1Lower:               1,
+		DropTrigger:           2,
+		ReplaceRatio:          0.5,
+		GossipPeriod:          100 * time.Millisecond,
+		MaintainPeriod:        100 * time.Millisecond,
+		HeartbeatPeriod:       15 * time.Second,
+		PullDelay:             0,
+		PullRetry:             time.Second,
+		ReclaimAfter:          2 * time.Minute,
+		SyncInterval:          30 * time.Second,
+		SyncBatchBytes:        256 << 10,
+		DegradedIntervalScale: 4,
+		NeighborTimeout:       5 * time.Second,
+		QuarantineWindow:      30 * time.Second,
+		RootTimeout:           40 * time.Second,
+		EnableTree:            true,
+		MemberViewSize:        96,
+		MemberSampleSize:      3,
+		LandmarkCount:         8,
 	}
 }
 
@@ -173,6 +180,9 @@ func (c Config) validate() Config {
 	}
 	if c.SyncBatchBytes <= 0 {
 		c.SyncBatchBytes = 256 << 10
+	}
+	if c.DegradedIntervalScale <= 0 {
+		c.DegradedIntervalScale = 4
 	}
 	if c.NeighborTimeout <= 0 {
 		c.NeighborTimeout = 5 * time.Second

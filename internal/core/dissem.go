@@ -302,7 +302,7 @@ func (n *Node) gossipTick() {
 	if !n.running {
 		return
 	}
-	n.gossipTimer = n.env.After(n.cfg.GossipPeriod, n.tickGossip)
+	n.gossipTimer = n.env.After(n.scaledGossipPeriod(), n.tickGossip)
 	if n.obs == nil {
 		n.gossipRound()
 		return

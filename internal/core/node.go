@@ -30,6 +30,10 @@ type Node struct {
 
 	running     bool
 	maintenance bool
+	// overload is the node's degradation level (set by the substrate's
+	// governor); Degraded and Shedding stretch the periodic gossip and
+	// sync intervals by cfg.DegradedIntervalScale.
+	overload OverloadLevel
 
 	// Partial membership view (Section 2.2.1).
 	members map[NodeID]Entry

@@ -29,7 +29,7 @@ func (n *Node) syncTick() {
 	if !n.running {
 		return
 	}
-	n.syncTimer = n.env.After(n.cfg.SyncInterval, n.tickSync)
+	n.syncTimer = n.env.After(n.scaledSyncInterval(), n.tickSync)
 	if len(n.neighborOrder) == 0 {
 		return
 	}

@@ -22,6 +22,7 @@ const (
 	CtrFaultDelayed    = "fault_delayed"    // messages delivered late (delay/jitter/slow link)
 	CtrFaultDuplicated = "fault_duplicated" // messages delivered twice
 	CtrFaultReordered  = "fault_reordered"  // messages held back to force reordering
+	CtrFaultThrottled  = "fault_throttled"  // messages delayed by a bandwidth cap
 	CtrFaultPassed     = "fault_passed"     // messages forwarded unharmed
 )
 
@@ -46,6 +47,18 @@ type Direction struct {
 type SlowLink struct {
 	From, To string
 	Extra    time.Duration
+}
+
+// BandwidthCap throttles From→To traffic (empty strings are wildcards) to
+// BytesPerSec, modeled as a serial link with a virtual transmission clock:
+// each message occupies the link for WireSize/rate and is delivered when
+// its transmission would complete. Burst grants that many bytes of
+// queued transmission before delay accrues, so short spikes pass
+// unthrottled. Each matching (rule, from, to) pair has its own clock.
+type BandwidthCap struct {
+	From, To    string
+	BytesPerSec int64
+	Burst       int64
 }
 
 // FaultPhase is one time window of faults, e.g. "from t=5s to t=15s,
@@ -81,6 +94,8 @@ type FaultPhase struct {
 	OneWay []Direction
 	// Slow adds per-pair extra delay.
 	Slow []SlowLink
+	// Bandwidth caps per-pair throughput (see BandwidthCap).
+	Bandwidth []BandwidthCap
 }
 
 // active reports whether the phase covers time t.
@@ -126,6 +141,16 @@ type FaultController struct {
 	phases   []FaultPhase
 	start    time.Time
 	counters *metrics.AtomicCounter
+	// bwFree tracks each capped link's virtual transmission clock: the
+	// controller-relative time at which the link next frees up.
+	bwFree map[bwKey]time.Duration
+}
+
+// bwKey identifies one bandwidth rule's state for one concrete endpoint
+// pair (wildcard rules keep a clock per matched pair).
+type bwKey struct {
+	phase, rule int
+	from, to    string
 }
 
 // NewFaultController starts a controller; phase times count from now.
@@ -139,6 +164,7 @@ func NewFaultController(plan FaultPlan) *FaultController {
 		phases:   append([]FaultPhase(nil), plan.Phases...),
 		start:    time.Now(),
 		counters: metrics.NewAtomicCounter(),
+		bwFree:   make(map[bwKey]time.Duration),
 	}
 }
 
@@ -158,6 +184,7 @@ func (c *FaultController) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.phases = nil
+	c.bwFree = make(map[bwKey]time.Duration)
 }
 
 // Counters returns a snapshot of the fault counters (see the CtrFault*
@@ -178,13 +205,21 @@ type faultVerdict struct {
 	dup   bool
 }
 
-// judge composes every active phase's effect on one from→to send.
+// judge composes every active phase's effect on one from→to send, ignoring
+// bandwidth caps (size 0 occupies no link time).
 func (c *FaultController) judge(from, to string, reliable bool) faultVerdict {
+	return c.judgeSized(from, to, reliable, 0)
+}
+
+// judgeSized composes every active phase's effect on one from→to send of
+// the given wire size.
+func (c *FaultController) judgeSized(from, to string, reliable bool, size int) faultVerdict {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := time.Since(c.start)
 	var v faultVerdict
 	anyActive := false
+	throttled := false
 	for i := range c.phases {
 		p := &c.phases[i]
 		if !p.active(now) {
@@ -214,6 +249,29 @@ func (c *FaultController) judge(from, to string, reliable bool) faultVerdict {
 				v.delay += s.Extra
 			}
 		}
+		if size > 0 {
+			for ri := range p.Bandwidth {
+				bc := &p.Bandwidth[ri]
+				if bc.BytesPerSec <= 0 || !matchAddr(bc.From, from) || !matchAddr(bc.To, to) {
+					continue
+				}
+				key := bwKey{phase: i, rule: ri, from: from, to: to}
+				free := c.bwFree[key]
+				if free < now {
+					free = now
+				}
+				free += time.Duration(int64(size) * int64(time.Second) / bc.BytesPerSec)
+				c.bwFree[key] = free
+				delay := free - now
+				if bc.Burst > 0 {
+					delay -= time.Duration(bc.Burst * int64(time.Second) / bc.BytesPerSec)
+				}
+				if delay > 0 {
+					v.delay += delay
+					throttled = true
+				}
+			}
+		}
 		if p.Reorder > 0 && c.rng.Float64() < p.Reorder {
 			rd := p.ReorderDelay
 			if rd <= 0 {
@@ -229,6 +287,9 @@ func (c *FaultController) judge(from, to string, reliable bool) faultVerdict {
 	}
 	if v.drop {
 		return v
+	}
+	if throttled {
+		c.counters.Inc(CtrFaultThrottled, 1)
 	}
 	if v.delay > 0 {
 		c.counters.Inc(CtrFaultDelayed, 1)
@@ -288,7 +349,7 @@ func (f *FaultTransport) SendDatagram(addr string, to core.NodeID, m core.Messag
 }
 
 func (f *FaultTransport) dispatch(addr string, to core.NodeID, m core.Message, reliable bool) {
-	v := f.ctl.judge(f.inner.Addr(), addr, reliable)
+	v := f.ctl.judgeSized(f.inner.Addr(), addr, reliable, m.WireSize())
 	if v.drop {
 		return
 	}

@@ -218,3 +218,105 @@ func sendUntilCount(t *testing.T, c *atomic.Int64, want int64, send func()) {
 		time.Sleep(20 * time.Millisecond)
 	}
 }
+
+// TestFaultPhaseBandwidthCapThrottles pins the virtual-clock model: a
+// capped link delays each message by its queued transmission time minus
+// the burst allowance, directionally, with independent clocks per pair.
+func TestFaultPhaseBandwidthCapThrottles(t *testing.T) {
+	ctl := NewFaultController(FaultPlan{Phases: []FaultPhase{{
+		Bandwidth: []BandwidthCap{{From: "a", BytesPerSec: 1000, Burst: 100}},
+	}}})
+
+	// 500 B at 1000 B/s occupies the link 500ms; the 100 B burst grants
+	// 100ms for free.
+	d1 := ctl.judgeSized("a", "b", true, 500).delay
+	if d1 < 350*time.Millisecond || d1 > 400*time.Millisecond {
+		t.Errorf("first capped send delay = %v, want ~400ms", d1)
+	}
+	// Back-to-back: the link is already busy, so the second send queues
+	// behind the first.
+	d2 := ctl.judgeSized("a", "b", true, 500).delay
+	if d2 < 850*time.Millisecond || d2 > 900*time.Millisecond {
+		t.Errorf("second capped send delay = %v, want ~900ms", d2)
+	}
+	// The reverse direction is uncapped.
+	if d := ctl.judgeSized("b", "a", true, 500).delay; d != 0 {
+		t.Errorf("reverse direction delay = %v, want 0", d)
+	}
+	// A different destination pair gets its own clock under the wildcard
+	// rule: only the burst-adjusted transmission time, no queueing behind
+	// a->b.
+	d3 := ctl.judgeSized("a", "c", true, 500).delay
+	if d3 < 350*time.Millisecond || d3 > 400*time.Millisecond {
+		t.Errorf("independent pair delay = %v, want ~400ms", d3)
+	}
+	if ctl.Counters()[CtrFaultThrottled] != 3 {
+		t.Errorf("fault_throttled = %d, want 3", ctl.Counters()[CtrFaultThrottled])
+	}
+
+	// Small messages within the burst pass unthrottled.
+	ctl2 := NewFaultController(FaultPlan{Phases: []FaultPhase{{
+		Bandwidth: []BandwidthCap{{BytesPerSec: 1 << 20, Burst: 64 << 10}},
+	}}})
+	if d := ctl2.judgeSized("a", "b", true, 100).delay; d != 0 {
+		t.Errorf("burst-sized send delay = %v, want 0", d)
+	}
+
+	// Clear resets the virtual clocks along with the phases.
+	ctl.Clear()
+	ctl.AddPhase(FaultPhase{Bandwidth: []BandwidthCap{{BytesPerSec: 1000}}})
+	d4 := ctl.judgeSized("a", "b", true, 100).delay
+	if d4 > 150*time.Millisecond {
+		t.Errorf("post-Clear delay = %v, want fresh clock (~100ms)", d4)
+	}
+}
+
+// TestFaultBandwidthCapConformance sends a burst of sized frames through a
+// capped FaultTransport fabric (the end-to-end analogue of the slow-link
+// conformance) and checks the arrival spread matches the serialization
+// time the cap implies.
+func TestFaultBandwidthCapConformance(t *testing.T) {
+	ctl := NewFaultController(FaultPlan{Seed: 7})
+	net := NewMemNetwork(0, 1)
+	ea := net.Endpoint("a")
+	ea.SetFrom(1)
+	eb := net.Endpoint("b")
+	eb.SetFrom(2)
+	a, b := ctl.Wrap(ea), ctl.Wrap(eb)
+	defer ea.Close()
+	defer eb.Close()
+
+	var got atomic.Int64
+	var lastArrival atomic.Int64
+	start := time.Now()
+	b.SetHandlers(func(from core.NodeID, m core.Message) {
+		got.Add(1)
+		lastArrival.Store(int64(time.Since(start)))
+	}, nil)
+	a.SetHandlers(func(core.NodeID, core.Message) {}, nil)
+
+	msg := &core.Multicast{ID: core.MessageID{Source: 1, Seq: 1}, Payload: make([]byte, 1000)}
+	rate := int64(10 * msg.WireSize()) // the link carries 10 frames/s
+	ctl.AddPhase(FaultPhase{Bandwidth: []BandwidthCap{{From: "a", To: "b", BytesPerSec: rate}}})
+
+	const frames = 5
+	for i := 0; i < frames; i++ {
+		a.Send(b.Addr(), 2, msg)
+	}
+	deadline := time.After(5 * time.Second)
+	for got.Load() < frames {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d frames arrived through the capped link", got.Load(), frames)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	// 5 frames at 10 frames/s serialize over ~500ms; allow generous slack
+	// below but require well over half the nominal spread.
+	if spread := time.Duration(lastArrival.Load()); spread < 300*time.Millisecond {
+		t.Errorf("arrival spread %v, want >= 300ms for a %d B/s cap", spread, rate)
+	}
+	if ctl.Counters()[CtrFaultThrottled] == 0 {
+		t.Errorf("fault_throttled not counted on the capped fabric")
+	}
+}

@@ -3,6 +3,7 @@ package live
 import (
 	"errors"
 	"math/rand"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +50,10 @@ type NodeOptions struct {
 	// TraceSample records every Nth protocol event in the trace ring
 	// (0 and 1 record all). Latency histograms are never sampled.
 	TraceSample int
+	// Overload tunes the prioritized mailbox, the degradation governor,
+	// and the memory budget (see OverloadOptions). The zero value selects
+	// the defaults.
+	Overload OverloadOptions
 }
 
 // Node hosts one GoCast protocol instance on real time. All protocol work
@@ -62,9 +67,15 @@ type Node struct {
 	coreN *core.Node
 	env   *liveEnv
 
-	mailbox chan func()
+	mb      *mailbox
+	gov     *governor
+	qp      queuePressurer // transport queue occupancy source, nil if none
 	stopped chan struct{}
 	once    sync.Once
+
+	// Panic containment: set when a recovered event-loop panic has
+	// occurred (Health turns unhealthy until restart).
+	panicked atomic.Bool
 
 	// Observability surfaces (see obs.go). reg is never nil; tbuf is nil
 	// when tracing is disabled. lastStats/lastStatus cache the most recent
@@ -74,16 +85,32 @@ type Node struct {
 	obsMu      sync.Mutex
 	lastStats  core.Counters
 	lastStatus StatusSnapshot
+
+	// Overload metric handles (captured in setupObs so the shed path is
+	// allocation-free) and the rate limiter for the shed log line.
+	mbDropped   *obs.Counter
+	mbShed      [core.NumClasses]*obs.Counter
+	loopPanics  *obs.Counter
+	pubRejected *obs.Counter
+	ovState     *obs.Gauge
+	ovTrans     *obs.Counter
+	lastShedLog atomic.Int64
 }
 
 // NewNode builds and starts a live node. It is immediately ready to
 // Join a group (or to be joined, if it is the first).
 func NewNode(opts NodeOptions) *Node {
+	opts.Overload = opts.Overload.withDefaults()
 	n := &Node{
 		opts:    opts,
-		mailbox: make(chan func(), 1024),
 		stopped: make(chan struct{}),
 	}
+	n.mb = newMailbox([core.NumClasses]int{
+		core.ClassCritical:   opts.Overload.MailboxCritical,
+		core.ClassRepair:     opts.Overload.MailboxRepair,
+		core.ClassBackground: opts.Overload.MailboxBackground,
+	}, opts.Overload.ShedPolicy != "off")
+	n.gov = &governor{opts: opts.Overload}
 	env := &liveEnv{
 		n:     n,
 		start: time.Now(),
@@ -98,7 +125,8 @@ func NewNode(opts NodeOptions) *Node {
 		n.coreN.OnDeliver(opts.OnDeliver)
 	}
 	// Unwrap fault-injection layers so the underlying MemTransport still
-	// learns its owning node ID.
+	// learns its owning node ID, and so the governor finds the transport's
+	// queue-pressure surface regardless of wrapping.
 	inner := opts.Transport
 	for {
 		ft, ok := inner.(*FaultTransport)
@@ -110,12 +138,18 @@ func NewNode(opts NodeOptions) *Node {
 	if mt, ok := inner.(*MemTransport); ok {
 		mt.SetFrom(opts.ID)
 	}
+	if qp, ok := inner.(queuePressurer); ok {
+		n.qp = qp
+	}
 	n.setupObs()
 	opts.Transport.SetHandlers(
 		func(from core.NodeID, m core.Message) {
-			n.post(func() {
-				// Messages teach us the peer's reachability implicitly via
-				// entries; core handles the rest.
+			// Inbound work is admitted under its message class: Critical
+			// traffic blocks the transport's read path when the lane is
+			// full (backpressure propagates to the sender), Repair and
+			// Background traffic is shed instead.
+			cls := core.ClassOf(m)
+			n.enqueue(cls, cls == core.ClassCritical, func() {
 				n.coreN.HandleMessage(from, m)
 			})
 		},
@@ -127,8 +161,14 @@ func NewNode(opts NodeOptions) *Node {
 			n.tryPost(func() { n.coreN.PeerDown(peer) })
 		},
 	)
+	if pn, ok := inner.(pressureNotifier); ok {
+		// A queue crossing its watermark kicks an immediate evaluation so
+		// Shedding engages without waiting for the periodic tick.
+		pn.SetPressureHandler(func() { n.tryPost(n.govEval) })
+	}
 	go n.loop()
 	n.post(func() { n.coreN.Start() })
+	n.armGovernor()
 	return n
 }
 
@@ -162,12 +202,37 @@ func (n *Node) SetLandmarks(ls []core.Entry) {
 }
 
 // Multicast injects a message into the group and returns its ID. On a
-// stopped node nothing is sent and the zero MessageID is returned.
+// stopped node nothing is sent and the zero MessageID is returned; while
+// the node is Shedding the publish is rejected (also returning the zero
+// ID). Use Publish to distinguish those outcomes.
 func (n *Node) Multicast(payload []byte) core.MessageID {
-	var id core.MessageID
-	n.call(func() { id = n.coreN.Multicast(payload) })
+	id, _ := n.Publish(payload)
 	return id
 }
+
+// Publish injects a message into the group and returns its ID. It returns
+// ErrOverloaded (and sends nothing) while the node is in the Shedding
+// state — the caller should back off and retry — and ErrStopped after
+// Close/Kill.
+func (n *Node) Publish(payload []byte) (core.MessageID, error) {
+	var id core.MessageID
+	if n.gov.level.load() == core.OverloadShedding {
+		n.pubRejected.Inc()
+		return id, ErrOverloaded
+	}
+	if err := n.call(func() { id = n.coreN.Multicast(payload) }); err != nil {
+		return id, err
+	}
+	return id, nil
+}
+
+// Overload returns the node's current degradation level.
+func (n *Node) Overload() core.OverloadLevel { return n.gov.level.load() }
+
+// OverloadStats snapshots the overload-protection counters (sheds per
+// class, publish rejections, state transitions) in the same map shape as
+// TransportStats.
+func (n *Node) OverloadStats() map[string]int64 { return n.statsView("overload") }
 
 // Degree returns the node's current overlay degree.
 func (n *Node) Degree() int {
@@ -242,6 +307,7 @@ func (n *Node) Close() {
 		n.call(func() { n.coreN.Leave() })
 		n.collect() // freeze the final counters in the registry
 		close(n.stopped)
+		n.mb.stop()
 		_ = n.opts.Transport.Close()
 	})
 }
@@ -253,26 +319,50 @@ func (n *Node) Kill() {
 		n.call(func() { n.coreN.Stop() })
 		n.collect() // freeze the final counters in the registry
 		close(n.stopped)
+		n.mb.stop()
 		_ = n.opts.Transport.Close()
 	})
 }
 
-// post enqueues work for the event loop; it drops work once stopped.
-func (n *Node) post(fn func()) {
-	select {
-	case <-n.stopped:
-	case n.mailbox <- fn:
+// enqueue admits fn to the mailbox under class cls, counting and
+// rate-limited-logging sheds. It reports whether the work was admitted.
+func (n *Node) enqueue(cls core.Class, wait bool, fn func()) bool {
+	switch n.mb.push(cls, fn, wait) {
+	case admitOK:
+		return true
+	case admitShed:
+		n.noteMailboxShed(cls)
+		return false
+	default:
+		return false
 	}
 }
 
-// tryPost enqueues without ever blocking, dropping the work if the
-// mailbox is full or the node stopped.
-func (n *Node) tryPost(fn func()) {
-	select {
-	case <-n.stopped:
-	case n.mailbox <- fn:
-	default:
+// noteMailboxShed accounts one shed unit of class cls and emits the
+// rate-limited overload log line.
+func (n *Node) noteMailboxShed(cls core.Class) {
+	n.mbDropped.Inc()
+	n.mbShed[cls].Inc()
+	now := time.Now().UnixNano()
+	last := n.lastShedLog.Load()
+	if now-last >= int64(shedLogInterval) && n.lastShedLog.CompareAndSwap(last, now) {
+		n.opts.Overload.Logf("live: node %d: mailbox shedding (dropped=%d critical=%d repair=%d background=%d)",
+			n.opts.ID, n.mbDropped.Value(),
+			n.mbShed[core.ClassCritical].Value(), n.mbShed[core.ClassRepair].Value(),
+			n.mbShed[core.ClassBackground].Value())
 	}
+}
+
+// post enqueues Critical work for the event loop, blocking while the lane
+// is full; it drops work once stopped.
+func (n *Node) post(fn func()) {
+	n.enqueue(core.ClassCritical, true, fn)
+}
+
+// tryPost enqueues Critical work without ever blocking, dropping it if
+// the lane is full or the node stopped.
+func (n *Node) tryPost(fn func()) {
+	n.enqueue(core.ClassCritical, false, fn)
 }
 
 // call runs fn on the event loop and waits for it. After Close or Kill it
@@ -281,25 +371,16 @@ func (n *Node) tryPost(fn func()) {
 // which case nil is returned). Public accessors built on call therefore
 // return their documented zero values once the node has stopped.
 func (n *Node) call(fn func()) error {
-	// Priority check: once stopped, never enqueue — the loop may already
-	// have drained and exited, and the dual select below picks randomly
-	// between ready cases.
 	select {
 	case <-n.stopped:
 		return ErrStopped
 	default:
 	}
 	done := make(chan struct{})
-	posted := false
-	select {
-	case <-n.stopped:
-	case n.mailbox <- func() {
+	if !n.enqueue(core.ClassCritical, true, func() {
 		defer close(done)
 		fn()
-	}:
-		posted = true
-	}
-	if !posted {
+	}) {
 		return ErrStopped
 	}
 	select {
@@ -335,16 +416,87 @@ func (n *Node) loop() {
 			// Drain whatever was queued so callers blocked in call()
 			// observe their closure executed or the stop.
 			for {
-				select {
-				case fn := <-n.mailbox:
-					fn()
-				default:
+				fn, ok := n.mb.pop()
+				if !ok {
 					return
 				}
+				n.runSafe(fn)
 			}
-		case fn := <-n.mailbox:
-			fn()
+		case <-n.mb.wake:
+			for {
+				fn, ok := n.mb.pop()
+				if !ok {
+					break
+				}
+				n.runSafe(fn)
+			}
 		}
+	}
+}
+
+// runSafe executes one unit of event-loop work, containing panics: a
+// panicking callback (OnDeliver, a protocol bug) is counted, logged with
+// its stack, and marks the node unhealthy — without killing the process
+// or the loop.
+func (n *Node) runSafe(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			n.panicked.Store(true)
+			n.loopPanics.Inc()
+			n.opts.Overload.Logf("live: node %d: event loop panic recovered: %v\n%s",
+				n.opts.ID, r, debug.Stack())
+		}
+	}()
+	fn()
+}
+
+// armGovernor schedules the periodic overload evaluation. The timer
+// goroutine blocks on the Critical lane like any other poster, so under
+// saturation evaluations are paced by the loop rather than piling up.
+func (n *Node) armGovernor() {
+	time.AfterFunc(n.opts.Overload.EvalInterval, func() {
+		if n.Stopped() {
+			return
+		}
+		n.post(n.govEval)
+		if n.Stopped() {
+			return
+		}
+		n.armGovernor()
+	})
+}
+
+// govEval runs one governor evaluation on the event loop: sample queue
+// occupancy and budget pressure, advance the state machine, and apply any
+// transition to the core node and the metrics.
+func (n *Node) govEval() {
+	crit, worst := n.mb.pressure()
+	var queuedBytes int64
+	if n.qp != nil {
+		p := n.qp.QueuePressure()
+		if p.Critical > crit {
+			crit = p.Critical
+		}
+		if p.Worst > worst {
+			worst = p.Worst
+		}
+		queuedBytes = p.QueuedBytes
+	}
+	shedNow := n.mb.shedTotal()
+	shedDelta := shedNow - n.gov.lastShed
+	n.gov.lastShed = shedNow
+	var memFrac float64
+	if b := n.opts.Overload.MemBudget; b > 0 {
+		memFrac = float64(n.coreN.Store().Bytes()+queuedBytes) / float64(b)
+	}
+	was := n.gov.cur
+	now := n.gov.step(crit, worst, memFrac, shedDelta)
+	if now != was {
+		n.ovState.Set(int64(now))
+		n.ovTrans.Inc()
+		n.coreN.SetOverload(now)
+		n.opts.Overload.Logf("live: node %d: overload %s -> %s (critical=%.2f worst=%.2f mem=%.2f shed=%d)",
+			n.opts.ID, was, now, crit, worst, memFrac, shedDelta)
 	}
 }
 

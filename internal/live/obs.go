@@ -27,6 +27,7 @@ type StatusSnapshot struct {
 	DistToRoot    string      `json:"dist_to_root,omitempty"`
 	StoreMessages int         `json:"store_messages"`
 	StoreBytes    int64       `json:"store_bytes"`
+	Overload      string      `json:"overload"`
 	Stopped       bool        `json:"stopped"`
 }
 
@@ -137,6 +138,18 @@ func (n *Node) setupObs() {
 		gcReclaimed: reg.Counter("gocast_store_gc_reclaimed_total", "payloads reclaimed by store GC sweeps"),
 		gcDropped:   reg.Counter("gocast_store_gc_dropped_total", "records dropped entirely by store GC sweeps"),
 	})
+	// Overload-protection surfaces. The handles are captured so the shed
+	// and publish-reject paths never touch the registry map.
+	n.mbDropped = reg.Counter("gocast_live_mailbox_dropped_total", "event-loop work units shed by the prioritized mailbox (all classes)")
+	n.mbShed = [core.NumClasses]*obs.Counter{
+		core.ClassCritical:   reg.Counter("gocast_overload_shed_critical_total", "Critical-class work shed under overload (should stay zero)"),
+		core.ClassRepair:     reg.Counter("gocast_overload_shed_repair_total", "Repair-class work shed under overload"),
+		core.ClassBackground: reg.Counter("gocast_overload_shed_background_total", "Background-class work shed under overload"),
+	}
+	n.loopPanics = reg.Counter("gocast_live_loop_panics_total", "panics recovered on the node's event loop")
+	n.pubRejected = reg.Counter("gocast_overload_publish_rejected_total", "local publishes rejected with ErrOverloaded while Shedding")
+	n.ovState = reg.Gauge("gocast_overload_state", "degradation level: 0 healthy, 1 degraded, 2 shedding")
+	n.ovTrans = reg.Counter("gocast_overload_transitions_total", "overload state-machine transitions")
 	// Pre-register the transport counter families present in the transport
 	// chain, so e.g. gocast_transport_tcp_redials_total exists (at zero)
 	// from the very first scrape rather than appearing after the first
@@ -144,7 +157,7 @@ func (n *Node) setupObs() {
 	for t := n.opts.Transport; t != nil; {
 		if ft, ok := t.(*FaultTransport); ok {
 			for _, c := range []string{CtrFaultBlocked, CtrFaultDropped, CtrFaultDelayed,
-				CtrFaultDuplicated, CtrFaultReordered, CtrFaultPassed} {
+				CtrFaultDuplicated, CtrFaultReordered, CtrFaultThrottled, CtrFaultPassed} {
 				reg.Counter("gocast_transport_"+c+"_total", "transport counter "+c)
 			}
 			t = ft.Inner()
@@ -153,7 +166,9 @@ func (n *Node) setupObs() {
 		if _, ok := t.(*TCPTransport); ok {
 			for _, c := range []string{CtrDials, CtrDialErrors, CtrRedials, CtrBackoffResets,
 				CtrWriteErrors, CtrFramesRequeue, CtrFramesDropped, CtrQueueOverflow,
-				CtrEncodeErrors, CtrIdleReaped, CtrPeersFailed} {
+				CtrEncodeErrors, CtrIdleReaped, CtrPeersFailed,
+				CtrDroppedCritical, CtrDroppedRepair, CtrDroppedBackground,
+				CtrPeerPauses, CtrPeerResumes} {
 				reg.Counter("gocast_transport_"+c+"_total", "transport counter "+c)
 			}
 		}
@@ -317,6 +332,7 @@ func (n *Node) Status() StatusSnapshot {
 	n.obsMu.Lock()
 	defer n.obsMu.Unlock()
 	st := n.lastStatus
+	st.Overload = n.gov.level.load().String()
 	st.Stopped = n.Stopped()
 	return st
 }
@@ -328,6 +344,12 @@ func (n *Node) Status() StatusSnapshot {
 func (n *Node) Health() error {
 	if n.Stopped() {
 		return ErrStopped
+	}
+	if n.panicked.Load() {
+		return fmt.Errorf("event loop recovered %d panic(s); node state may be inconsistent", n.loopPanics.Value())
+	}
+	if n.gov.level.load() == core.OverloadShedding {
+		return errors.New("overloaded: shedding new publishes")
 	}
 	n.collect()
 	n.obsMu.Lock()

@@ -25,12 +25,26 @@ const (
 	CtrBackoffResets = "tcp_backoff_resets"  // backoff returned to its base after a successful redial
 	CtrWriteErrors   = "tcp_write_errors"    // frame writes that failed (broken pipe, deadline)
 	CtrFramesRequeue = "tcp_frames_requeued" // frames salvaged from a broken connection and resent
-	CtrFramesDropped = "tcp_frames_dropped"  // reliable frames abandoned (peer declared down or queue overflow)
-	CtrQueueOverflow = "tcp_queue_overflows" // times a peer queue saturated and the peer was dropped
+	CtrFramesDropped = "tcp_frames_dropped"  // reliable frames abandoned, all classes (shed, peer down, overflow)
+	CtrQueueOverflow = "tcp_queue_overflows" // times the Critical ring hit its hard cap and the peer was dropped
 	CtrEncodeErrors  = "tcp_encode_errors"   // frames that failed wire serialization
 	CtrIdleReaped    = "tcp_idle_reaped"     // outbound connections reaped for inactivity
 	CtrPeersFailed   = "tcp_peers_failed"    // peers reported down after redial attempts were exhausted
+
+	// Per-class drop attribution and flow control (overload protection).
+	CtrDroppedCritical   = "tcp_frames_dropped_critical"   // Critical frames lost (peer drop or hard-cap overflow)
+	CtrDroppedRepair     = "tcp_frames_dropped_repair"     // Repair frames shed or lost
+	CtrDroppedBackground = "tcp_frames_dropped_background" // Background frames shed or lost
+	CtrPeerPauses        = "tcp_peer_pauses"               // peers marked slow (Background/Repair paused)
+	CtrPeerResumes       = "tcp_peer_resumes"              // slow peers recovered
 )
+
+// ctrDroppedByClass maps a core.Class to its drop-attribution counter.
+var ctrDroppedByClass = [core.NumClasses]string{
+	core.ClassCritical:   CtrDroppedCritical,
+	core.ClassRepair:     CtrDroppedRepair,
+	core.ClassBackground: CtrDroppedBackground,
+}
 
 // TCPOptions tunes the transport's resilience behavior. The zero value is
 // replaced field-by-field with the defaults documented below.
@@ -57,6 +71,34 @@ type TCPOptions struct {
 	// Logf receives rare diagnostic lines, e.g. the once-per-peer encode
 	// error report (default log.Printf).
 	Logf func(format string, args ...any)
+
+	// QueueCritical is the per-peer Critical-class ring's soft cap
+	// (default 256). The ring may grow past it up to QueueCriticalHard
+	// while the overload governor reacts; occupancy beyond the soft cap
+	// reads as pressure > 1.0.
+	QueueCritical int
+	// QueueCriticalHard is the Critical ring's hard cap (default
+	// 4*QueueCritical). Only when it is exceeded is the peer declared
+	// overflowed and dropped — the pre-classing behavior, now reserved
+	// for a truly wedged peer.
+	QueueCriticalHard int
+	// QueueRepair caps the per-peer Repair ring (default 128); overflow
+	// sheds the frame, not the peer (gossip re-announces and anti-entropy
+	// sync recover the content later).
+	QueueRepair int
+	// QueueBackground caps the per-peer Background ring (default 64);
+	// overflow sheds the frame.
+	QueueBackground int
+	// SlowWriteThreshold marks a peer slow when its per-frame write
+	// latency EWMA exceeds it; a slow peer has Background traffic paused
+	// and Repair traffic halved until the EWMA falls below half the
+	// threshold (default 200ms; negative disables flow control).
+	SlowWriteThreshold time.Duration
+	// ShedPolicy mirrors OverloadOptions.ShedPolicy: "priority" (default)
+	// classes frames as above; "off" sends every class through the
+	// Critical ring with the soft cap as its hard cap, reproducing the
+	// single-queue pre-classing behavior.
+	ShedPolicy string
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -84,6 +126,32 @@ func (o TCPOptions) withDefaults() TCPOptions {
 	if o.Logf == nil {
 		o.Logf = log.Printf
 	}
+	if o.QueueCritical <= 0 {
+		o.QueueCritical = 256
+	}
+	if o.QueueCriticalHard <= 0 {
+		o.QueueCriticalHard = 4 * o.QueueCritical
+	}
+	if o.QueueCriticalHard < o.QueueCritical {
+		o.QueueCriticalHard = o.QueueCritical
+	}
+	if o.QueueRepair <= 0 {
+		o.QueueRepair = 128
+	}
+	if o.QueueBackground <= 0 {
+		o.QueueBackground = 64
+	}
+	if o.SlowWriteThreshold == 0 {
+		o.SlowWriteThreshold = 200 * time.Millisecond
+	}
+	if o.ShedPolicy != "off" {
+		o.ShedPolicy = "priority"
+	}
+	if o.ShedPolicy == "off" {
+		// Single-queue compatibility: everything Critical, no elastic
+		// headroom beyond the soft cap.
+		o.QueueCriticalHard = o.QueueCritical
+	}
 	return o
 }
 
@@ -107,11 +175,15 @@ type TCPTransport struct {
 
 	counters *metrics.AtomicCounter
 
+	// lastPressure rate-limits pressure-handler kicks (unix nanos).
+	lastPressure atomic.Int64
+
 	mu         sync.Mutex
 	conns      map[string]*peerConn
 	inbound    map[net.Conn]bool
 	handler    Handler
 	failure    FailureHandler
+	pressureH  func()
 	closed     bool
 	encLogged  map[string]bool // peers whose encode errors were already logged
 	wg         sync.WaitGroup
@@ -120,23 +192,170 @@ type TCPTransport struct {
 
 var _ Transport = (*TCPTransport)(nil)
 
+// frameRing is a circular buffer of encoded frames that grows lazily up to
+// a fixed capacity, tracking its queued byte total.
+type frameRing struct {
+	buf   [][]byte
+	head  int
+	n     int
+	cap   int
+	bytes int64
+}
+
+func (r *frameRing) push(b []byte) bool {
+	if r.n >= r.cap {
+		return false
+	}
+	if r.n == len(r.buf) {
+		grown := len(r.buf) * 2
+		if grown < 16 {
+			grown = 16
+		}
+		if grown > r.cap {
+			grown = r.cap
+		}
+		nb := make([][]byte, grown)
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = b
+	r.n++
+	r.bytes += int64(len(b))
+	return true
+}
+
+func (r *frameRing) pop() ([]byte, bool) {
+	if r.n == 0 {
+		return nil, false
+	}
+	b := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	r.bytes -= int64(len(b))
+	return b, true
+}
+
+// enqResult is the outcome of admitting a frame to a peer's queue.
+type enqResult int8
+
+const (
+	enqOK       enqResult = iota
+	enqShed               // frame dropped, peer survives
+	enqOverflow           // Critical hard cap exceeded: peer must be dropped
+	enqStopped            // peer already stopped
+)
+
 // peerConn is an outbound connection with a writer goroutine, so the
-// node's event loop never blocks on the network. The queue survives
-// redials: frames enqueued while the connection is down are delivered
+// node's event loop never blocks on the network. Frames are queued in one
+// ring per admission class, drained Critical first; the rings survive
+// redials, so frames enqueued while the connection is down are delivered
 // once it is re-established.
 type peerConn struct {
 	addr     string
 	to       core.NodeID
-	queue    chan []byte
 	done     chan struct{}
 	once     sync.Once
 	conn     net.Conn     // guarded by the transport mutex
 	lastUsed atomic.Int64 // unix nanos of the last Send toward this peer
+
+	qmu   sync.Mutex
+	rings [core.NumClasses]frameRing
+	wake  chan struct{} // carries at most one token; writer drains per token
+
+	// Flow control: a peer whose per-frame write latency EWMA exceeds
+	// SlowWriteThreshold is "slow" — Background enqueues pause and Repair
+	// halves — until the EWMA falls below half the threshold.
+	slow   atomic.Bool
+	ewmaNs atomic.Int64
 }
 
 func (pc *peerConn) stop() { pc.once.Do(func() { close(pc.done) }) }
 
-const outboundQueue = 256
+// enqueue admits one encoded frame under class cls, returning the outcome
+// and (on success) the Critical ring depth for the caller's watermark
+// check. The Critical ring's cap is the hard cap; soft-cap policy lives in
+// the caller.
+func (pc *peerConn) enqueue(cls core.Class, buf []byte) (res enqResult, critDepth int) {
+	select {
+	case <-pc.done:
+		return enqStopped, 0
+	default:
+	}
+	pc.qmu.Lock()
+	r := &pc.rings[cls]
+	switch cls {
+	case core.ClassBackground:
+		if pc.slow.Load() || r.n >= r.cap {
+			pc.qmu.Unlock()
+			return enqShed, 0
+		}
+	case core.ClassRepair:
+		if r.n >= r.cap || (pc.slow.Load() && r.n >= r.cap/2) {
+			pc.qmu.Unlock()
+			return enqShed, 0
+		}
+	}
+	if !r.push(buf) {
+		pc.qmu.Unlock()
+		if cls == core.ClassCritical {
+			return enqOverflow, 0
+		}
+		return enqShed, 0
+	}
+	critDepth = pc.rings[core.ClassCritical].n
+	pc.qmu.Unlock()
+	select {
+	case pc.wake <- struct{}{}:
+	default:
+	}
+	return enqOK, critDepth
+}
+
+// popFrame dequeues the highest-priority queued frame.
+func (pc *peerConn) popFrame() ([]byte, bool) {
+	pc.qmu.Lock()
+	defer pc.qmu.Unlock()
+	for c := range pc.rings {
+		if b, ok := pc.rings[c].pop(); ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// queuedPerClass snapshots the per-class queue depths (drop accounting,
+// idle reaping).
+func (pc *peerConn) queuedPerClass() (out [core.NumClasses]int64, total int64) {
+	pc.qmu.Lock()
+	defer pc.qmu.Unlock()
+	for c := range pc.rings {
+		out[c] = int64(pc.rings[c].n)
+		total += out[c]
+	}
+	return out, total
+}
+
+// pressure reports this peer's ring occupancy relative to the soft caps.
+func (pc *peerConn) pressure(critSoft, repairCap, bgCap int) (crit, worst float64, bytes int64) {
+	pc.qmu.Lock()
+	defer pc.qmu.Unlock()
+	crit = float64(pc.rings[core.ClassCritical].n) / float64(critSoft)
+	worst = crit
+	if f := float64(pc.rings[core.ClassRepair].n) / float64(repairCap); f > worst {
+		worst = f
+	}
+	if f := float64(pc.rings[core.ClassBackground].n) / float64(bgCap); f > worst {
+		worst = f
+	}
+	for c := range pc.rings {
+		bytes += pc.rings[c].bytes
+	}
+	return crit, worst, bytes
+}
 
 // errPeerStopped signals the writer loop that its peer was dropped or the
 // transport closed.
@@ -224,8 +443,16 @@ func (t *TCPTransport) encodeError(addr string, err error) {
 	}
 }
 
-// Send queues a reliable frame toward addr, dialing if needed.
+// Send queues a reliable frame toward addr, dialing if needed. The frame
+// is admitted under its message class: a full Background or Repair ring
+// (or a slow peer) sheds the frame — the gossip/sync machinery recovers
+// the content later — while Critical frames ride the elastic ring and
+// only a hard-cap overflow (a truly wedged peer) drops the peer.
 func (t *TCPTransport) Send(addr string, to core.NodeID, m core.Message) {
+	cls := core.ClassOf(m)
+	if t.opts.ShedPolicy == "off" {
+		cls = core.ClassCritical
+	}
 	buf, err := wire.Append(nil, t.id, m)
 	if err != nil {
 		t.encodeError(addr, err)
@@ -236,17 +463,94 @@ func (t *TCPTransport) Send(addr string, to core.NodeID, m core.Message) {
 		return
 	}
 	pc.lastUsed.Store(time.Now().UnixNano())
-	select {
-	case <-pc.done:
-	case pc.queue <- buf:
-	default:
-		// Peer writer saturated beyond the queue bound; treat like a
-		// broken pipe so the protocol reacts instead of the caller
-		// blocking. The queued frames are lost with the peer.
+	res, critDepth := pc.enqueue(cls, buf)
+	switch res {
+	case enqOK:
+		// Crossing half the Critical soft cap kicks the overload governor
+		// so Shedding can engage before the ring saturates. Past the soft
+		// cap the ring is racing toward its hard cap — a flood can cover
+		// that distance inside the rate-limit window, so escalation
+		// notifies unconditionally.
+		if cls == core.ClassCritical && critDepth*2 >= t.opts.QueueCritical {
+			t.notifyPressure(critDepth >= t.opts.QueueCritical)
+		}
+	case enqShed:
+		t.counters.Inc(CtrFramesDropped, 1)
+		t.counters.Inc(ctrDroppedByClass[cls], 1)
+	case enqOverflow:
+		// Critical hard cap exceeded; treat like a broken pipe so the
+		// protocol reacts instead of the caller blocking. The queued
+		// frames are lost with the peer.
 		t.counters.Inc(CtrQueueOverflow, 1)
-		t.counters.Inc(CtrFramesDropped, int64(len(pc.queue))+1)
+		t.counters.Inc(CtrFramesDropped, 1)
+		t.counters.Inc(ctrDroppedByClass[cls], 1)
+		t.countQueuedDrops(pc)
 		t.dropPeer(pc, true)
 	}
+}
+
+// countQueuedDrops attributes every frame still queued on pc to the drop
+// counters (called when the peer is being abandoned).
+func (t *TCPTransport) countQueuedDrops(pc *peerConn) {
+	perClass, total := pc.queuedPerClass()
+	if total == 0 {
+		return
+	}
+	t.counters.Inc(CtrFramesDropped, total)
+	for c, n := range perClass {
+		if n > 0 {
+			t.counters.Inc(ctrDroppedByClass[c], n)
+		}
+	}
+}
+
+// notifyPressure invokes the registered pressure handler, rate-limited so
+// a hot Send path cannot spam the governor; force bypasses the rate limit
+// for escalations that must reach the governor before the next window.
+func (t *TCPTransport) notifyPressure(force bool) {
+	now := time.Now().UnixNano()
+	last := t.lastPressure.Load()
+	if !force && (now-last < int64(10*time.Millisecond) || !t.lastPressure.CompareAndSwap(last, now)) {
+		return
+	}
+	t.mu.Lock()
+	h := t.pressureH
+	t.mu.Unlock()
+	if h != nil {
+		h()
+	}
+}
+
+// SetPressureHandler registers a callback kicked (rate-limited) whenever a
+// peer's Critical ring crosses half its soft cap. The live node uses it to
+// run an immediate overload evaluation.
+func (t *TCPTransport) SetPressureHandler(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pressureH = fn
+}
+
+// QueuePressure reports the worst per-peer ring occupancy and the total
+// queued bytes across peers, for the overload governor.
+func (t *TCPTransport) QueuePressure() QueuePressure {
+	t.mu.Lock()
+	pcs := make([]*peerConn, 0, len(t.conns))
+	for _, pc := range t.conns {
+		pcs = append(pcs, pc)
+	}
+	t.mu.Unlock()
+	var out QueuePressure
+	for _, pc := range pcs {
+		crit, worst, bytes := pc.pressure(t.opts.QueueCritical, t.opts.QueueRepair, t.opts.QueueBackground)
+		if crit > out.Critical {
+			out.Critical = crit
+		}
+		if worst > out.Worst {
+			out.Worst = worst
+		}
+		out.QueuedBytes += bytes
+	}
+	return out
 }
 
 // SendDatagram sends one UDP packet; network errors and oversized frames
@@ -279,11 +583,14 @@ func (t *TCPTransport) peer(addr string, to core.NodeID) *peerConn {
 		return pc
 	}
 	pc := &peerConn{
-		addr:  addr,
-		to:    to,
-		queue: make(chan []byte, outboundQueue),
-		done:  make(chan struct{}),
+		addr: addr,
+		to:   to,
+		done: make(chan struct{}),
+		wake: make(chan struct{}, 1),
 	}
+	pc.rings[core.ClassCritical].cap = t.opts.QueueCriticalHard
+	pc.rings[core.ClassRepair].cap = t.opts.QueueRepair
+	pc.rings[core.ClassBackground].cap = t.opts.QueueBackground
 	pc.lastUsed.Store(time.Now().UnixNano())
 	t.conns[addr] = pc
 	t.wg.Add(1)
@@ -311,12 +618,12 @@ func (t *TCPTransport) writeLoop(pc *peerConn) {
 			failures++
 			if failures > t.opts.RedialAttempts {
 				t.counters.Inc(CtrPeersFailed, 1)
-				dropped := int64(len(pc.queue))
+				t.countQueuedDrops(pc)
 				if pending != nil {
-					dropped++
-				}
-				if dropped > 0 {
-					t.counters.Inc(CtrFramesDropped, dropped)
+					// The salvaged in-flight frame is lost with the peer;
+					// its class was erased when it left the ring, so it
+					// counts in the total only.
+					t.counters.Inc(CtrFramesDropped, 1)
 				}
 				t.dropPeer(pc, true)
 				return
@@ -386,21 +693,27 @@ func (t *TCPTransport) dialPeer(pc *peerConn) (net.Conn, error) {
 	return conn, nil
 }
 
-// writeFrames pumps queued frames onto conn until the peer stops (returns
-// false) or a write fails (returns true to redial; the failed frame is
-// left in *pending for resend).
+// writeFrames pumps queued frames onto conn, Critical first, until the
+// peer stops (returns false) or a write fails (returns true to redial; the
+// failed frame is left in *pending for resend). Each write's latency feeds
+// the peer's flow-control EWMA.
 func (t *TCPTransport) writeFrames(pc *peerConn, conn net.Conn, pending *[]byte) bool {
 	for {
 		buf := *pending
-		if buf == nil {
+		for buf == nil {
+			var ok bool
+			if buf, ok = pc.popFrame(); ok {
+				break
+			}
 			select {
 			case <-pc.done:
 				conn.Close()
 				return false
-			case buf = <-pc.queue:
+			case <-pc.wake:
 			}
 		}
-		conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+		start := time.Now()
+		conn.SetWriteDeadline(start.Add(t.opts.WriteTimeout))
 		if _, err := conn.Write(buf); err != nil {
 			// A partial write is fine to retry: the broken connection is
 			// discarded wholesale, so the remote never sees a frame
@@ -417,6 +730,29 @@ func (t *TCPTransport) writeFrames(pc *peerConn, conn net.Conn, pending *[]byte)
 			return true
 		}
 		*pending = nil
+		t.noteWriteLatency(pc, time.Since(start))
+	}
+}
+
+// noteWriteLatency feeds one frame's write duration into the peer's EWMA
+// and flips its slow flag with hysteresis: pause above the threshold,
+// resume below half of it.
+func (t *TCPTransport) noteWriteLatency(pc *peerConn, d time.Duration) {
+	thresh := t.opts.SlowWriteThreshold
+	if thresh <= 0 {
+		return
+	}
+	old := pc.ewmaNs.Load()
+	ewma := old + (int64(d)-old)/8
+	pc.ewmaNs.Store(ewma)
+	switch {
+	case !pc.slow.Load() && ewma > int64(thresh):
+		pc.slow.Store(true)
+		t.counters.Inc(CtrPeerPauses, 1)
+		t.notifyPressure(false)
+	case pc.slow.Load() && ewma < int64(thresh)/2:
+		pc.slow.Store(false)
+		t.counters.Inc(CtrPeerResumes, 1)
 	}
 }
 
@@ -505,7 +841,7 @@ func (t *TCPTransport) reapLoop() {
 		t.mu.Lock()
 		var idle []*peerConn
 		for _, pc := range t.conns {
-			if pc.lastUsed.Load() < cutoff && len(pc.queue) == 0 {
+			if _, queued := pc.queuedPerClass(); pc.lastUsed.Load() < cutoff && queued == 0 {
 				idle = append(idle, pc)
 			}
 		}

@@ -216,3 +216,166 @@ func TestTCPEncodeErrorsCountedAndLoggedOnce(t *testing.T) {
 		t.Errorf("second peer's encode error not logged (logs %d)", got)
 	}
 }
+
+// deadTCPAddr returns a localhost address that refuses connections: a
+// listener is opened to reserve the port, then closed.
+func deadTCPAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestTCPQueueClassingUnderFlood pins the per-peer overflow semantics: a
+// Background flood toward an unreachable peer sheds Background (and then
+// Repair) frames while Critical frames keep being admitted into the
+// elastic ring — the peer is never dropped — and every drop is attributed
+// to its class. Only pushing Critical past its hard cap overflows and
+// drops the peer.
+func TestTCPQueueClassingUnderFlood(t *testing.T) {
+	tr := mustTCP(t, 1, TCPOptions{
+		DialTimeout:       200 * time.Millisecond,
+		RedialAttempts:    1000,
+		RedialBackoff:     time.Hour, // park the writer after the first refused dial
+		RedialBackoffMax:  time.Hour,
+		IdleTimeout:       -1,
+		QueueCritical:     8,
+		QueueCriticalHard: 32,
+		QueueRepair:       4,
+		QueueBackground:   4,
+		Logf:              t.Logf,
+	})
+	defer tr.Close()
+	dead := deadTCPAddr(t)
+
+	for i := 0; i < 100; i++ {
+		tr.Send(dead, 2, &core.SyncRequest{}) // Background
+	}
+	for i := 0; i < 50; i++ {
+		tr.Send(dead, 2, &core.PullRequest{}) // Repair
+	}
+	for i := 0; i < 20; i++ {
+		tr.Send(dead, 2, &core.Gossip{}) // Critical, past the soft cap of 8
+	}
+
+	st := tr.Stats()
+	if st[CtrQueueOverflow] != 0 {
+		t.Fatalf("queue_overflows = %d during class flood, want 0 (peer must survive)", st[CtrQueueOverflow])
+	}
+	if st[CtrDroppedCritical] != 0 {
+		t.Errorf("dropped_critical = %d, want 0", st[CtrDroppedCritical])
+	}
+	if st[CtrDroppedBackground] != 96 {
+		t.Errorf("dropped_background = %d, want 96", st[CtrDroppedBackground])
+	}
+	if st[CtrDroppedRepair] != 46 {
+		t.Errorf("dropped_repair = %d, want 46", st[CtrDroppedRepair])
+	}
+	if st[CtrFramesDropped] != 96+46 {
+		t.Errorf("frames_dropped = %d, want %d", st[CtrFramesDropped], 96+46)
+	}
+
+	tr.mu.Lock()
+	pc := tr.conns[dead]
+	tr.mu.Unlock()
+	if pc == nil {
+		t.Fatal("peer was dropped by the class flood")
+	}
+	per, _ := pc.queuedPerClass()
+	if per[core.ClassCritical] != 20 || per[core.ClassRepair] != 4 || per[core.ClassBackground] != 4 {
+		t.Fatalf("queued per class = %v, want [20 4 4]", per)
+	}
+
+	// The governor view reflects the elastic Critical ring: > 1.0 of the
+	// soft cap but below the hard cap.
+	qp := tr.QueuePressure()
+	if qp.Critical <= 1 || qp.QueuedBytes == 0 {
+		t.Fatalf("QueuePressure = %+v, want Critical > 1 with queued bytes", qp)
+	}
+
+	// Pushing Critical past the hard cap (32) is a real overflow: the
+	// peer is dropped and every queued frame is attributed.
+	for i := 0; i < 13; i++ {
+		tr.Send(dead, 2, &core.Gossip{})
+	}
+	st = tr.Stats()
+	if st[CtrQueueOverflow] != 1 {
+		t.Fatalf("queue_overflows = %d after hard-cap breach, want 1", st[CtrQueueOverflow])
+	}
+	// 1 overflowed frame + 32 queued Critical frames.
+	if st[CtrDroppedCritical] != 33 {
+		t.Errorf("dropped_critical = %d, want 33", st[CtrDroppedCritical])
+	}
+	if st[CtrDroppedRepair] != 46+4 || st[CtrDroppedBackground] != 96+4 {
+		t.Errorf("post-overflow drops repair=%d background=%d, want 50/100",
+			st[CtrDroppedRepair], st[CtrDroppedBackground])
+	}
+}
+
+// TestTCPSlowPeerPausesBackground pins the flow-control hysteresis: a
+// peer whose write-latency EWMA crosses SlowWriteThreshold is paused —
+// Background enqueues shed immediately, Repair sheds above half its ring —
+// and resumes only once the EWMA falls below half the threshold.
+func TestTCPSlowPeerPausesBackground(t *testing.T) {
+	tr := mustTCP(t, 1, TCPOptions{
+		DialTimeout:        200 * time.Millisecond,
+		RedialAttempts:     1000,
+		RedialBackoff:      time.Hour,
+		RedialBackoffMax:   time.Hour,
+		IdleTimeout:        -1,
+		SlowWriteThreshold: 100 * time.Millisecond,
+		QueueRepair:        8,
+		Logf:               t.Logf,
+	})
+	defer tr.Close()
+	dead := deadTCPAddr(t)
+
+	tr.Send(dead, 2, &core.Gossip{}) // materialize the peer
+	tr.mu.Lock()
+	pc := tr.conns[dead]
+	tr.mu.Unlock()
+
+	// Drive the EWMA over the threshold: each 800ms sample adds 100ms.
+	for i := 0; i < 16 && !pc.slow.Load(); i++ {
+		tr.noteWriteLatency(pc, 800*time.Millisecond)
+	}
+	if !pc.slow.Load() {
+		t.Fatal("peer not marked slow after sustained slow writes")
+	}
+	if got := tr.Stats()[CtrPeerPauses]; got != 1 {
+		t.Fatalf("peer_pauses = %d, want 1", got)
+	}
+
+	// Background sheds outright while paused; Repair still admits below
+	// half its ring.
+	tr.Send(dead, 2, &core.SyncRequest{})
+	if got := tr.Stats()[CtrDroppedBackground]; got != 1 {
+		t.Fatalf("dropped_background = %d while slow, want 1", got)
+	}
+	for i := 0; i < 8; i++ {
+		tr.Send(dead, 2, &core.PullRequest{})
+	}
+	if got := tr.Stats()[CtrDroppedRepair]; got != 4 {
+		t.Fatalf("dropped_repair = %d while slow, want 4 (half ring admitted)", got)
+	}
+
+	// Fast writes recover the peer only after the EWMA decays below half
+	// the threshold.
+	for i := 0; i < 64 && pc.slow.Load(); i++ {
+		tr.noteWriteLatency(pc, time.Millisecond)
+	}
+	if pc.slow.Load() {
+		t.Fatal("peer did not resume after EWMA decayed")
+	}
+	if got := tr.Stats()[CtrPeerResumes]; got != 1 {
+		t.Fatalf("peer_resumes = %d, want 1", got)
+	}
+	tr.Send(dead, 2, &core.SyncRequest{})
+	if got := tr.Stats()[CtrDroppedBackground]; got != 1 {
+		t.Fatalf("dropped_background = %d after resume, want still 1", got)
+	}
+}

@@ -75,6 +75,14 @@ type Cluster struct {
 	recv        [][]time.Duration // [msg][node] delivery time, -1 = never
 	redelivered int               // deliveries repeated across a node's lives
 
+	// Admission control (see SetAdmission). inflight counts each node's
+	// queued inbound transmissions per class; over-cap sends are shed at
+	// the sender, mirroring the live mailbox's prioritized admission so
+	// flood scenarios reproduce deterministically in simulation.
+	admission AdmissionCaps
+	inflight  [][core.NumClasses]int
+	admShed   [core.NumClasses]int64
+
 	// Tree-repair accounting: when a node's parent becomes None, the
 	// detach time is noted; the next re-attach records the repair latency.
 	detachedAt []time.Duration
@@ -324,6 +332,48 @@ func (c *Cluster) SetMaintenance(on bool) {
 
 // SetDetection toggles connection-break notifications.
 func (c *Cluster) SetDetection(on bool) { c.detect = on }
+
+// AdmissionCaps bounds each node's in-flight inbound transmissions per
+// message class; 0 leaves a class unbounded. It is the simulation mirror
+// of the live mailbox's prioritized lanes: Background should carry the
+// smallest cap so it sheds first under flood, Critical the largest (or
+// none) so tree traffic survives.
+type AdmissionCaps struct {
+	Critical   int
+	Repair     int
+	Background int
+}
+
+func (a AdmissionCaps) capFor(cls core.Class) int {
+	switch cls {
+	case core.ClassCritical:
+		return a.Critical
+	case core.ClassRepair:
+		return a.Repair
+	default:
+		return a.Background
+	}
+}
+
+// SetAdmission installs per-node per-class in-flight caps; the zero value
+// disables admission control (the default). Over-cap sends are shed at
+// the sender and counted in AdmissionSheds.
+func (c *Cluster) SetAdmission(caps AdmissionCaps) {
+	c.admission = caps
+	if c.inflight == nil && caps != (AdmissionCaps{}) {
+		c.inflight = make([][core.NumClasses]int, len(c.nodes))
+	}
+}
+
+// AdmissionSheds returns how many transmissions each class has shed to
+// admission caps since the cluster was built.
+func (c *Cluster) AdmissionSheds() map[core.Class]int64 {
+	out := make(map[core.Class]int64, core.NumClasses)
+	for cls := core.Class(0); cls < core.NumClasses; cls++ {
+		out[cls] = c.admShed[cls]
+	}
+	return out
+}
 
 // Kill fails node i immediately: its timers stop, queued and future
 // traffic to and from it is dropped. If detection is enabled its overlay
@@ -840,11 +890,13 @@ func (c *Cluster) getWrap() *timerWrap {
 // delivery is one pooled in-flight transmission: run is built once and
 // rewritten fields make scheduling a send allocation-free.
 type delivery struct {
-	c    *Cluster
-	from core.NodeID
-	to   core.NodeID
-	m    core.Message
-	run  func()
+	c       *Cluster
+	from    core.NodeID
+	to      core.NodeID
+	m       core.Message
+	cls     core.Class
+	counted bool // holds an inflight admission slot for (to, cls)
+	run     func()
 }
 
 func (c *Cluster) getDelivery() *delivery {
@@ -857,6 +909,10 @@ func (c *Cluster) getDelivery() *delivery {
 	d.run = func() {
 		from, to, m := d.from, d.to, d.m
 		d.m = nil
+		if d.counted {
+			d.counted = false
+			c.inflight[to][d.cls]--
+		}
 		c.deliveryFree = append(c.deliveryFree, d)
 		// Delivered to whichever life currently owns the address; the
 		// receiver's stale-incarnation guards reject dead-past-life traffic.
@@ -980,7 +1036,22 @@ func (c *Cluster) send(from *env, to core.NodeID, m core.Message, reliable bool)
 		c.releaseMsg(m)
 		return
 	}
+	counted := false
+	var cls core.Class
+	if c.inflight != nil {
+		cls = core.ClassOf(m)
+		if cap := c.admission.capFor(cls); cap > 0 {
+			if c.inflight[to][cls] >= cap {
+				c.admShed[cls]++
+				c.releaseMsg(m)
+				return
+			}
+			c.inflight[to][cls]++
+			counted = true
+		}
+	}
 	dl := c.getDelivery()
 	dl.from, dl.to, dl.m = from.id, to, m
+	dl.cls, dl.counted = cls, counted
 	c.Engine.Schedule(c.Engine.Now()+c.OneWay(int(from.id), int(to)), dl.run)
 }
