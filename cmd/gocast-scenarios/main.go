@@ -1,0 +1,235 @@
+// Command gocast-scenarios runs the committed chaos-scenario library (or
+// a scenario file) against a GoCast group and reports pass/fail invariant
+// verdicts.
+//
+// Examples:
+//
+//	gocast-scenarios -list
+//	gocast-scenarios -scenario split-brain-heal
+//	gocast-scenarios -scenario all -substrate netsim
+//	gocast-scenarios -scenario churn-storm -substrate live -admin-addr 127.0.0.1:9094
+//	gocast-scenarios -scenario my-chaos.json -seed 7 -json
+//	gocast-scenarios -experiments EXPERIMENTS.md
+//
+// On the netsim substrate a run is a pure function of (scenario, seed):
+// the same invocation prints a byte-identical report every time. The live
+// substrate executes the same schedule on wall clock, compressed by the
+// scenario's live_scale.
+//
+// With -admin-addr the runner serves the usual observability surface
+// while scenarios execute: /metrics carries the gocast_scenario_*
+// counters and /statusz the live progress snapshot.
+//
+// -experiments re-runs the full library on netsim and rewrites the
+// scenario-results table in the named markdown file between the
+// "<!-- scenario-tables:begin -->" and "<!-- scenario-tables:end -->"
+// markers (appending the section if the markers are absent).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"gocast/internal/obs"
+	"gocast/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gocast-scenarios:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gocast-scenarios", flag.ContinueOnError)
+	var (
+		list        = fs.Bool("list", false, "list the committed scenario library and exit")
+		name        = fs.String("scenario", "all", "scenario name, path to a scenario .json file, or \"all\"")
+		substrate   = fs.String("substrate", "netsim", "execution substrate: netsim (virtual time) or live (wall clock)")
+		seed        = fs.Int64("seed", 0, "master seed override (0 uses the scenario's committed seed)")
+		jsonOut     = fs.Bool("json", false, "emit reports as JSON instead of text")
+		adminAddr   = fs.String("admin-addr", "", "HTTP admin listen address serving /metrics and /statusz during the run (empty disables)")
+		experiments = fs.String("experiments", "", "re-run the library on netsim and rewrite the scenario tables in this markdown file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		return listLibrary(out)
+	}
+	if *experiments != "" {
+		return regenExperiments(out, *experiments)
+	}
+
+	runs, err := selectScenarios(*name)
+	if err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	m := scenario.NewMetrics(reg)
+	var prog scenario.Progress
+	if *adminAddr != "" {
+		srv, err := obs.ServeAdmin(*adminAddr, obs.AdminOptions{
+			Registry: reg,
+			Status:   func() any { return prog.Snapshot() },
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "admin endpoint on http://%s/ (/metrics /statusz)\n", srv.Addr())
+	}
+
+	failed := 0
+	for _, s := range runs {
+		rep, err := scenario.Run(s, scenario.Options{
+			Substrate: *substrate,
+			Seed:      *seed,
+			Metrics:   m,
+			Progress:  &prog,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprint(out, rep.Render())
+		}
+		if !rep.Passed {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenario(s) failed their invariants", failed, len(runs))
+	}
+	return nil
+}
+
+// selectScenarios resolves the -scenario argument: the whole library, one
+// library entry by name, or a scenario file by path.
+func selectScenarios(name string) ([]*scenario.Scenario, error) {
+	if name == "all" {
+		return scenario.Library(), nil
+	}
+	if s := scenario.Find(name); s != nil {
+		return []*scenario.Scenario{s}, nil
+	}
+	if strings.HasSuffix(name, ".json") {
+		s, err := scenario.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		return []*scenario.Scenario{s}, nil
+	}
+	return nil, fmt.Errorf("unknown scenario %q (try -list, or pass a .json file)", name)
+}
+
+func listLibrary(out io.Writer) error {
+	fmt.Fprintf(out, "%-20s %6s %7s %6s  %s\n", "SCENARIO", "NODES", "PHASES", "LIVE", "FAULTS")
+	for _, s := range scenario.Library() {
+		live := "-"
+		if scenario.LiveCompatible(s.Name) {
+			live = "yes"
+		}
+		kinds := s.FaultKinds()
+		sort.Strings(kinds)
+		fmt.Fprintf(out, "%-20s %6d %7d %6s  %s\n",
+			s.Name, s.TotalNodes(), len(s.Phases), live, strings.Join(kinds, ","))
+	}
+	return nil
+}
+
+// Markers bounding the generated scenario table in EXPERIMENTS.md.
+const (
+	tableBegin = "<!-- scenario-tables:begin -->"
+	tableEnd   = "<!-- scenario-tables:end -->"
+)
+
+// regenExperiments runs the full library on netsim and splices the
+// resulting tables into the markdown file between the markers.
+func regenExperiments(out io.Writer, path string) error {
+	var b strings.Builder
+	b.WriteString(tableBegin + "\n")
+	b.WriteString("\n| scenario | nodes | phases | published | churn events | faults injected | violations | result |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	var details strings.Builder
+	anyFailed := false
+	for _, s := range scenario.Library() {
+		fmt.Fprintf(out, "running %s on netsim...\n", s.Name)
+		rep, err := scenario.Run(s, scenario.Options{Substrate: "netsim"})
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+		verdict := "**pass**"
+		if !rep.Passed {
+			verdict = "**FAIL**"
+			anyFailed = true
+		}
+		var faults int64
+		for _, v := range rep.FaultCounts {
+			faults += v
+		}
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %s | %d | %s |\n",
+			s.Name, rep.Nodes, len(rep.Phases), rep.Published, rep.ChurnEvents,
+			formatCount(faults), rep.ViolationsTotal, verdict)
+		details.WriteString("\n```\n" + rep.Render() + "```\n")
+	}
+	b.WriteString("\nFull reports (netsim, committed seeds — byte-stable across runs):\n")
+	b.WriteString(details.String())
+	b.WriteString("\n" + tableEnd)
+
+	if err := spliceSection(path, b.String()); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "updated %s\n", path)
+	if anyFailed {
+		return fmt.Errorf("scenario(s) failed while regenerating %s", path)
+	}
+	return nil
+}
+
+// formatCount renders n with thousands separators, matching the style of
+// the hand-written experiment tables.
+func formatCount(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	for i := len(s) - 3; i > 0; i -= 3 {
+		s = s[:i] + "," + s[i:]
+	}
+	return s
+}
+
+// spliceSection replaces the marker-bounded block in the file (or appends
+// it) with the new content.
+func spliceSection(path, section string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	text := string(data)
+	if i := strings.Index(text, tableBegin); i >= 0 {
+		j := strings.Index(text, tableEnd)
+		if j < i {
+			return fmt.Errorf("%s: malformed scenario-table markers", path)
+		}
+		text = text[:i] + section + text[j+len(tableEnd):]
+	} else {
+		if !strings.HasSuffix(text, "\n") {
+			text += "\n"
+		}
+		text += "\n## Chaos scenarios (`gocast-scenarios`)\n\nGenerated by `gocast-scenarios -experiments EXPERIMENTS.md`.\n\n" + section + "\n"
+	}
+	return os.WriteFile(path, []byte(text), 0o644)
+}

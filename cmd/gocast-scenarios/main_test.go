@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsLibrary(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"split-brain-heal", "churn-storm", "rolling-restart", "FAULTS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownScenarioRejected(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scenario", "nope"}, &b); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// tinyScenario is a fast well-formed scenario file for end-to-end runs.
+const tinyScenario = `{
+  "name": "tiny",
+  "seed": 3,
+  "groups": [
+    {"name": "pubs", "role": "publisher", "nodes": 4, "rate": 2, "protected": true},
+    {"name": "subs", "role": "subscriber", "nodes": 8}
+  ],
+  "warmup": "45s",
+  "phases": [{"name": "lossy", "duration": "30s", "loss": 0.05}],
+  "drain": "60s",
+  "invariants": {"atomicity": true, "tree_valid": true, "convergence": true, "recovery": true, "no_critical_sheds": true}
+}`
+
+func TestRunScenarioFileJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.json")
+	if err := os.WriteFile(path, []byte(tinyScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-scenario", path, "-json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"scenario": "tiny"`) || !strings.Contains(out, `"passed": true`) {
+		t.Fatalf("unexpected JSON report:\n%s", out)
+	}
+}
+
+func TestSpliceSectionReplacesAndAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "EXP.md")
+	if err := os.WriteFile(path, []byte("# doc\n\nbody\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := spliceSection(path, tableBegin+"\nv1\n"+tableEnd); err != nil {
+		t.Fatal(err)
+	}
+	if err := spliceSection(path, tableBegin+"\nv2\n"+tableEnd); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	out := string(data)
+	if strings.Contains(out, "v1") || !strings.Contains(out, "v2") {
+		t.Fatalf("splice did not replace the marked block:\n%s", out)
+	}
+	if strings.Count(out, tableBegin) != 1 || !strings.Contains(out, "# doc") {
+		t.Fatalf("splice damaged the document:\n%s", out)
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	for n, want := range map[int64]string{0: "0", 999: "999", 1000: "1,000", 1234567: "1,234,567"} {
+		if got := formatCount(n); got != want {
+			t.Errorf("formatCount(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestFullLibraryText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario library run")
+	}
+	var b strings.Builder
+	if err := run([]string{"-scenario", "split-brain-heal"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "PASS") {
+		t.Fatalf("report missing verdict:\n%s", b.String())
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"gocast/internal/live"
 	"gocast/internal/netsim"
 	"gocast/internal/obs"
+	"gocast/internal/scenario"
 	"gocast/internal/store"
 	"gocast/internal/trace"
 )
@@ -274,6 +275,33 @@ func NewMemNetwork(base time.Duration, seed int64) *MemNetwork {
 
 // NewCluster boots an in-process group of live nodes.
 func NewCluster(opts ClusterOptions) *Cluster { return live.NewCluster(opts) }
+
+// Chaos-scenario engine (internal/scenario): declarative fault timelines
+// with continuously checked invariants, runnable on the deterministic
+// simulator or a live in-process cluster. See cmd/gocast-scenarios.
+type (
+	// Scenario declares node groups, a fault-phase timeline, and the
+	// invariants to hold through it.
+	Scenario = scenario.Scenario
+	// ScenarioOptions selects the substrate, seed, and observability
+	// wiring for one run.
+	ScenarioOptions = scenario.Options
+	// ScenarioReport is a completed run's verdict (deterministic on the
+	// netsim substrate).
+	ScenarioReport = scenario.Report
+)
+
+// ScenarioLibrary returns the committed chaos scenarios (also stored as
+// JSON under scenarios/).
+func ScenarioLibrary() []*Scenario { return scenario.Library() }
+
+// RunScenario executes a scenario and returns its invariant report.
+func RunScenario(s *Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.Run(s, opts)
+}
+
+// LoadScenario reads and validates a scenario JSON file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
 
 // SimOptions configures a one-call simulation run.
 type SimOptions struct {

@@ -20,6 +20,14 @@ type ClusterOptions struct {
 	Config core.Config
 	// Latency is the simulated base network latency (default 2 ms).
 	Latency time.Duration
+	// PairLatency, if set, gives each ordered slot pair its own one-way
+	// latency, overriding the flat Latency base. Realistic latency
+	// diversity matters for more than fidelity: the proximity-replacement
+	// sweep (overlay condition C4) only ever rewires a saturated overlay
+	// when some candidate is clearly closer than a current neighbor, so a
+	// latency-flat fabric can leave two healed partition halves stably
+	// unconnected forever.
+	PairLatency func(i, j int) time.Duration
 	// Seed drives randomness.
 	Seed int64
 	// OnDeliver, if set, observes every delivery as (node index, message,
@@ -77,6 +85,18 @@ func NewCluster(opts ClusterOptions) *Cluster {
 		opts.Latency = 2 * time.Millisecond
 	}
 	c := &Cluster{Net: NewMemNetwork(opts.Latency, opts.Seed), opts: opts, counters: metrics.NewAtomicCounter()}
+	if opts.PairLatency != nil {
+		base := opts.Latency
+		fn := opts.PairLatency
+		c.Net.SetLatency(func(from, to string) time.Duration {
+			i, iok := memSlot(from)
+			j, jok := memSlot(to)
+			if !iok || !jok {
+				return base
+			}
+			return fn(i, j)
+		})
+	}
 	for i := 0; i < opts.Nodes; i++ {
 		c.incar = append(c.incar, 0)
 		c.nodes = append(c.nodes, c.newNode(i))
@@ -90,6 +110,23 @@ func NewCluster(opts ClusterOptions) *Cluster {
 		c.nodes[i].Join(c.nodes[0].Entry())
 	}
 	return c
+}
+
+// memSlot parses a cluster endpoint address ("mem-<i>") back to its slot
+// index.
+func memSlot(addr string) (int, bool) {
+	const prefix = "mem-"
+	if len(addr) <= len(prefix) || addr[:len(prefix)] != prefix {
+		return 0, false
+	}
+	n := 0
+	for _, c := range addr[len(prefix):] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
 }
 
 // newNode builds (and starts) a live node for slot i at its current

@@ -159,8 +159,18 @@ func NewFaultController(plan FaultPlan) *FaultController {
 	if seed == 0 {
 		seed = 1
 	}
+	return NewFaultControllerRand(plan, rand.New(rand.NewSource(seed)))
+}
+
+// NewFaultControllerRand starts a controller drawing all fault randomness
+// from the caller's RNG instead of one derived from plan.Seed. The
+// scenario engine uses this to thread a single scenario-owned seeded
+// stream through the fault layer, so a live chaos run replays its exact
+// fault schedule from one -seed. The controller owns rng after this call;
+// do not share it with other consumers.
+func NewFaultControllerRand(plan FaultPlan, rng *rand.Rand) *FaultController {
 	return &FaultController{
-		rng:      rand.New(rand.NewSource(seed)),
+		rng:      rng,
 		phases:   append([]FaultPhase(nil), plan.Phases...),
 		start:    time.Now(),
 		counters: metrics.NewAtomicCounter(),

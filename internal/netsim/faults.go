@@ -1,0 +1,182 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Link-fault model for the simulated network. A FaultSpec declares the
+// currently-active network faults — partitions, probabilistic loss, extra
+// delay/jitter, and bandwidth-capped links with FIFO queueing — and
+// Cluster.SetFaults installs it on the send path. Unlike the live
+// runtime's FaultController (internal/live/fault.go), which wraps
+// transports and phases itself over wall time, the netsim model is a
+// point-in-time state: callers (the scenario engine) schedule SetFaults
+// calls on the simulation clock to phase faults in and out, which keeps
+// every fault decision on the deterministic event loop.
+//
+// Blocked and dropped transmissions are silent blackholes, matching the
+// live fault layer's semantics: a partitioned TCP peer looks stalled, not
+// dead, and detection is the protocol's job (keepalive timeouts), recovery
+// gossip's (pulls and sync after heal).
+
+// NodeRange selects the node-index interval [Lo, Hi). The zero value
+// matches every node.
+type NodeRange struct {
+	Lo, Hi int
+}
+
+// matches reports whether i falls in the range (zero value = all).
+func (r NodeRange) matches(i int) bool {
+	if r.Lo == 0 && r.Hi == 0 {
+		return true
+	}
+	return i >= r.Lo && i < r.Hi
+}
+
+// LinkFault shapes traffic from From-nodes to To-nodes (directed; wrap a
+// pair of rules for symmetric faults). Zero-valued ranges are wildcards.
+type LinkFault struct {
+	From, To NodeRange
+	// Loss is the probability a matching transmission is silently lost
+	// (reliable and datagram alike: netsim models one channel).
+	Loss float64
+	// Extra is a fixed additional one-way delay; Jitter adds a further
+	// uniform [0, Jitter) on top.
+	Extra  time.Duration
+	Jitter time.Duration
+	// BytesPerSec, when positive, models the directed (from, to) link as a
+	// serial line: each message occupies it for WireSize/rate, queueing
+	// FIFO behind earlier transmissions. Delivery happens at
+	// depart + propagation, where depart = max(now, linkFree) + WireSize/rate.
+	// The paper's simulator models latency only; this is the queueing
+	// fidelity ROADMAP item 3 calls for.
+	BytesPerSec int64
+}
+
+// FaultSpec is the complete active fault state. Installing a new spec
+// replaces the previous one (and resets per-link queueing clocks).
+type FaultSpec struct {
+	// Seed drives loss and jitter randomness. The scenario engine derives
+	// it from the scenario's master seed so a run replays exactly.
+	Seed int64
+	// Partition lists node-index cells; traffic between nodes in different
+	// cells is blocked both ways. Nodes in no cell are unaffected.
+	Partition [][]int
+	// Rules are evaluated independently; every matching rule applies.
+	Rules []LinkFault
+}
+
+// FaultStats counts fault-model verdicts since the cluster was built
+// (cumulative across SetFaults calls).
+type FaultStats struct {
+	Blocked   int64 // transmissions blocked by a partition
+	Dropped   int64 // transmissions lost to probabilistic loss
+	Delayed   int64 // transmissions delivered late (extra delay/jitter)
+	Throttled int64 // transmissions queued behind a bandwidth cap
+}
+
+// faultState is the installed form of a FaultSpec.
+type faultState struct {
+	rng   *rand.Rand
+	cell  map[int]int // node -> partition cell
+	rules []LinkFault
+	// linkFree tracks each capped directed link's virtual transmission
+	// clock: the time at which the link next frees up, keyed by
+	// rule-index and endpoint pair.
+	linkFree map[linkKey]time.Duration
+}
+
+type linkKey struct {
+	rule     int
+	from, to int
+}
+
+// SetFaults installs spec as the active link-fault state; nil clears all
+// faults. Queueing clocks start fresh: a newly capped link is idle.
+func (c *Cluster) SetFaults(spec *FaultSpec) {
+	if spec == nil {
+		c.faults = nil
+		return
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	st := &faultState{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: append([]LinkFault(nil), spec.Rules...),
+	}
+	if len(spec.Partition) > 0 {
+		st.cell = make(map[int]int)
+		for ci, cell := range spec.Partition {
+			for _, i := range cell {
+				st.cell[i] = ci
+			}
+		}
+	}
+	for _, r := range st.rules {
+		if r.BytesPerSec > 0 {
+			st.linkFree = make(map[linkKey]time.Duration)
+			break
+		}
+	}
+	c.faults = st
+}
+
+// FaultStats returns the cumulative fault-model counters.
+func (c *Cluster) FaultStats() FaultStats { return c.faultStats }
+
+// judgeFault evaluates the active fault state for one transmission and
+// returns the extra delivery delay. ok=false means the transmission is
+// lost (partition block or probabilistic loss).
+func (c *Cluster) judgeFault(from, to, size int, now time.Duration) (extra time.Duration, ok bool) {
+	f := c.faults
+	if f == nil {
+		return 0, true
+	}
+	if f.cell != nil {
+		cf, okF := f.cell[from]
+		ct, okT := f.cell[to]
+		if okF && okT && cf != ct {
+			c.faultStats.Blocked++
+			return 0, false
+		}
+	}
+	throttled := false
+	for ri := range f.rules {
+		r := &f.rules[ri]
+		if !r.From.matches(from) || !r.To.matches(to) {
+			continue
+		}
+		if r.Loss > 0 && f.rng.Float64() < r.Loss {
+			c.faultStats.Dropped++
+			return 0, false
+		}
+		extra += r.Extra
+		if r.Jitter > 0 {
+			extra += time.Duration(f.rng.Int63n(int64(r.Jitter)))
+		}
+		if r.BytesPerSec > 0 && size > 0 {
+			// FIFO serialization: the message departs once the link frees
+			// and its own bytes have been clocked out.
+			key := linkKey{rule: ri, from: from, to: to}
+			free := f.linkFree[key]
+			if free < now {
+				free = now
+			}
+			depart := free + time.Duration(int64(size)*int64(time.Second)/r.BytesPerSec)
+			f.linkFree[key] = depart
+			if q := depart - now; q > 0 {
+				extra += q
+				throttled = true
+			}
+		}
+	}
+	if throttled {
+		c.faultStats.Throttled++
+	} else if extra > 0 {
+		c.faultStats.Delayed++
+	}
+	return extra, true
+}

@@ -83,6 +83,10 @@ type Cluster struct {
 	inflight  [][core.NumClasses]int
 	admShed   [core.NumClasses]int64
 
+	// Link-fault state (see faults.go). nil = no faults active.
+	faults     *faultState
+	faultStats FaultStats
+
 	// Tree-repair accounting: when a node's parent becomes None, the
 	// detach time is noted; the next re-attach records the repair latency.
 	detachedAt []time.Duration
@@ -281,7 +285,10 @@ func (c *Cluster) WireRandom(initiate int) {
 	type pair struct{ a, b int }
 	linked := make(map[pair]bool)
 	for i := 0; i < n; i++ {
-		for k := 0; k < initiate; k++ {
+		// Bound retries so a small cluster that cannot satisfy the target
+		// (initiate*n > C(n,2) pairs) wires what it can instead of spinning.
+		retries := 4 * n
+		for k := 0; k < initiate && retries > 0; k++ {
 			j := c.rng.Intn(n)
 			a, b := i, j
 			if a > b {
@@ -289,6 +296,7 @@ func (c *Cluster) WireRandom(initiate int) {
 			}
 			if i == j || linked[pair{a, b}] {
 				k-- // retry
+				retries--
 				continue
 			}
 			linked[pair{a, b}] = true
@@ -1036,6 +1044,14 @@ func (c *Cluster) send(from *env, to core.NodeID, m core.Message, reliable bool)
 		c.releaseMsg(m)
 		return
 	}
+	// Link faults (partitions, loss, delay, bandwidth queueing). Blocked
+	// and dropped transmissions are silent blackholes: detection is the
+	// protocol's job, recovery gossip's.
+	extra, ok := c.judgeFault(int(from.id), int(to), m.WireSize(), c.Engine.Now())
+	if !ok {
+		c.releaseMsg(m)
+		return
+	}
 	counted := false
 	var cls core.Class
 	if c.inflight != nil {
@@ -1053,5 +1069,5 @@ func (c *Cluster) send(from *env, to core.NodeID, m core.Message, reliable bool)
 	dl := c.getDelivery()
 	dl.from, dl.to, dl.m = from.id, to, m
 	dl.cls, dl.counted = cls, counted
-	c.Engine.Schedule(c.Engine.Now()+c.OneWay(int(from.id), int(to)), dl.run)
+	c.Engine.Schedule(c.Engine.Now()+c.OneWay(int(from.id), int(to))+extra, dl.run)
 }

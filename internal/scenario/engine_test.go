@@ -1,0 +1,216 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gocast/internal/core"
+	"gocast/internal/obs"
+)
+
+const (
+	second = time.Second
+	minute = time.Minute
+)
+
+// TestLibraryValidates pins that every committed scenario is well-formed.
+func TestLibraryValidates(t *testing.T) {
+	lib := Library()
+	if len(lib) != 6 {
+		t.Fatalf("library holds %d scenarios, want 6", len(lib))
+	}
+	for _, s := range lib {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+// runTwice runs a scenario twice on netsim and returns both rendered
+// reports.
+func runTwice(t *testing.T, s *Scenario) (string, string, *Report) {
+	t.Helper()
+	r1, err := Run(s, Options{Substrate: "netsim"})
+	if err != nil {
+		t.Fatalf("%s run 1: %v", s.Name, err)
+	}
+	r2, err := Run(s, Options{Substrate: "netsim"})
+	if err != nil {
+		t.Fatalf("%s run 2: %v", s.Name, err)
+	}
+	return r1.Render(), r2.Render(), r1
+}
+
+// TestScenarioNetsimDeterministicAndPassing is the acceptance gate: every
+// library scenario passes its invariants on netsim, and two runs of the
+// same scenario+seed produce byte-identical reports (which cover the
+// fault schedule: per-phase fault counts and the fault-layer verdict
+// counters). Short mode runs the two live-tagged scenarios; the full
+// library runs in the long CI chaos job.
+func TestScenarioNetsimDeterministicAndPassing(t *testing.T) {
+	for _, s := range Library() {
+		if testing.Short() && !LiveCompatible(s.Name) {
+			continue
+		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			a, b, rep := runTwice(t, s)
+			if a != b {
+				t.Errorf("%s: reports differ across identical runs:\n--- run1\n%s\n--- run2\n%s", s.Name, a, b)
+			}
+			if !rep.Passed {
+				t.Errorf("%s: invariants failed:\n%s", s.Name, a)
+			}
+		})
+	}
+}
+
+// TestScenarioSeedChangesSchedule sanity-checks that the master seed
+// actually drives the run: different seeds produce different fault
+// activity.
+func TestScenarioSeedChangesSchedule(t *testing.T) {
+	s := Find("flaky-core-links")
+	r1, err := Run(s, Options{Substrate: "netsim", Seed: 1001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(s, Options{Substrate: "netsim", Seed: 2002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.FaultCounts["fault_dropped"] == r2.FaultCounts["fault_dropped"] {
+		t.Errorf("identical drop counts (%d) under different seeds — seed not threaded",
+			r1.FaultCounts["fault_dropped"])
+	}
+}
+
+// TestBrokenInvariantBites disables anti-entropy sync and reruns the
+// split-brain scenario: with the repair path gone, the partition's losses
+// can never heal, and the checker must fail the run naming the violated
+// invariant, its phase, and the scenario time.
+func TestBrokenInvariantBites(t *testing.T) {
+	cfg := netsimConfig()
+	cfg.SyncInterval = -1 // disable sync: partitions can no longer heal the backlog
+	s := Find("split-brain-heal")
+	rep, err := Run(s, Options{Substrate: "netsim", Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatalf("run passed with sync disabled — the atomicity checker did not bite:\n%s", rep.Render())
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Invariant == InvAtomicity && v.Phase != "" && v.At > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no atomicity violation naming phase and time:\n%s", rep.Render())
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, InvAtomicity) {
+		t.Fatalf("report does not name the failed invariant:\n%s", out)
+	}
+}
+
+// TestFlapTogglesPartition covers the flap fault: the partition toggles
+// on and off through the phase, and the run still passes.
+func TestFlapTogglesPartition(t *testing.T) {
+	s := &Scenario{
+		Name: "flap-test",
+		Seed: 9,
+		Groups: []Group{
+			{Name: "a", Role: RolePublisher, Nodes: 12, Rate: 2, Payload: 64, Protected: true},
+			{Name: "b", Role: RoleSubscriber, Nodes: 12},
+		},
+		Warmup: Duration(60 * second),
+		Phases: []Phase{{
+			Name:     "flapping",
+			Duration: Duration(2 * minute),
+			Flap:     &Flap{Cells: [][]string{{"a"}, {"b"}}, Period: Duration(30 * second)},
+		}},
+		Drain:      Duration(150 * second),
+		Invariants: DefaultInvariants(),
+	}
+	rep, err := Run(s, Options{Substrate: "netsim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("flap scenario failed:\n%s", rep.Render())
+	}
+	if rep.Phases[0].Faults["flap"] < 3 {
+		t.Fatalf("flap toggled %d times, want >= 3", rep.Phases[0].Faults["flap"])
+	}
+	if rep.FaultCounts["fault_blocked"] == 0 {
+		t.Fatal("flapping partition blocked no traffic")
+	}
+}
+
+// TestScenarioLive runs the two live-tagged scenarios on the wall-clock
+// substrate. LiveScale compresses each into a few seconds.
+func TestScenarioLive(t *testing.T) {
+	for _, name := range []string{"split-brain-heal", "churn-storm"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s := Find(name)
+			rep, err := Run(s, Options{Substrate: "live"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Passed {
+				t.Errorf("%s failed on live substrate:\n%s", name, rep.Render())
+			}
+			if rep.Published == 0 {
+				t.Errorf("%s published no traffic", name)
+			}
+		})
+	}
+}
+
+// TestScenarioMetricsAndProgress checks the obs wiring: counters move and
+// the progress snapshot completes.
+func TestScenarioMetricsAndProgress(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	var prog Progress
+	s := Find("split-brain-heal")
+	if _, err := Run(s, Options{Substrate: "netsim", Metrics: m, Progress: &prog}); err != nil {
+		t.Fatal(err)
+	}
+	if m.PhaseTransitions.Value() == 0 || m.InvariantChecks.Value() == 0 {
+		t.Fatalf("scenario metrics did not move: transitions=%d checks=%d",
+			m.PhaseTransitions.Value(), m.InvariantChecks.Value())
+	}
+	snap := prog.Snapshot()
+	if !snap.Done || snap.Scenario != "split-brain-heal" {
+		t.Fatalf("progress snapshot incomplete: %+v", snap)
+	}
+}
+
+// TestDefaultMaxDegreeSane guards the derived degree bound against config
+// drift.
+func TestDefaultMaxDegreeSane(t *testing.T) {
+	cfg := core.DefaultConfig()
+	if got := defaultMaxDegree(); got <= cfg.TargetDegree() {
+		t.Fatalf("defaultMaxDegree %d not above TargetDegree %d", got, cfg.TargetDegree())
+	}
+}
+
+// TestSubSeedStability pins the seed derivation: stable across calls,
+// distinct across labels.
+func TestSubSeedStability(t *testing.T) {
+	a := SubSeed(7, "faults")
+	if a != SubSeed(7, "faults") {
+		t.Fatal("SubSeed not stable")
+	}
+	if a == SubSeed(7, "churn/0") || a == SubSeed(8, "faults") {
+		t.Fatal("SubSeed does not separate streams")
+	}
+	if SubSeed(0, "") == 0 {
+		t.Fatal("SubSeed returned the 'unseeded' sentinel 0")
+	}
+}

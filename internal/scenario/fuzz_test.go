@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzParse drives the scenario parser with arbitrary bytes. Properties:
+// Parse never panics, and any accepted document survives a canonical
+// re-marshal/re-parse round trip to a deeply equal scenario. Seeds come
+// from the committed library files, a handful of malformed documents, and
+// the committed corpus under testdata/fuzz/FuzzParse; CI runs this for a
+// short smoke burst on every push (see .github/workflows/ci.yml).
+func FuzzParse(f *testing.F) {
+	files, _ := filepath.Glob(filepath.Join(scenariosDir, "*.json"))
+	for _, path := range files {
+		if data, err := os.ReadFile(path); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(minimalScenario()))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","groups":[{"name":"g","role":"publisher","nodes":2}],"phases":[{"name":"p","duration":"0s"}]}`))
+	f.Add([]byte(`{"name":"x","groups":[{"name":"g","role":"publisher","nodes":2}],"phases":[{"name":"p","duration":"1s","partition":[["g"],["g"]]}]}`))
+	f.Add([]byte(`{"name":"x","groups":[{"name":"g","role":"publisher","nodes":2}],"phases":[{"name":"p","duration":"1e9"}]}`))
+	f.Add([]byte(`{"name":" ","groups":[],"phases":null}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted scenario does not re-marshal: %v", err)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Fatalf("round trip changed the scenario:\nin:  %+v\nout: %+v", s, back)
+		}
+	})
+}

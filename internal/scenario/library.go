@@ -1,0 +1,182 @@
+package scenario
+
+import "time"
+
+// Library returns the committed chaos-scenario library. Each scenario is
+// also committed as JSON under scenarios/ (kept in lockstep by
+// TestLibraryMatchesCommittedFiles) so the runner, the docs, and the fuzz
+// corpus share one source of truth.
+//
+// Sizing: every scenario fits in a few virtual minutes on netsim; the
+// live-tagged ones (split-brain-heal, churn-storm) compress to seconds of
+// wall clock via LiveScale.
+func Library() []*Scenario {
+	d := func(v time.Duration) Duration { return Duration(v) }
+	inv := DefaultInvariants()
+
+	return []*Scenario{
+		{
+			// A clean split through the overlay, then heal: the classic
+			// partition experiment. Sync must backfill the minority side's
+			// missed messages after the heal.
+			Name: "split-brain-heal",
+			Seed: 41,
+			Groups: []Group{
+				{Name: "west", Role: RolePublisher, Nodes: 16, Rate: 2, Payload: 256, Protected: true},
+				{Name: "east", Role: RoleSubscriber, Nodes: 16},
+			},
+			Warmup: d(60 * time.Second),
+			Phases: []Phase{
+				{Name: "split", Duration: d(90 * time.Second), Partition: [][]string{{"west"}, {"east"}}},
+			},
+			Drain:      d(150 * time.Second),
+			Invariants: inv,
+			LiveScale:  0.05,
+		},
+		{
+			// Sustained random loss plus delay spikes on every link: gossip
+			// pulls must repair what the tree drops, continuously.
+			Name: "flaky-core-links",
+			Seed: 42,
+			Groups: []Group{
+				{Name: "pubs", Role: RolePublisher, Nodes: 4, Rate: 2, Payload: 256, Protected: true},
+				{Name: "subs", Role: RoleSubscriber, Nodes: 28},
+			},
+			Warmup: d(60 * time.Second),
+			Phases: []Phase{
+				{Name: "lossy", Duration: d(90 * time.Second), Loss: 0.15},
+				{
+					Name:     "lossy-and-slow",
+					Duration: d(90 * time.Second),
+					Loss:     0.1,
+					Links: []LinkRule{
+						{Delay: d(100 * time.Millisecond), Jitter: d(50 * time.Millisecond)},
+					},
+				},
+			},
+			Drain:      d(150 * time.Second),
+			Invariants: inv,
+			LiveScale:  0.05,
+		},
+		{
+			// A Poisson storm of crashes, restarts, joins, and graceful
+			// leaves against a protected publishing core.
+			Name: "churn-storm",
+			Seed: 43,
+			Groups: []Group{
+				{Name: "core", Role: RolePublisher, Nodes: 8, Rate: 2, Payload: 256, Protected: true},
+				{Name: "pool", Role: RoleBystander, Nodes: 24},
+			},
+			Warmup: d(60 * time.Second),
+			Phases: []Phase{
+				{
+					Name:     "storm",
+					Duration: d(3 * time.Minute),
+					Churn: &ChurnBurst{
+						JoinPerMin:    3,
+						LeavePerMin:   5,
+						CrashPerMin:   5,
+						RestartPerMin: 7,
+					},
+				},
+			},
+			Drain:      d(150 * time.Second),
+			Invariants: inv,
+			LiveScale:  0.05,
+		},
+		{
+			// An overload flood from one group while the membership churns
+			// underneath: admission must shed Repair/Background, never
+			// Critical, and the admitted messages must still deliver.
+			Name: "flood-under-churn",
+			Seed: 44,
+			Groups: []Group{
+				{Name: "pubs", Role: RolePublisher, Nodes: 8, Rate: 1, Payload: 256, Protected: true},
+				{Name: "pool", Role: RoleBystander, Nodes: 24},
+			},
+			Warmup: d(60 * time.Second),
+			Phases: []Phase{
+				{
+					Name:     "flood",
+					Duration: d(2 * time.Minute),
+					Flood:    &Flood{Group: "pubs", PerSec: 25, Payload: 512},
+					Churn: &ChurnBurst{
+						CrashPerMin:   3,
+						RestartPerMin: 4,
+					},
+				},
+			},
+			Drain:      d(150 * time.Second),
+			Invariants: inv,
+			LiveScale:  0.05,
+		},
+		{
+			// Leaf nodes behind slow, then bandwidth-starved links: FIFO
+			// queueing delays deliveries but must not break atomicity or
+			// pull the tree apart.
+			Name: "slow-leaf-cascade",
+			Seed: 45,
+			Groups: []Group{
+				{Name: "core", Role: RolePublisher, Nodes: 8, Rate: 2, Payload: 256, Protected: true},
+				{Name: "leaves", Role: RoleSubscriber, Nodes: 24},
+			},
+			Warmup: d(60 * time.Second),
+			Phases: []Phase{
+				{
+					Name:     "slow-leaves",
+					Duration: d(90 * time.Second),
+					Links: []LinkRule{
+						{To: "leaves", Delay: d(150 * time.Millisecond), Jitter: d(50 * time.Millisecond)},
+					},
+				},
+				{
+					Name:     "starved-leaves",
+					Duration: d(90 * time.Second),
+					Links: []LinkRule{
+						{To: "leaves", Delay: d(50 * time.Millisecond), BytesPerSec: 256 << 10},
+					},
+				},
+			},
+			Drain:      d(150 * time.Second),
+			Invariants: inv,
+			LiveScale:  0.05,
+		},
+		{
+			// A rolling restart sweep across the worker group — the planned
+			// maintenance case. Restarted nodes must catch up by sync.
+			Name: "rolling-restart",
+			Seed: 46,
+			Groups: []Group{
+				{Name: "core", Role: RolePublisher, Nodes: 8, Rate: 2, Payload: 256, Protected: true},
+				{Name: "workers", Role: RoleSubscriber, Nodes: 24},
+			},
+			Warmup: d(60 * time.Second),
+			Phases: []Phase{
+				{
+					Name:     "roll",
+					Duration: d(3 * time.Minute),
+					Rolling:  &Rolling{Group: "workers", Every: d(15 * time.Second), Downtime: d(5 * time.Second)},
+				},
+			},
+			Drain:      d(150 * time.Second),
+			Invariants: inv,
+			LiveScale:  0.05,
+		},
+	}
+}
+
+// Find returns the library scenario with the given name, or nil.
+func Find(name string) *Scenario {
+	for _, s := range Library() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// LiveCompatible reports whether a library scenario is exercised on the
+// live substrate in short test runs.
+func LiveCompatible(name string) bool {
+	return name == "split-brain-heal" || name == "churn-storm"
+}

@@ -1,0 +1,409 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gocast/internal/churn"
+	"gocast/internal/core"
+	"gocast/internal/latency"
+	"gocast/internal/live"
+)
+
+// liveSub runs a scenario on the wall-clock runtime over the in-memory
+// transport. Scenario durations are compressed by the scenario's
+// LiveScale; the fault/churn/traffic schedule still derives from the
+// master seed (satellite: one scenario-owned RNG threads through
+// live.NewFaultControllerRand and the churn plan seeds), so a run replays
+// its exact fault schedule even though protocol timing floats.
+type liveSub struct {
+	c       *live.Cluster
+	ctl     *live.FaultController
+	scale   float64
+	start   time.Time
+	initial int
+
+	mu sync.Mutex
+	// got records every observed delivery: message -> receiving slots.
+	got map[core.MessageID]map[int]bool
+	// tracked lists the scenario's own publishes in order.
+	tracked []core.MessageID
+	pubAt   map[core.MessageID]time.Time
+	// disturbed marks slots the scenario crashed/restarted (rolling) —
+	// excluded from atomicity judgment alongside churned slots.
+	disturbed map[int]bool
+	churned   bool
+	protected int
+	churnRuns sync.WaitGroup
+	churnged  int64
+	timers    []*time.Timer
+	closed    bool
+}
+
+func newLiveSub(s *Scenario, seed int64) *liveSub {
+	ls := &liveSub{
+		scale:     s.liveScale(),
+		initial:   s.TotalNodes(),
+		got:       make(map[core.MessageID]map[int]bool),
+		pubAt:     make(map[core.MessageID]time.Time),
+		disturbed: make(map[int]bool),
+		protected: protectedCount(s),
+	}
+	ls.ctl = live.NewFaultControllerRand(
+		live.FaultPlan{},
+		rand.New(rand.NewSource(SubSeed(seed, "faults"))),
+	)
+	// Give the in-memory fabric the same wide-area latency diversity
+	// netsim runs under (scaled to the compressed wall clock). The
+	// proximity-replacement sweep — the only mechanism that rewires a
+	// degree-saturated overlay, e.g. re-merging two healed partition
+	// halves — needs heavy-tailed pairwise latencies to ever fire; a flat
+	// fabric leaves a split-brain permanent. Sized past churn's growth
+	// ceiling so joined nodes get sites too.
+	mat := latency.Synthesize(2*s.TotalNodes(), SubSeed(seed, "latency"))
+	scale := ls.scale
+	ls.c = live.NewCluster(live.ClusterOptions{
+		Nodes:  s.TotalNodes(),
+		Config: live.FastConfig(),
+		Seed:   SubSeed(seed, "live"),
+		Faults: ls.ctl,
+		PairLatency: func(i, j int) time.Duration {
+			n := mat.Sites()
+			return time.Duration(float64(mat.OneWay(i%n, j%n)) * scale)
+		},
+		OnDeliver: func(node int, id core.MessageID, _ []byte) {
+			ls.mu.Lock()
+			m := ls.got[id]
+			if m == nil {
+				m = make(map[int]bool)
+				ls.got[id] = m
+			}
+			m[node] = true
+			ls.mu.Unlock()
+		},
+	})
+	ls.start = time.Now()
+	return ls
+}
+
+// protectedCount returns how many leading slots belong to Protected
+// groups.
+func protectedCount(s *Scenario) int {
+	n := 0
+	for _, g := range s.Groups {
+		if !g.Protected {
+			break
+		}
+		n += g.Nodes
+	}
+	return n
+}
+
+func (l *liveSub) name() string { return "live" }
+
+// now converts wall time back to scenario time.
+func (l *liveSub) now() time.Duration {
+	return time.Duration(float64(time.Since(l.start)) / l.scale)
+}
+
+func (l *liveSub) run(d time.Duration) {
+	time.Sleep(time.Duration(float64(d) * l.scale))
+}
+
+func (l *liveSub) after(d time.Duration, fn func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	t := time.AfterFunc(time.Duration(float64(d)*l.scale), fn)
+	l.timers = append(l.timers, t)
+}
+
+func (l *liveSub) nodeCount() int { return l.c.Size() }
+
+func (l *liveSub) alive(i int) bool {
+	n := l.c.Node(i)
+	return n != nil && !n.Stopped()
+}
+
+func (l *liveSub) publish(i int, payload []byte) bool {
+	n := l.c.Node(i)
+	if n == nil || n.Stopped() {
+		return false
+	}
+	id, err := n.Publish(payload)
+	if err != nil {
+		// ErrOverloaded while Shedding is graceful degradation, not a
+		// scenario failure; the no-critical-sheds invariant guards the
+		// messages that were admitted.
+		return false
+	}
+	l.mu.Lock()
+	l.tracked = append(l.tracked, id)
+	l.pubAt[id] = time.Now()
+	l.mu.Unlock()
+	return true
+}
+
+// setFaults re-expresses the compiled fault state as one open-ended
+// FaultPhase on the shared controller. Per-pair rules enumerate the
+// concrete "mem-<i>" endpoint addresses.
+func (l *liveSub) setFaults(f *compiledFaults) {
+	l.ctl.Clear()
+	if f.empty() {
+		return
+	}
+	at := l.ctl.Elapsed()
+	p := live.FaultPhase{Start: at, End: 0} // End<=Start: holds until Clear
+	for _, cell := range f.partition {
+		addrs := make([]string, len(cell))
+		for k, i := range cell {
+			addrs[k] = fmt.Sprintf("mem-%d", i)
+		}
+		p.Partition = append(p.Partition, addrs)
+	}
+	if f.loss > 0 {
+		p.Drop = f.loss
+		p.DropReliable = f.loss
+	}
+	n := l.c.Size()
+	clampHi := func(hi int) int {
+		if hi == 0 || hi > n {
+			return n
+		}
+		return hi
+	}
+	for _, link := range f.links {
+		fLo, fHi := link.fromLo, clampHi(link.fromHi)
+		tLo, tHi := link.toLo, clampHi(link.toHi)
+		if link.fromLo == 0 && link.fromHi == 0 {
+			fLo, fHi = 0, n
+		}
+		if link.toLo == 0 && link.toHi == 0 {
+			tLo, tHi = 0, n
+		}
+		for from := fLo; from < fHi; from++ {
+			for to := tLo; to < tHi; to++ {
+				if from == to {
+					continue
+				}
+				fa, ta := fmt.Sprintf("mem-%d", from), fmt.Sprintf("mem-%d", to)
+				// Scale delays with the schedule so a slow link stays
+				// proportionate to the compressed phase; fold jitter in at
+				// its midpoint (per-pair jitter is a netsim-only fidelity).
+				extra := time.Duration(float64(link.delay+link.jitter/2) * l.scale)
+				if extra > 0 {
+					p.Slow = append(p.Slow, live.SlowLink{From: fa, To: ta, Extra: extra})
+				}
+				if link.bytesPerSec > 0 {
+					// Scale the rate up so bytes-per-scenario-second are
+					// preserved under time compression.
+					p.Bandwidth = append(p.Bandwidth, live.BandwidthCap{
+						From: fa, To: ta,
+						BytesPerSec: int64(float64(link.bytesPerSec) / l.scale),
+					})
+				}
+			}
+		}
+	}
+	l.ctl.AddPhase(p)
+}
+
+func (l *liveSub) startChurn(cs churnSpec) {
+	l.mu.Lock()
+	l.churned = true
+	l.mu.Unlock()
+	// Compress the plan: same expected event count in scale× the time.
+	plan := churn.Plan{
+		Seed:          cs.plan.Seed,
+		Duration:      time.Duration(float64(cs.plan.Duration) * l.scale),
+		JoinPerMin:    cs.plan.JoinPerMin / l.scale,
+		LeavePerMin:   cs.plan.LeavePerMin / l.scale,
+		CrashPerMin:   cs.plan.CrashPerMin / l.scale,
+		RestartPerMin: cs.plan.RestartPerMin / l.scale,
+	}
+	l.churnRuns.Add(1)
+	go func() {
+		defer l.churnRuns.Done()
+		st := l.c.RunChurn(live.ChurnOptions{
+			Plan:      plan,
+			Protected: cs.protected,
+			MinAlive:  cs.minAlive,
+			MaxNodes:  cs.maxNodes,
+		})
+		l.mu.Lock()
+		l.churnged += int64(st.Events())
+		l.mu.Unlock()
+	}()
+}
+
+func (l *liveSub) churnEvents() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.churnged
+}
+
+func (l *liveSub) crash(i int) {
+	l.mu.Lock()
+	l.disturbed[i] = true
+	l.mu.Unlock()
+	l.c.Crash(i)
+}
+
+func (l *liveSub) restart(i int) {
+	l.c.Restart(i)
+}
+
+func (l *liveSub) treeNode(i int) (parent, root, degree int) {
+	n := l.c.Node(i)
+	if n == nil || n.Stopped() {
+		return -1, -1, 0
+	}
+	p, r := int(n.Parent()), int(n.Root())
+	if p == i {
+		p = -1
+	}
+	return p, r, n.Degree()
+}
+
+func (l *liveSub) converged() string {
+	n := l.c.Size()
+	running := make([]bool, n)
+	count := 0
+	for i := 0; i < n; i++ {
+		if l.alive(i) {
+			running[i] = true
+			count++
+		}
+	}
+	if count == 0 {
+		return "no running nodes"
+	}
+	// Stale links + adjacency in one sweep.
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if !running[i] {
+			continue
+		}
+		for _, nb := range l.c.Node(i).Neighbors() {
+			j := int(nb.ID)
+			if j < 0 || j >= n {
+				continue
+			}
+			if running[j] && nb.Inc < l.c.Incarnation(j) {
+				return fmt.Sprintf("node %d holds a stale link to %d (inc %d < %d)", i, j, nb.Inc, l.c.Incarnation(j))
+			}
+			adj[i] = append(adj[i], j)
+		}
+	}
+	// Connectivity over running nodes.
+	first := -1
+	for i := 0; i < n; i++ {
+		if running[i] {
+			first = i
+			break
+		}
+	}
+	seen := make([]bool, n)
+	queue := []int{first}
+	seen[first] = true
+	reached := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		reached++
+		for _, j := range adj[i] {
+			if running[j] && !seen[j] {
+				seen[j] = true
+				queue = append(queue, j)
+			}
+		}
+	}
+	if reached < count {
+		return fmt.Sprintf("overlay split: %d of %d running nodes reachable", reached, count)
+	}
+	// Root agreement.
+	root := -1
+	for i := 0; i < n; i++ {
+		if !running[i] {
+			continue
+		}
+		r := int(l.c.Node(i).Root())
+		if root == -1 {
+			root = r
+		} else if r != root {
+			return fmt.Sprintf("root disagreement: node %d says %d, others say %d", i, r, root)
+		}
+	}
+	if root < 0 || root >= n || !l.alive(root) {
+		return fmt.Sprintf("agreed root %d is not running", root)
+	}
+	return ""
+}
+
+// atomicityViolations judges the slots that were never disturbed: initial
+// nodes the scenario itself did not crash/restart, excluding every
+// unprotected slot once churn has run (churn targets are not individually
+// reported by the churn layer). grace is expressed in scenario time.
+func (l *liveSub) atomicityViolations(grace time.Duration) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cutoff := time.Now().Add(-time.Duration(float64(grace) * l.scale))
+	v := 0
+	for i := 0; i < l.initial; i++ {
+		if l.disturbed[i] || (l.churned && i >= l.protected) || !l.alive(i) {
+			continue
+		}
+		for _, id := range l.tracked {
+			if l.pubAt[id].After(cutoff) {
+				continue
+			}
+			if !l.got[id][i] {
+				v++
+			}
+		}
+	}
+	return v
+}
+
+func (l *liveSub) recoveryViolations(time.Duration) (int, bool) { return 0, false }
+
+func (l *liveSub) criticalSheds() int64 {
+	var total int64
+	for i := 0; i < l.c.Size(); i++ {
+		if n := l.c.Node(i); n != nil {
+			total += n.OverloadStats()["shed_critical"]
+		}
+	}
+	return total
+}
+
+func (l *liveSub) faultCounters() map[string]int64 {
+	out := make(map[string]int64)
+	for k, v := range l.ctl.Counters() {
+		out[k] = v
+	}
+	return out
+}
+
+func (l *liveSub) published() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(len(l.tracked))
+}
+
+func (l *liveSub) close() {
+	l.mu.Lock()
+	l.closed = true
+	timers := l.timers
+	l.timers = nil
+	l.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+	l.churnRuns.Wait()
+	l.c.Close()
+}

@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"sync"
+	"time"
+
+	"gocast/internal/obs"
+)
+
+// Metrics surfaces a run's chaos state through an obs.Registry as
+// gocast_scenario_* series, scrapeable from /metrics and summarized in
+// /statusz via Progress. One Metrics may be shared across sequential runs
+// (counters accumulate, as Prometheus expects).
+type Metrics struct {
+	reg *obs.Registry
+
+	PhaseTransitions    *obs.Counter
+	InvariantChecks     *obs.Counter
+	InvariantViolations *obs.Counter
+	Phase               *obs.Gauge
+
+	mu     sync.Mutex
+	faults map[string]*obs.Counter
+}
+
+// NewMetrics registers the scenario series on r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		reg: r,
+		PhaseTransitions: r.Counter("gocast_scenario_phase_transitions_total",
+			"Scenario phase boundaries crossed."),
+		InvariantChecks: r.Counter("gocast_scenario_invariant_checks_total",
+			"Invariant evaluations performed (continuous and end-of-run)."),
+		InvariantViolations: r.Counter("gocast_scenario_invariant_violations_total",
+			"Invariant violations detected."),
+		Phase: r.Gauge("gocast_scenario_phase",
+			"Index of the running scenario phase (-1 warmup/idle, N = len(phases) drain)."),
+	}
+}
+
+// FaultInjected counts one injected fault of the given kind
+// (gocast_scenario_faults_<kind>_total).
+func (m *Metrics) FaultInjected(kind string, n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.mu.Lock()
+	c := m.faults[kind]
+	if c == nil {
+		if m.faults == nil {
+			m.faults = make(map[string]*obs.Counter)
+		}
+		c = m.reg.Counter("gocast_scenario_faults_"+kind+"_total",
+			"Faults of kind "+kind+" injected by the scenario engine.")
+		m.faults[kind] = c
+	}
+	m.mu.Unlock()
+	c.Add(n)
+}
+
+// nil-safe helpers: the engine runs fine without metrics.
+
+func (m *Metrics) phaseTransition(idx int) {
+	if m == nil {
+		return
+	}
+	m.PhaseTransitions.Inc()
+	m.Phase.Set(int64(idx))
+}
+
+func (m *Metrics) check(violations int) {
+	if m == nil {
+		return
+	}
+	m.InvariantChecks.Inc()
+	if violations > 0 {
+		m.InvariantViolations.Add(int64(violations))
+	}
+}
+
+// Progress is a mutex-guarded live view of a run, for /statusz. The
+// engine updates it at phase boundaries and invariant checks.
+type Progress struct {
+	mu   sync.Mutex
+	snap ProgressSnapshot
+}
+
+// ProgressSnapshot is one observation of a running scenario.
+type ProgressSnapshot struct {
+	Scenario   string        `json:"scenario"`
+	Substrate  string        `json:"substrate"`
+	Seed       int64         `json:"seed"`
+	Phase      string        `json:"phase"`
+	PhaseIndex int           `json:"phase_index"`
+	Elapsed    time.Duration `json:"elapsed"`
+	Checks     int64         `json:"checks"`
+	Violations int64         `json:"violations"`
+	Done       bool          `json:"done"`
+}
+
+// Snapshot returns the latest observation.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snap
+}
+
+func (p *Progress) update(fn func(*ProgressSnapshot)) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	fn(&p.snap)
+	p.mu.Unlock()
+}

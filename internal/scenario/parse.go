@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Duration is a time.Duration that marshals to/from JSON as either a
+// Go duration string ("90s", "2m30s") or a number of nanoseconds. It
+// keeps scenario files human-writable without a dependency beyond
+// encoding/json.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its Go string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "2m30s" strings or raw nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("invalid duration %q: %w", x, err)
+		}
+		*d = Duration(parsed)
+	case float64:
+		*d = Duration(x)
+	default:
+		return fmt.Errorf("duration must be a string or number, got %T", v)
+	}
+	return nil
+}
+
+// String renders the duration in Go form.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// Parse decodes a scenario from JSON bytes and validates it. Unknown
+// fields are rejected so typos in committed scenario files fail loudly
+// instead of silently declaring nothing.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	// Trailing garbage after the document is an error too.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: parse: trailing data after document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}

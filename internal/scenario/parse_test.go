@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDurationRoundTrip pins the two accepted wire forms: Go duration
+// strings and raw nanosecond numbers, both surviving a marshal cycle.
+func TestDurationRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{`"90s"`, 90 * time.Second},
+		{`"2m30s"`, 2*time.Minute + 30*time.Second},
+		{`"150ms"`, 150 * time.Millisecond},
+		{`1000000000`, time.Second},
+		{`0`, 0},
+	}
+	for _, c := range cases {
+		var d Duration
+		if err := json.Unmarshal([]byte(c.in), &d); err != nil {
+			t.Errorf("unmarshal %s: %v", c.in, err)
+			continue
+		}
+		if time.Duration(d) != c.want {
+			t.Errorf("unmarshal %s = %v, want %v", c.in, time.Duration(d), c.want)
+		}
+		out, err := json.Marshal(d)
+		if err != nil {
+			t.Errorf("marshal %v: %v", c.want, err)
+			continue
+		}
+		var back Duration
+		if err := json.Unmarshal(out, &back); err != nil || back != d {
+			t.Errorf("round-trip %s -> %s -> %v (err %v)", c.in, out, time.Duration(back), err)
+		}
+	}
+	for _, bad := range []string{`"90x"`, `"s"`, `true`, `["1s"]`, `{"d":"1s"}`} {
+		var d Duration
+		if err := json.Unmarshal([]byte(bad), &d); err == nil {
+			t.Errorf("unmarshal %s: expected error, got %v", bad, time.Duration(d))
+		}
+	}
+}
+
+// minimalScenario returns a scenario document that parses and validates.
+func minimalScenario() string {
+	return `{
+  "name": "mini",
+  "seed": 1,
+  "groups": [
+    {"name": "a", "role": "publisher", "nodes": 4, "rate": 1, "protected": true},
+    {"name": "b", "role": "subscriber", "nodes": 4}
+  ],
+  "warmup": "30s",
+  "phases": [{"name": "quiet", "duration": "30s"}],
+  "drain": "30s",
+  "invariants": {"atomicity": true, "tree_valid": true, "convergence": true, "recovery": true, "no_critical_sheds": true}
+}`
+}
+
+// TestParseRejectsMalformed walks the malformed-input table: every entry
+// must fail with an error mentioning the offending part, and none may
+// panic.
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring expected in the error
+	}{
+		{"empty", ``, "parse"},
+		{"not-json", `hello`, "parse"},
+		{"trailing-data", minimalScenario() + `{"again": true}`, "trailing data"},
+		{"unknown-field", `{"name":"x","bogus":1}`, "bogus"},
+		{"no-groups", `{"name":"x","phases":[{"name":"p","duration":"1s"}]}`, "group"},
+		{"bad-role", strings.Replace(minimalScenario(), `"subscriber"`, `"listener"`, 1), "role"},
+		{"duplicate-group", strings.Replace(minimalScenario(), `"name": "b"`, `"name": "a"`, 1), "duplicate"},
+		{"rate-on-bystander", strings.Replace(minimalScenario(), `"role": "subscriber", "nodes": 4`, `"role": "bystander", "nodes": 4, "rate": 2`, 1), "rate"},
+		{"zero-duration-phase", strings.Replace(minimalScenario(), `{"name": "quiet", "duration": "30s"}`, `{"name": "quiet", "duration": "0s"}`, 1), "duration"},
+		{"negative-duration-phase", strings.Replace(minimalScenario(), `"duration": "30s"`, `"duration": "-5s"`, 1), "duration"},
+		{"one-cell-partition", strings.Replace(minimalScenario(), `"duration": "30s"}`, `"duration": "30s", "partition": [["a","b"]]}`, 1), "partition"},
+		{"overlapping-partition", strings.Replace(minimalScenario(), `"duration": "30s"}`, `"duration": "30s", "partition": [["a"],["a","b"]]}`, 1), "partition"},
+		{"unknown-partition-group", strings.Replace(minimalScenario(), `"duration": "30s"}`, `"duration": "30s", "partition": [["a"],["zz"]]}`, 1), "zz"},
+		{"loss-over-one", strings.Replace(minimalScenario(), `"duration": "30s"}`, `"duration": "30s", "loss": 1.5}`, 1), "loss"},
+		{"flood-unknown-group", strings.Replace(minimalScenario(), `"duration": "30s"}`, `"duration": "30s", "flood": {"group":"zz","per_sec":5}}`, 1), "zz"},
+		{"bad-duration-string", strings.Replace(minimalScenario(), `"30s"`, `"30q"`, 1), "duration"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("parse accepted malformed input")
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(c.want)) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestParseAcceptsMinimal pins the happy path and Load on a temp file.
+func TestParseAcceptsMinimal(t *testing.T) {
+	s, err := Parse([]byte(minimalScenario()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "mini" || s.TotalNodes() != 8 {
+		t.Fatalf("parsed scenario wrong: %+v", s)
+	}
+	path := filepath.Join(t.TempDir(), "mini.json")
+	if err := os.WriteFile(path, []byte(minimalScenario()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("load of a missing file succeeded")
+	}
+}
+
+// scenariosDir is the committed scenario library on disk, relative to
+// this package.
+const scenariosDir = "../../scenarios"
+
+// marshalScenario renders a scenario in the committed canonical form.
+func marshalScenario(s *Scenario) []byte {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+// TestLibraryMatchesCommittedFiles keeps scenarios/*.json in lockstep
+// with Library(): same set of names, byte-identical canonical JSON, and
+// each file parses back to a deeply equal scenario. Run with
+// SCENARIO_WRITE=1 to regenerate the files after editing the library.
+func TestLibraryMatchesCommittedFiles(t *testing.T) {
+	if os.Getenv("SCENARIO_WRITE") != "" {
+		for _, s := range Library() {
+			path := filepath.Join(scenariosDir, s.Name+".json")
+			if err := os.WriteFile(path, marshalScenario(s), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s", path)
+		}
+	}
+	files, err := filepath.Glob(filepath.Join(scenariosDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := Library()
+	if len(files) != len(lib) {
+		t.Errorf("scenarios/ holds %d files, library holds %d scenarios", len(files), len(lib))
+	}
+	for _, s := range lib {
+		path := filepath.Join(scenariosDir, s.Name+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v (regenerate with SCENARIO_WRITE=1 go test ./internal/scenario/ -run TestLibraryMatchesCommittedFiles)", s.Name, err)
+			continue
+		}
+		if want := marshalScenario(s); string(data) != string(want) {
+			t.Errorf("%s: committed file out of date with Library() (regenerate with SCENARIO_WRITE=1)", s.Name)
+		}
+		parsed, err := Parse(data)
+		if err != nil {
+			t.Errorf("%s: committed file does not parse: %v", s.Name, err)
+			continue
+		}
+		if !reflect.DeepEqual(parsed, s) {
+			t.Errorf("%s: committed file parses to a different scenario", s.Name)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Invariant names as they appear in reports.
+const (
+	InvAtomicity       = "atomicity"
+	InvTreeValid       = "tree-valid"
+	InvConvergence     = "convergence"
+	InvRecovery        = "recovery"
+	InvNoCriticalSheds = "no-critical-sheds"
+)
+
+// Violation is one invariant breach, anchored to the phase and scenario
+// time it was detected at.
+type Violation struct {
+	Invariant string        `json:"invariant"`
+	Phase     string        `json:"phase"`
+	At        time.Duration `json:"at"`
+	Detail    string        `json:"detail"`
+}
+
+// InvariantResult is the end-of-run verdict for one invariant.
+type InvariantResult struct {
+	Name   string `json:"name"`
+	Status string `json:"status"` // "pass", "FAIL", "skipped"
+	Detail string `json:"detail,omitempty"`
+}
+
+// PhaseResult summarizes one executed phase.
+type PhaseResult struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+	// Faults counts faults injected during the phase, by kind.
+	Faults map[string]int64 `json:"faults,omitempty"`
+	// Checks and Violations count continuous invariant evaluations.
+	Checks     int `json:"checks"`
+	Violations int `json:"violations"`
+}
+
+// Report is a completed run's verdict. On the netsim substrate every
+// field is a pure function of (scenario, seed): Render output is
+// byte-identical across runs, which the determinism tests assert.
+type Report struct {
+	Scenario  string        `json:"scenario"`
+	Substrate string        `json:"substrate"`
+	Seed      int64         `json:"seed"`
+	Nodes     int           `json:"nodes"`
+	Duration  time.Duration `json:"duration"` // scenario time
+
+	Phases     []PhaseResult     `json:"phases"`
+	Invariants []InvariantResult `json:"invariants"`
+	Violations []Violation       `json:"violations,omitempty"`
+	// ViolationsTotal counts every detection; Violations keeps at most
+	// violationCap examples per (invariant, phase) so reports stay small.
+	ViolationsTotal int `json:"violations_total"`
+
+	Published   int64            `json:"published"`
+	ChurnEvents int64            `json:"churn_events"`
+	FaultCounts map[string]int64 `json:"fault_counts,omitempty"`
+
+	Passed bool `json:"passed"`
+}
+
+// violationCap bounds recorded examples per (invariant, phase).
+const violationCap = 5
+
+// Failed returns the names of invariants that failed.
+func (r *Report) Failed() []string {
+	var out []string
+	for _, iv := range r.Invariants {
+		if iv.Status == "FAIL" {
+			out = append(out, iv.Name)
+		}
+	}
+	return out
+}
+
+// Render formats the report as a fixed-width text block. All times are
+// scenario time, so netsim renderings are deterministic.
+func (r *Report) Render() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.Passed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "scenario %s [%s] seed=%d nodes=%d duration=%s: %s\n",
+		r.Scenario, r.Substrate, r.Seed, r.Nodes, r.Duration, verdict)
+
+	fmt.Fprintf(&b, "  phases:\n")
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "    %-18s %8s..%-8s checks=%-3d violations=%-3d %s\n",
+			p.Name, p.Start, p.End, p.Checks, p.Violations, renderKinds(p.Faults))
+	}
+
+	fmt.Fprintf(&b, "  invariants:\n")
+	for _, iv := range r.Invariants {
+		line := fmt.Sprintf("    %-18s %s", iv.Name, iv.Status)
+		if iv.Detail != "" {
+			line += "  (" + iv.Detail + ")"
+		}
+		b.WriteString(line + "\n")
+	}
+
+	if len(r.Violations) > 0 {
+		fmt.Fprintf(&b, "  violations (%d total, first %d shown per invariant+phase):\n",
+			r.ViolationsTotal, violationCap)
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "    [%s] phase=%s at=%s: %s\n", v.Invariant, v.Phase, v.At, v.Detail)
+		}
+	}
+
+	fmt.Fprintf(&b, "  traffic: published=%d churn_events=%d %s\n",
+		r.Published, r.ChurnEvents, renderKinds(r.FaultCounts))
+	return b.String()
+}
+
+// renderKinds formats a count map deterministically (sorted keys, zero
+// entries skipped).
+func renderKinds(m map[string]int64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,434 @@
+// Package scenario is a declarative chaos-scenario engine for GoCast.
+//
+// A Scenario declares node groups with traffic roles, a timeline of fault
+// phases (partitions, link flaps, loss, slow links, bandwidth caps, churn
+// bursts, overload floods, rolling restarts), and the invariants that must
+// hold while the faults are live. One engine runs the same scenario on two
+// substrates:
+//
+//   - netsim: virtual time, fully deterministic. Every random decision —
+//     fault schedule, churn events, traffic timing, protocol behavior —
+//     derives from the single scenario seed, so two runs of the same
+//     scenario+seed produce byte-identical invariant reports.
+//   - live: wall clock over the in-memory transport, the same schedule
+//     scaled by LiveScale. The fault/churn/traffic schedule is still
+//     seed-deterministic; only protocol-internal timing floats.
+//
+// Scenarios are plain data: committed JSON files under scenarios/ load with
+// Load, and the library in library.go builds the same values in Go.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Role describes what a node group does with application traffic.
+type Role string
+
+const (
+	// RolePublisher nodes publish multicast payloads at Group.Rate.
+	RolePublisher Role = "publisher"
+	// RoleSubscriber nodes only receive (all nodes receive; the role is
+	// documentation plus a target for faults).
+	RoleSubscriber Role = "subscriber"
+	// RoleBystander nodes neither publish nor are flooded; they exist to
+	// carry overlay structure and be churned/partitioned.
+	RoleBystander Role = "bystander"
+)
+
+// Group declares a contiguous block of nodes with a shared role. Groups
+// occupy node indexes in declaration order: the first group starts at node
+// 0 (which is also the tree root), the next starts where it ended, and so
+// on. Protected groups must be declared before unprotected ones so churn
+// guardrails can protect a prefix.
+type Group struct {
+	Name string `json:"name"`
+	Role Role   `json:"role"`
+	// Nodes is the group's size.
+	Nodes int `json:"nodes"`
+	// Rate is the group's aggregate publish rate in messages/second
+	// (publishers only). Individual publishes round-robin group members.
+	Rate float64 `json:"rate,omitempty"`
+	// Payload is the publish payload size in bytes.
+	Payload int `json:"payload,omitempty"`
+	// Protected exempts the group from churn (never crashed/left) and
+	// rolling restarts targeting other groups.
+	Protected bool `json:"protected,omitempty"`
+}
+
+// LinkRule shapes traffic from one group to another for the duration of a
+// phase. Empty From/To mean "all groups". Rules are directed; declare two
+// for symmetric shaping.
+type LinkRule struct {
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Delay adds fixed one-way latency; Jitter adds uniform [0, Jitter).
+	Delay  Duration `json:"delay,omitempty"`
+	Jitter Duration `json:"jitter,omitempty"`
+	// BytesPerSec caps the directed links with FIFO queueing (netsim) or
+	// token-bucket pacing (live).
+	BytesPerSec int64 `json:"bytes_per_sec,omitempty"`
+}
+
+// Flap toggles a partition on and off for the phase: Period/2 partitioned,
+// Period/2 healed, starting partitioned at the phase boundary.
+type Flap struct {
+	// Cells lists group names per partition cell, as in Phase.Partition.
+	Cells [][]string `json:"cells"`
+	// Period is one full on+off cycle.
+	Period Duration `json:"period"`
+}
+
+// ChurnBurst runs a Poisson churn plan (internal/churn) for the phase.
+// Rates are events per minute of scenario time.
+type ChurnBurst struct {
+	JoinPerMin    float64 `json:"join_per_min,omitempty"`
+	LeavePerMin   float64 `json:"leave_per_min,omitempty"`
+	CrashPerMin   float64 `json:"crash_per_min,omitempty"`
+	RestartPerMin float64 `json:"restart_per_min,omitempty"`
+}
+
+// Flood directs an overload burst at the governor: the named group
+// publishes PerSec messages/second of Payload bytes for the phase,
+// on top of its declared steady rate.
+type Flood struct {
+	Group   string  `json:"group"`
+	PerSec  float64 `json:"per_sec"`
+	Payload int     `json:"payload,omitempty"`
+}
+
+// Rolling restarts the named group one node at a time: every Every, the
+// next member crashes and restarts after Downtime.
+type Rolling struct {
+	Group    string   `json:"group"`
+	Every    Duration `json:"every"`
+	Downtime Duration `json:"downtime"`
+}
+
+// Phase is one segment of the fault timeline. All faults declared in a
+// phase start at its beginning and clear at its end (phase barrier).
+type Phase struct {
+	Name     string   `json:"name"`
+	Duration Duration `json:"duration"`
+	// Partition splits the cluster into cells of whole groups; traffic
+	// between cells is blocked. Groups in no cell are unaffected.
+	Partition [][]string `json:"partition,omitempty"`
+	// Flap toggles a partition at Flap.Period instead of holding it.
+	Flap *Flap `json:"flap,omitempty"`
+	// Loss drops each transmission with this probability, cluster-wide.
+	Loss float64 `json:"loss,omitempty"`
+	// Links shape delay/bandwidth between groups.
+	Links []LinkRule `json:"links,omitempty"`
+	// Churn runs a Poisson churn burst for the phase.
+	Churn *ChurnBurst `json:"churn,omitempty"`
+	// Flood floods the governor via one group's publishers.
+	Flood *Flood `json:"flood,omitempty"`
+	// Rolling restarts a group one node at a time.
+	Rolling *Rolling `json:"rolling,omitempty"`
+}
+
+// Invariants declares the checks the engine enforces. The zero value
+// enables everything with default deadlines; explicit false disables.
+type Invariants struct {
+	// Atomicity: every message reaches every node alive from publish until
+	// check time (+Grace for propagation). Checked at scenario end.
+	Atomicity bool     `json:"atomicity"`
+	Grace     Duration `json:"grace,omitempty"`
+	// TreeValid: the tree is acyclic and degree-bounded at every
+	// continuous check. MaxDegree 0 means TargetDegree+DegreeSlack+2.
+	TreeValid bool `json:"tree_valid"`
+	MaxDegree int  `json:"max_degree,omitempty"`
+	// Convergence: within ConvergeWithin after the last phase clears, the
+	// overlay is one connected component, every live node agrees on one
+	// root, and no stale links to dead incarnations remain.
+	Convergence    bool     `json:"convergence"`
+	ConvergeWithin Duration `json:"converge_within,omitempty"`
+	// Recovery: restarted nodes recover messages they missed (netsim
+	// RecoveryViolations == 0). Skipped on the live substrate.
+	Recovery bool `json:"recovery"`
+	// NoCriticalSheds: the overload layer never sheds a Critical-class
+	// message, checked continuously.
+	NoCriticalSheds bool `json:"no_critical_sheds"`
+}
+
+// DefaultInvariants enables every check with default deadlines.
+func DefaultInvariants() Invariants {
+	return Invariants{
+		Atomicity:       true,
+		Grace:           30 * Duration(time.Second),
+		TreeValid:       true,
+		Convergence:     true,
+		ConvergeWithin:  2 * Duration(time.Minute),
+		Recovery:        true,
+		NoCriticalSheds: true,
+	}
+}
+
+// Scenario is a complete declarative chaos run.
+type Scenario struct {
+	Name string `json:"name"`
+	// Seed is the master seed. Every random stream in the run — faults,
+	// churn, traffic, and (on netsim) the protocol itself — derives from
+	// it via SubSeed, so -seed replays the exact schedule.
+	Seed   int64   `json:"seed"`
+	Groups []Group `json:"groups"`
+	// Warmup runs the cluster fault-free before the first phase so the
+	// overlay converges from bootstrap.
+	Warmup Duration `json:"warmup"`
+	Phases []Phase  `json:"phases"`
+	// Drain runs fault-free after the last phase before end-of-run checks
+	// (convergence deadline counts from the start of drain).
+	Drain      Duration   `json:"drain"`
+	Invariants Invariants `json:"invariants"`
+	// CheckEvery is the continuous-invariant cadence. Default 5s.
+	CheckEvery Duration `json:"check_every,omitempty"`
+	// LiveScale compresses every scenario duration on the live substrate
+	// (e.g. 0.05 turns a 2-minute netsim phase into 6 wall seconds).
+	// Default 0.05. Netsim ignores it.
+	LiveScale float64 `json:"live_scale,omitempty"`
+}
+
+// TotalNodes is the sum of group sizes.
+func (s *Scenario) TotalNodes() int {
+	n := 0
+	for _, g := range s.Groups {
+		n += g.Nodes
+	}
+	return n
+}
+
+// GroupRange returns the node-index interval [lo, hi) a group occupies, or
+// ok=false if the name is unknown.
+func (s *Scenario) GroupRange(name string) (lo, hi int, ok bool) {
+	at := 0
+	for _, g := range s.Groups {
+		if g.Name == name {
+			return at, at + g.Nodes, true
+		}
+		at += g.Nodes
+	}
+	return 0, 0, false
+}
+
+// checkEvery returns the effective continuous-check cadence.
+func (s *Scenario) checkEvery() time.Duration {
+	if s.CheckEvery > 0 {
+		return time.Duration(s.CheckEvery)
+	}
+	return 5 * time.Second
+}
+
+// liveScale returns the effective live-substrate time compression.
+func (s *Scenario) liveScale() float64 {
+	if s.LiveScale > 0 {
+		return s.LiveScale
+	}
+	return 0.05
+}
+
+// Validate checks structural well-formedness: it is the single gate both
+// Load and the engine run behind, and the surface the parser fuzz target
+// exercises. It returns the first problem found.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: name required")
+	}
+	if len(s.Groups) == 0 {
+		return fmt.Errorf("scenario %s: at least one group required", s.Name)
+	}
+	names := make(map[string]bool, len(s.Groups))
+	protectedDone := false
+	for i, g := range s.Groups {
+		if g.Name == "" {
+			return fmt.Errorf("scenario %s: group %d: name required", s.Name, i)
+		}
+		if names[g.Name] {
+			return fmt.Errorf("scenario %s: duplicate group %q", s.Name, g.Name)
+		}
+		names[g.Name] = true
+		switch g.Role {
+		case RolePublisher, RoleSubscriber, RoleBystander:
+		default:
+			return fmt.Errorf("scenario %s: group %q: unknown role %q", s.Name, g.Name, g.Role)
+		}
+		if g.Nodes <= 0 {
+			return fmt.Errorf("scenario %s: group %q: nodes must be positive", s.Name, g.Name)
+		}
+		if g.Rate < 0 || g.Payload < 0 {
+			return fmt.Errorf("scenario %s: group %q: negative rate or payload", s.Name, g.Name)
+		}
+		if g.Rate > 0 && g.Role != RolePublisher {
+			return fmt.Errorf("scenario %s: group %q: rate set on non-publisher", s.Name, g.Name)
+		}
+		if g.Protected && protectedDone {
+			return fmt.Errorf("scenario %s: protected group %q must precede unprotected groups", s.Name, g.Name)
+		}
+		if !g.Protected {
+			protectedDone = true
+		}
+	}
+	if n := s.TotalNodes(); n < 2 {
+		return fmt.Errorf("scenario %s: need at least 2 nodes, have %d", s.Name, n)
+	} else if n > 4096 {
+		return fmt.Errorf("scenario %s: %d nodes exceeds the 4096 cap", s.Name, n)
+	}
+	if s.Warmup < 0 || s.Drain < 0 || s.CheckEvery < 0 {
+		return fmt.Errorf("scenario %s: negative warmup/drain/check_every", s.Name)
+	}
+	if s.LiveScale < 0 || s.LiveScale > 1 {
+		return fmt.Errorf("scenario %s: live_scale must be in (0, 1]", s.Name)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("scenario %s: at least one phase required", s.Name)
+	}
+	for i := range s.Phases {
+		if err := s.validatePhase(i, names); err != nil {
+			return err
+		}
+	}
+	inv := s.Invariants
+	if inv.Grace < 0 || inv.ConvergeWithin < 0 || inv.MaxDegree < 0 {
+		return fmt.Errorf("scenario %s: negative invariant deadline", s.Name)
+	}
+	return nil
+}
+
+func (s *Scenario) validatePhase(i int, groups map[string]bool) error {
+	p := &s.Phases[i]
+	where := fmt.Sprintf("scenario %s: phase %d (%s)", s.Name, i, p.Name)
+	if p.Name == "" {
+		return fmt.Errorf("scenario %s: phase %d: name required", s.Name, i)
+	}
+	if p.Duration <= 0 {
+		return fmt.Errorf("%s: duration must be positive", where)
+	}
+	checkCells := func(cells [][]string) error {
+		if len(cells) < 2 {
+			return fmt.Errorf("%s: partition needs at least 2 cells", where)
+		}
+		seen := make(map[string]bool)
+		for _, cell := range cells {
+			if len(cell) == 0 {
+				return fmt.Errorf("%s: empty partition cell", where)
+			}
+			for _, name := range cell {
+				if !groups[name] {
+					return fmt.Errorf("%s: partition references unknown group %q", where, name)
+				}
+				if seen[name] {
+					return fmt.Errorf("%s: group %q appears in two partition cells", where, name)
+				}
+				seen[name] = true
+			}
+		}
+		return nil
+	}
+	if p.Partition != nil {
+		if p.Flap != nil {
+			return fmt.Errorf("%s: partition and flap are mutually exclusive", where)
+		}
+		if err := checkCells(p.Partition); err != nil {
+			return err
+		}
+	}
+	if p.Flap != nil {
+		if p.Flap.Period <= 0 {
+			return fmt.Errorf("%s: flap period must be positive", where)
+		}
+		if time.Duration(p.Flap.Period) > time.Duration(p.Duration) {
+			return fmt.Errorf("%s: flap period exceeds phase duration", where)
+		}
+		if err := checkCells(p.Flap.Cells); err != nil {
+			return err
+		}
+	}
+	if p.Loss < 0 || p.Loss >= 1 {
+		return fmt.Errorf("%s: loss must be in [0, 1)", where)
+	}
+	for j, l := range p.Links {
+		if l.From != "" && !groups[l.From] {
+			return fmt.Errorf("%s: link %d: unknown group %q", where, j, l.From)
+		}
+		if l.To != "" && !groups[l.To] {
+			return fmt.Errorf("%s: link %d: unknown group %q", where, j, l.To)
+		}
+		if l.Delay < 0 || l.Jitter < 0 || l.BytesPerSec < 0 {
+			return fmt.Errorf("%s: link %d: negative delay/jitter/bandwidth", where, j)
+		}
+		if l.Delay == 0 && l.Jitter == 0 && l.BytesPerSec == 0 {
+			return fmt.Errorf("%s: link %d: no effect declared", where, j)
+		}
+	}
+	if c := p.Churn; c != nil {
+		if c.JoinPerMin < 0 || c.LeavePerMin < 0 || c.CrashPerMin < 0 || c.RestartPerMin < 0 {
+			return fmt.Errorf("%s: negative churn rate", where)
+		}
+		if c.JoinPerMin == 0 && c.LeavePerMin == 0 && c.CrashPerMin == 0 && c.RestartPerMin == 0 {
+			return fmt.Errorf("%s: churn burst with all-zero rates", where)
+		}
+	}
+	if f := p.Flood; f != nil {
+		if !groups[f.Group] {
+			return fmt.Errorf("%s: flood targets unknown group %q", where, f.Group)
+		}
+		if f.PerSec <= 0 {
+			return fmt.Errorf("%s: flood rate must be positive", where)
+		}
+		if f.Payload < 0 {
+			return fmt.Errorf("%s: negative flood payload", where)
+		}
+	}
+	if r := p.Rolling; r != nil {
+		if !groups[r.Group] {
+			return fmt.Errorf("%s: rolling restart targets unknown group %q", where, r.Group)
+		}
+		lo, hi, _ := s.GroupRange(r.Group)
+		if lo == 0 && hi > 0 {
+			return fmt.Errorf("%s: rolling restart may not target the root's group %q", where, r.Group)
+		}
+		if r.Every <= 0 || r.Downtime <= 0 {
+			return fmt.Errorf("%s: rolling every/downtime must be positive", where)
+		}
+		if r.Downtime >= r.Every {
+			return fmt.Errorf("%s: rolling downtime must be shorter than the interval", where)
+		}
+	}
+	return nil
+}
+
+// FaultKinds returns the sorted set of fault kinds a scenario injects,
+// for metrics and report headers.
+func (s *Scenario) FaultKinds() []string {
+	kinds := make(map[string]bool)
+	for _, p := range s.Phases {
+		if p.Partition != nil {
+			kinds["partition"] = true
+		}
+		if p.Flap != nil {
+			kinds["flap"] = true
+		}
+		if p.Loss > 0 {
+			kinds["loss"] = true
+		}
+		if len(p.Links) > 0 {
+			kinds["link"] = true
+		}
+		if p.Churn != nil {
+			kinds["churn"] = true
+		}
+		if p.Flood != nil {
+			kinds["flood"] = true
+		}
+		if p.Rolling != nil {
+			kinds["rolling"] = true
+		}
+	}
+	out := make([]string, 0, len(kinds))
+	for k := range kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,35 @@
+package scenario
+
+// Seed threading: every random stream in a scenario run derives from the
+// single master seed via SubSeed(master, label). The labels are stable
+// strings ("faults", "churn/phase-2", "traffic/pubs", ...), so adding a new
+// consumer never perturbs existing streams — the property that keeps old
+// scenario reports byte-stable across engine changes. The live substrate
+// uses the same derivation, which is what lets a wall-clock run replay its
+// exact fault schedule from -seed even though protocol timing floats.
+
+// SubSeed derives a deterministic sub-seed from a master seed and a stream
+// label using an FNV-1a fold. Identical (master, label) always yields the
+// same sub-seed; distinct labels decorrelate streams.
+func SubSeed(master int64, label string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(master>>(8*i)) & 0xff
+		h *= prime64
+	}
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	s := int64(h)
+	if s == 0 {
+		// math/rand.NewSource(0) is legal but some layers treat 0 as
+		// "unseeded"; nudge away from it.
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"time"
+
+	"gocast/internal/churn"
+)
+
+// compiledLink is a LinkRule resolved to node-index ranges. Zero-valued
+// ranges ({0,0}) match every node, mirroring netsim.NodeRange.
+type compiledLink struct {
+	fromLo, fromHi int
+	toLo, toHi     int
+	delay, jitter  time.Duration
+	bytesPerSec    int64
+}
+
+// compiledFaults is a phase's fault state resolved to node indexes; the
+// zero value means "no faults" and clears everything when installed.
+type compiledFaults struct {
+	// seed drives loss/jitter randomness in the substrate's fault layer,
+	// derived from the scenario master seed.
+	seed      int64
+	partition [][]int
+	loss      float64
+	links     []compiledLink
+}
+
+func (f *compiledFaults) empty() bool {
+	return f == nil || (len(f.partition) == 0 && f.loss == 0 && len(f.links) == 0)
+}
+
+// churnSpec carries one phase's churn burst to a substrate.
+type churnSpec struct {
+	plan      churn.Plan
+	protected int
+	minAlive  int
+	maxNodes  int
+}
+
+// substrate is the execution backend a scenario runs on. Durations passed
+// in are scenario time; the live substrate scales them to wall time
+// internally. Node indexes are stable slot numbers on both substrates
+// (core.NodeID == index).
+type substrate interface {
+	name() string
+	// now returns elapsed scenario time since the run began.
+	now() time.Duration
+	// run advances the scenario clock by d (virtual advance or scaled
+	// sleep).
+	run(d time.Duration)
+	// after schedules fn at now+d on the scenario clock. Callbacks run on
+	// the substrate's event context; keep them short.
+	after(d time.Duration, fn func())
+	nodeCount() int
+	alive(i int) bool
+	// publish starts a multicast at node i; false if rejected (dead node
+	// or overload backpressure).
+	publish(i int, payload []byte) bool
+	// setFaults replaces the active fault state (empty = clear).
+	setFaults(f *compiledFaults)
+	// startChurn launches a churn burst; events execute on the substrate
+	// clock and stop at the plan horizon.
+	startChurn(cs churnSpec)
+	// churnEvents returns cumulative executed churn events.
+	churnEvents() int64
+	crash(i int)
+	restart(i int)
+	// treeNode reports node i's tree position: parent and root as node
+	// indexes (-1 when unknown/self), and current overlay degree.
+	treeNode(i int) (parent, root, degree int)
+	// converged returns "" when the overlay is converged — one connected
+	// component, one agreed live root, no stale links — or the reason it
+	// is not.
+	converged() string
+	// atomicityViolations counts (message, stable-node) pairs that missed
+	// a delivery, judging only messages older than grace.
+	atomicityViolations(grace time.Duration) int
+	// recoveryViolations counts deliveries restarted nodes never caught
+	// up on; ok=false means the substrate cannot judge this (live).
+	recoveryViolations(grace time.Duration) (n int, ok bool)
+	// criticalSheds returns cumulative Critical-class sheds.
+	criticalSheds() int64
+	// faultCounters snapshots the substrate fault layer's verdict
+	// counters (blocked/dropped/delayed/...).
+	faultCounters() map[string]int64
+	// published returns how many scenario multicasts were accepted.
+	published() int64
+	close()
+}
