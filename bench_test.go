@@ -14,6 +14,8 @@ import (
 
 	"gocast/internal/core"
 	"gocast/internal/experiments"
+	"gocast/internal/fec"
+	"gocast/internal/netsim"
 	"gocast/internal/obs"
 	"gocast/internal/store"
 	"gocast/internal/wire"
@@ -263,6 +265,89 @@ func BenchmarkSyncDigestEncodeDecode(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkFECEncode64K pins the coopcast coder's encode path: a 64 KiB
+// payload split into 64 source symbols of 1 KiB plus 4 GF(256)
+// Reed-Solomon repair symbols.
+func BenchmarkFECEncode64K(b *testing.B) {
+	p := fec.ParamsFor(64<<10, 1024, 4)
+	coder, err := fec.NewRS(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coder.Encode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFECDecode64K pins reconstruction in the worst realistic case:
+// all 4 repair symbols in use (4 source symbols lost), forcing a full
+// Gauss-Jordan elimination.
+func BenchmarkFECDecode64K(b *testing.B) {
+	p := fec.ParamsFor(64<<10, 1024, 4)
+	coder, err := fec.NewRS(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	full, err := coder.Encode(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syms := make([][]byte, p.N())
+		copy(syms, full)
+		for j := 0; j < p.R; j++ {
+			syms[j*3] = nil
+		}
+		if err := coder.Reconstruct(syms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoopcastBulk64K is the end-to-end bulk-dissemination path on
+// the simulator: one 64 KiB payload to a 32-node cluster as erasure-coded
+// symbols — tree striping, gossip symbol adverts, per-symbol pulls, and
+// 31 reassemblies per iteration.
+func BenchmarkCoopcastBulk64K(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.CoopcastThreshold = 8 << 10
+	cfg.FECSymbolSize = 1024
+	cfg.FECRepair = 4
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		c := netsim.New(netsim.Options{Nodes: 32, Seed: int64(i + 1), Config: cfg})
+		c.BootstrapMembership(cfg.MemberViewSize / 2)
+		c.WireRandom(cfg.TargetDegree() / 2)
+		c.Start(0)
+		c.Run(60 * time.Second)
+		c.Inject(0, payload)
+		c.Run(time.Minute)
+		if got := c.ReceiveCounts()[0]; got != 32 {
+			b.Fatalf("delivered to %d/32 nodes", got)
+		}
+		if s := c.SumCounters(); s.FECDecodes != 31 {
+			b.Fatalf("FECDecodes = %d, want 31", s.FECDecodes)
+		}
+	}
 }
 
 // BenchmarkObsCounterInc pins the metrics-registry hot path: bumping a

@@ -101,6 +101,9 @@ func newApp(args []string, w io.Writer) (*app, error) {
 		syncInterval  = fs.Duration("sync-interval", 0, "period of anti-entropy digest sync with neighbors (0 = default 30s, negative disables)")
 		syncBatch     = fs.Int("sync-batch-bytes", 0, "payload byte budget per sync reply batch (0 = default 256 KiB)")
 
+		coopcastThreshold = fs.Int("coopcast-threshold", 0, "payloads at or above this many bytes disseminate as erasure-coded symbols striped down the tree and repaired via gossip pulls (0 disables, the default)")
+		fecRepair         = fs.Int("fec-repair", 0, "repair symbols added per coopcast message (0 = default 2)")
+
 		traceCap    = fs.Int("trace-capacity", 0, "protocol trace ring size in events (0 = default 1024, negative disables)")
 		traceSample = fs.Int("trace-sample", 0, "record every Nth protocol event in the trace ring (0/1 = all)")
 	)
@@ -118,6 +121,10 @@ func newApp(args []string, w io.Writer) (*app, error) {
 	cfg.StoreMaxBytes = *storeMaxBytes
 	cfg.SyncInterval = *syncInterval
 	cfg.SyncBatchBytes = *syncBatch
+	cfg.CoopcastThreshold = *coopcastThreshold
+	if *fecRepair > 0 {
+		cfg.FECRepair = *fecRepair
+	}
 
 	tr, err := gocast.NewTCPTransportWithOptions(gocast.NodeID(*id), *listen, gocast.TCPOptions{
 		DialTimeout:      *dialTimeout,

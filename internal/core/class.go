@@ -58,7 +58,14 @@ func ClassOf(m Message) Class {
 			return ClassCritical
 		}
 		return ClassRepair
-	case *PullRequest, *PullMiss:
+	case *Symbol:
+		// Same split as Multicast: tree-striped symbols are the primary
+		// dissemination path, pulled symbols are loss repair.
+		if v.ViaTree {
+			return ClassCritical
+		}
+		return ClassRepair
+	case *PullRequest, *PullMiss, *SymbolPull:
 		return ClassRepair
 	case *SyncRequest, *SyncReply:
 		return ClassBackground

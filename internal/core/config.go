@@ -67,6 +67,24 @@ type Config struct {
 	// SyncBatchBytes caps payload bytes per SyncReply, pacing recovery so
 	// a rejoining node cannot be flooded (0 = default 256 KiB).
 	SyncBatchBytes int
+	// CoopcastThreshold enables erasure-coded bulk dissemination: payloads
+	// of at least this many bytes are split into K source + R repair
+	// symbols, striped across tree links, and repaired by per-symbol
+	// gossip pulls instead of whole-payload transfers. 0 (the default)
+	// disables coopcast entirely — every payload takes the classic
+	// whole-message path.
+	CoopcastThreshold int
+	// FECSymbolSize is the target erasure-coding symbol size in bytes for
+	// coopcast messages (0 = default 1024). The actual symbol size is
+	// re-derived per message once K is fixed, and K+R is capped at the
+	// coder's 256-symbol limit, so very large payloads get proportionally
+	// larger symbols.
+	FECSymbolSize int
+	// FECRepair is R, the number of repair symbols added per coopcast
+	// message; any K of the K+R symbols reconstruct the payload. 0 is
+	// valid (no redundancy: every source symbol must eventually arrive);
+	// negative values are normalized to the default 2.
+	FECRepair int
 	// DegradedIntervalScale is the factor by which an overloaded node
 	// (OverloadDegraded or OverloadShedding, see SetOverload) stretches
 	// its periodic gossip and sync intervals, reducing the traffic it
@@ -124,6 +142,8 @@ func DefaultConfig() Config {
 		ReclaimAfter:          2 * time.Minute,
 		SyncInterval:          30 * time.Second,
 		SyncBatchBytes:        256 << 10,
+		FECSymbolSize:         1024,
+		FECRepair:             2,
 		DegradedIntervalScale: 4,
 		NeighborTimeout:       5 * time.Second,
 		QuarantineWindow:      30 * time.Second,
@@ -183,6 +203,15 @@ func (c Config) validate() Config {
 	}
 	if c.DegradedIntervalScale <= 0 {
 		c.DegradedIntervalScale = 4
+	}
+	if c.CoopcastThreshold < 0 {
+		c.CoopcastThreshold = 0
+	}
+	if c.FECSymbolSize <= 0 {
+		c.FECSymbolSize = 1024
+	}
+	if c.FECRepair < 0 {
+		c.FECRepair = 2
 	}
 	if c.NeighborTimeout <= 0 {
 		c.NeighborTimeout = 5 * time.Second

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gocast/internal/fec"
+)
+
+// coopcastConfig returns a config with coopcast enabled at a small
+// threshold so tests exercise the symbol path with modest payloads.
+func coopcastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CoopcastThreshold = 1024
+	cfg.FECSymbolSize = 256
+	cfg.FECRepair = 2
+	return cfg
+}
+
+func coopcastPayload(n int, seed int64) []byte {
+	p := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(p)
+	return p
+}
+
+// TestCoopcastTreePushDelivers sends a large payload over one tree link:
+// every symbol is striped to the single child, which reassembles and
+// delivers the exact payload.
+func TestCoopcastTreePushDelivers(t *testing.T) {
+	cfg := coopcastConfig()
+	f, a, b := pair(t, cfg)
+	a.BecomeRoot()
+	f.run(2 * time.Second)
+	if b.Parent() != a.ID() {
+		t.Fatalf("b's parent = %d, want root %d", b.Parent(), a.ID())
+	}
+	payload := coopcastPayload(8<<10, 1)
+	var got []byte
+	b.OnDeliver(func(_ MessageID, p []byte, _ time.Duration) { got = append([]byte(nil), p...) })
+	a.Multicast(payload)
+	f.run(5 * time.Second)
+	if got == nil {
+		t.Fatalf("payload not delivered")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("delivered payload differs from injected (%d vs %d bytes)", len(got), len(payload))
+	}
+	if a.Stats().SymbolsSent == 0 || b.Stats().SymbolsRecv == 0 {
+		t.Fatalf("no symbol traffic: sent=%d recv=%d", a.Stats().SymbolsSent, b.Stats().SymbolsRecv)
+	}
+	if b.Stats().FECDecodes != 1 {
+		t.Fatalf("FECDecodes = %d, want 1", b.Stats().FECDecodes)
+	}
+}
+
+// TestCoopcastStripingSplitsLoad checks the striping rule: a root with two
+// children sends each symbol down exactly one link, so neither link
+// carries the whole message and both children still deliver (filling their
+// gaps through gossip adverts and symbol pulls).
+func TestCoopcastStripingSplitsLoad(t *testing.T) {
+	cfg := coopcastConfig()
+	cfg.SyncInterval = -1 // isolate tree stripes + gossip pulls from sync
+	f := newFixture(3)
+	a := f.addNode(1, cfg)
+	b := f.addNode(2, cfg)
+	c := f.addNode(3, cfg)
+	f.link(1, 2, Nearby)
+	f.link(1, 3, Nearby)
+	a.Start()
+	b.Start()
+	c.Start()
+	a.BecomeRoot()
+	f.run(2 * time.Second)
+	if b.Parent() != a.ID() || c.Parent() != a.ID() {
+		t.Fatalf("tree not formed: parents %d %d", b.Parent(), c.Parent())
+	}
+	payload := coopcastPayload(16<<10, 2)
+	deliveredB, deliveredC := false, false
+	b.OnDeliver(func(_ MessageID, p []byte, _ time.Duration) { deliveredB = bytes.Equal(p, payload) })
+	c.OnDeliver(func(_ MessageID, p []byte, _ time.Duration) { deliveredC = bytes.Equal(p, payload) })
+	a.Multicast(payload)
+	f.run(20 * time.Second)
+	if !deliveredB || !deliveredC {
+		t.Fatalf("delivery incomplete: b=%v c=%v", deliveredB, deliveredC)
+	}
+	p := fec.ParamsFor(len(payload), cfg.FECSymbolSize, cfg.FECRepair)
+	isStripe := func(m Message) bool { s, ok := m.(*Symbol); return ok && s.ViaTree }
+	toB := f.count(1, 2, isStripe)
+	toC := f.count(1, 3, isStripe)
+	// The source pushes each of the N symbols down exactly one link, so the
+	// stripes sum to N and neither link carries the whole message.
+	if toB+toC != p.N() {
+		t.Fatalf("stripes do not sum to N: a->b %d, a->c %d, N=%d", toB, toC, p.N())
+	}
+	if toB == 0 || toC == 0 || toB >= p.N() || toC >= p.N() {
+		t.Fatalf("striping did not split load: a->b %d, a->c %d, N=%d", toB, toC, p.N())
+	}
+	if b.Stats().SymbolPullsSent == 0 && c.Stats().SymbolPullsSent == 0 {
+		t.Fatalf("no symbol pulls: children should repair their stripe gaps")
+	}
+}
+
+// TestCoopcastAnyKOfNReassembly feeds a receiver an arbitrary K-subset of
+// the N symbols — source and repair mixed, as a lossy link would leave
+// them — and requires the exact payload out. This is the symbol-level
+// lossy-link property: ANY K of N decode.
+func TestCoopcastAnyKOfNReassembly(t *testing.T) {
+	cfg := coopcastConfig()
+	payload := coopcastPayload(4<<10, 3)
+	p := fec.ParamsFor(len(payload), cfg.FECSymbolSize, cfg.FECRepair)
+	coder, err := fec.NewRS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols, err := coder.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		f := newFixture(int64(10 + trial))
+		n := f.addNode(1, cfg)
+		var got []byte
+		n.OnDeliver(func(_ MessageID, pl []byte, _ time.Duration) { got = append([]byte(nil), pl...) })
+		n.Start()
+		// Drop R random symbols: what survives is an arbitrary K-subset.
+		perm := rng.Perm(p.N())
+		keep := perm[:p.K]
+		id := MessageID{Source: 99, Seq: uint32(trial)}
+		for _, i := range keep {
+			n.HandleMessage(100, &Symbol{
+				ID: id, Index: uint16(i), K: uint16(p.K), N: uint16(p.N()),
+				PayloadLen: uint32(len(payload)), Data: symbols[i], ViaTree: true,
+			})
+		}
+		if got == nil {
+			t.Fatalf("trial %d: %d-of-%d subset did not decode", trial, p.K, p.N())
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("trial %d: decoded payload differs", trial)
+		}
+		if s := n.Stats(); s.FECDecodes != 1 || s.SymbolsRecv != int64(p.K) {
+			t.Fatalf("trial %d: decodes=%d symbolsRecv=%d", trial, s.FECDecodes, s.SymbolsRecv)
+		}
+	}
+}
+
+// TestCoopcastGossipRepairWithoutTree disables the tree entirely: the only
+// path is gossip symbol adverts followed by symbol pulls. The receiver
+// must learn the message from an advert, pull every symbol it misses, and
+// deliver.
+func TestCoopcastGossipRepairWithoutTree(t *testing.T) {
+	cfg := coopcastConfig()
+	cfg.EnableTree = false
+	cfg.SyncInterval = -1 // force recovery through adverts + pulls
+	f, a, b := pair(t, cfg)
+	payload := coopcastPayload(4<<10, 5)
+	var got []byte
+	b.OnDeliver(func(_ MessageID, p []byte, _ time.Duration) { got = append([]byte(nil), p...) })
+	a.Multicast(payload)
+	f.run(15 * time.Second)
+	if got == nil {
+		t.Fatalf("payload not recovered through advert+pull")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("recovered payload differs")
+	}
+	if b.Stats().SymbolPullsSent == 0 {
+		t.Fatalf("receiver sent no symbol pulls")
+	}
+	if a.Stats().SymbolsServed == 0 {
+		t.Fatalf("source served no symbols")
+	}
+}
+
+// TestCoopcastRejectsBadSymbols checks the validation path: impossible
+// geometry, out-of-range index, and mis-sized data are counted and do not
+// corrupt assembly state.
+func TestCoopcastRejectsBadSymbols(t *testing.T) {
+	f := newFixture(6)
+	n := f.addNode(1, coopcastConfig())
+	n.Start()
+	id := MessageID{Source: 9, Seq: 1}
+	// K=0 is impossible.
+	n.HandleMessage(100, &Symbol{ID: id, K: 0, N: 4, PayloadLen: 100, Data: make([]byte, 25)})
+	// Index beyond N.
+	n.HandleMessage(100, &Symbol{ID: id, Index: 9, K: 4, N: 6, PayloadLen: 100, Data: make([]byte, 25)})
+	if s := n.Stats(); s.SymbolsRejected != 2 {
+		t.Fatalf("SymbolsRejected = %d, want 2", s.SymbolsRejected)
+	}
+	// Valid first symbol, then a mis-sized one for the same message.
+	n.HandleMessage(100, &Symbol{ID: id, Index: 0, K: 4, N: 6, PayloadLen: 100, Data: make([]byte, 25)})
+	n.HandleMessage(100, &Symbol{ID: id, Index: 1, K: 4, N: 6, PayloadLen: 100, Data: make([]byte, 7)})
+	s := n.Stats()
+	if s.SymbolsRecv != 1 || s.SymbolsRejected != 3 {
+		t.Fatalf("recv=%d rejected=%d, want 1/3", s.SymbolsRecv, s.SymbolsRejected)
+	}
+	// A duplicate of the accepted symbol counts as a dup, not a reject.
+	n.HandleMessage(100, &Symbol{ID: id, Index: 0, K: 4, N: 6, PayloadLen: 100, Data: make([]byte, 25)})
+	if s := n.Stats(); s.SymbolDups != 1 {
+		t.Fatalf("SymbolDups = %d, want 1", s.SymbolDups)
+	}
+}
+
+// TestCoopcastDisabledSendsNoSymbols pins the compatibility guarantee:
+// with CoopcastThreshold = 0 (the default) a large payload takes the
+// classic whole-message path and no symbol traffic or adverts appear
+// anywhere on the wire.
+func TestCoopcastDisabledSendsNoSymbols(t *testing.T) {
+	cfg := DefaultConfig()
+	f, a, b := pair(t, cfg)
+	a.BecomeRoot()
+	f.run(2 * time.Second)
+	payload := coopcastPayload(64<<10, 7)
+	delivered := false
+	b.OnDeliver(func(_ MessageID, p []byte, _ time.Duration) { delivered = bytes.Equal(p, payload) })
+	a.Multicast(payload)
+	f.run(5 * time.Second)
+	if !delivered {
+		t.Fatalf("whole-path delivery failed")
+	}
+	for _, s := range f.sent {
+		switch m := s.msg.(type) {
+		case *Symbol, *SymbolPull:
+			t.Fatalf("symbol traffic with coopcast disabled: %T", s.msg)
+		case *Gossip:
+			if len(m.Syms) != 0 {
+				t.Fatalf("gossip carried symbol adverts with coopcast disabled")
+			}
+		case *SyncReply:
+			if len(m.Syms) != 0 {
+				t.Fatalf("sync reply carried symbols with coopcast disabled")
+			}
+		}
+	}
+	if s := a.Stats(); s.SymbolsSent != 0 || s.FECDecodes != 0 {
+		t.Fatalf("symbol counters moved with coopcast disabled: %+v", s)
+	}
+}
+
+// TestCoopcastSyncPagesSymbols lets sync, not gossip, recover a partial
+// assembly: the requester's watermark digest is behind, and the responder
+// pages the coopcast record symbol by symbol inside SyncReply.
+func TestCoopcastSyncPagesSymbols(t *testing.T) {
+	cfg := coopcastConfig()
+	cfg.EnableTree = false
+	cfg.GossipPeriod = time.Hour // isolate sync: no adverts, no pulls
+	cfg.SyncInterval = time.Second
+	f, a, b := pair(t, cfg)
+	payload := coopcastPayload(4<<10, 8)
+	var got []byte
+	b.OnDeliver(func(_ MessageID, p []byte, _ time.Duration) { got = append([]byte(nil), p...) })
+	a.Multicast(payload)
+	f.run(10 * time.Second)
+	if got == nil {
+		t.Fatalf("sync did not recover the coopcast message")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("sync-recovered payload differs")
+	}
+	if b.Stats().SymbolPullsSent != 0 {
+		t.Fatalf("expected pure sync recovery, but %d symbol pulls were sent", b.Stats().SymbolPullsSent)
+	}
+	if a.Stats().SyncItemsSent == 0 {
+		t.Fatalf("responder paged no sync items")
+	}
+}

@@ -39,6 +39,11 @@ type msgState struct {
 	announcedMask uint64
 	heardMask     uint64
 	announceDone  bool
+	// sym, when non-nil, marks a coopcast message assembled from
+	// erasure-coded symbols (see coopcast.go). For these, heardMask means
+	// "peer known able to reconstruct" (advertised >= K symbols), not
+	// "peer holds the payload".
+	sym *symState
 }
 
 // pullState tracks a message known only by ID (from gossips).
@@ -208,6 +213,11 @@ func (n *Node) NextMessageID() MessageID {
 // returns its ID. Any node can start a multicast without involving the
 // root.
 func (n *Node) Multicast(payload []byte) MessageID {
+	if n.cfg.CoopcastThreshold > 0 && len(payload) >= n.cfg.CoopcastThreshold {
+		if id, ok := n.multicastCoopcast(payload); ok {
+			return id
+		}
+	}
 	id := MessageID{Source: n.id, Seq: n.nextSeq}
 	n.nextSeq++
 	st := n.getMsgState()
@@ -336,6 +346,27 @@ func (n *Node) gossipRound() {
 		if st == nil || st.announceDone {
 			continue
 		}
+		if st.sym != nil {
+			// Coopcast: advertise the symbol bitmap instead of a bare ID.
+			// Incomplete assemblies re-advertise every round (the bitmap
+			// grows and neighbors pull against it); complete ones announce
+			// once per neighbor like a whole message.
+			if st.sym.failed || st.heardMask&bit != 0 {
+				continue
+			}
+			if st.sym.complete {
+				if st.announcedMask&bit != 0 {
+					continue
+				}
+				st.announcedMask |= bit
+			}
+			g.Syms = append(g.Syms, SymbolAdvert{
+				ID: id, Age: n.ageOf(st),
+				K: st.sym.k, N: st.sym.total, PayloadLen: st.sym.payloadLen,
+				Have: st.sym.have,
+			})
+			continue
+		}
 		if (st.heardMask|st.announcedMask)&bit != 0 {
 			continue
 		}
@@ -347,7 +378,7 @@ func (n *Node) gossipRound() {
 	g.Degrees = n.degrees()
 	g.Obits = n.appendActiveObits(g.Obits)
 	n.stats.GossipsSent++
-	n.stats.IDsAnnounced += int64(len(g.IDs))
+	n.stats.IDsAnnounced += int64(len(g.IDs) + len(g.Syms))
 	n.env.Send(y, g)
 }
 
@@ -360,6 +391,12 @@ func (n *Node) compactRecent() {
 	for _, id := range n.recent {
 		st := n.seen[pid(id)]
 		if st == nil {
+			continue
+		}
+		// An incomplete coopcast assembly is never retired: it keeps
+		// advertising (and pulling) until it completes or ages out.
+		if st.sym != nil && !st.sym.complete {
+			out = append(out, id)
 			continue
 		}
 		// Covered once every current neighbor's slot bit is present in
@@ -433,6 +470,9 @@ func (n *Node) handleGossip(from NodeID, g *Gossip) {
 	var linkLat time.Duration
 	if nb := n.neighbors[from]; nb != nil {
 		linkLat = n.linkLatency(nb)
+	}
+	for i := range g.Syms {
+		n.handleSymbolAdvert(from, &g.Syms[i], linkLat)
 	}
 	var pull *PullRequest
 	for _, gid := range g.IDs {
@@ -586,9 +626,20 @@ func (n *Node) reclaimTick() {
 		start = n.env.Now()
 	}
 	res := n.store.GC(n.env.Now())
+	for _, id := range res.Reclaimed {
+		// A reclaimed coopcast record can no longer accept or serve
+		// symbols; stop its pull loop instead of retrying into a tombstone.
+		if st := n.seen[pid(mid(id))]; st != nil && st.sym != nil && !st.sym.complete {
+			st.sym.failed = true
+			st.sym.timer.Stop()
+		}
+	}
 	for _, id := range res.Dropped {
 		key := pid(mid(id))
 		if st := n.seen[key]; st != nil {
+			if st.sym != nil {
+				st.sym.timer.Stop()
+			}
 			delete(n.seen, key)
 			n.putMsgState(st)
 		}

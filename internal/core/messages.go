@@ -37,6 +37,8 @@ const (
 	KindSyncRequest
 	KindSyncReply
 	KindPullMiss
+	KindSymbol
+	KindSymbolPull
 )
 
 const (
@@ -183,11 +185,16 @@ type Gossip struct {
 	// quarantine of gracefully-departed members spreads epidemically rather
 	// than staying neighbor-local.
 	Obits []Obituary
+	// Syms advertises the sender's symbol-granular (coopcast) messages:
+	// the coding geometry plus a bitmap of the symbols it holds, so
+	// receivers can pull exactly the symbols they miss.
+	Syms []SymbolAdvert
 }
 
 func (*Gossip) Kind() MsgKind { return KindGossip }
 func (m *Gossip) WireSize() int {
-	return headerWire + 12*len(m.IDs) + entryWire*len(m.Members) + degreesWire() + obitWire*len(m.Obits)
+	return headerWire + 12*len(m.IDs) + entryWire*len(m.Members) + degreesWire() +
+		obitWire*len(m.Obits) + symAdvertWire*len(m.Syms)
 }
 
 // Obituary announces that a specific incarnation of a node is dead or has
@@ -279,9 +286,12 @@ type SyncItem struct {
 // bounded per reply by the responder's SyncBatchBytes budget. More marks a
 // truncated batch: the requester issues a fresh SyncRequest (its digest
 // now advanced) until a reply arrives with More unset, which paces the
-// transfer request-by-request.
+// transfer request-by-request. Symbol-granular (coopcast) messages are
+// paged symbol by symbol through Syms under the same byte budget, so
+// catch-up transfers stop at symbol granularity instead of whole payloads.
 type SyncReply struct {
 	Items []SyncItem
+	Syms  []Symbol
 	More  bool
 }
 
@@ -290,6 +300,9 @@ func (m *SyncReply) WireSize() int {
 	n := headerWire + 1
 	for _, it := range m.Items {
 		n += 8 + 8 + 4 + len(it.Payload)
+	}
+	for i := range m.Syms {
+		n += symbolWire + len(m.Syms[i].Data)
 	}
 	return n
 }
@@ -304,3 +317,55 @@ type PullMiss struct {
 
 func (*PullMiss) Kind() MsgKind   { return KindPullMiss }
 func (m *PullMiss) WireSize() int { return headerWire + 8*len(m.IDs) }
+
+const (
+	// symbolWire is a Symbol's fixed overhead: ID + age + index/K/N +
+	// payload length + data length prefix + via-tree flag, approximate.
+	symbolWire = 8 + 8 + 6 + 4 + 4 + 1
+	// symAdvertWire is one SymbolAdvert: ID + age + geometry + bitmap.
+	symAdvertWire = 8 + 8 + 8 + 8*store.SymbolWords
+)
+
+// Symbol carries one erasure-coded symbol of a coopcast (bulk) message —
+// pushed down a tree link (ViaTree), served in response to a SymbolPull,
+// or paged inside a SyncReply. Indexes below K are systematic source
+// symbols; the rest are repair symbols. Every holder derives the uniform
+// symbol size as ceil(PayloadLen/K); it is never transmitted.
+type Symbol struct {
+	ID MessageID
+	// Age is the estimated time since the message was injected at its
+	// source, accumulated hop by hop like Multicast.Age.
+	Age        time.Duration
+	Index      uint16
+	K, N       uint16
+	PayloadLen uint32
+	Data       []byte
+	ViaTree    bool
+}
+
+func (*Symbol) Kind() MsgKind   { return KindSymbol }
+func (m *Symbol) WireSize() int { return headerWire + symbolWire + len(m.Data) }
+
+// SymbolPull asks a holder (learned from a gossip SymbolAdvert) for the
+// Want-marked symbols of one coopcast message. Unlike PullRequest, which
+// fetches whole payloads, a symbol pull transfers only the missing
+// fraction — repair cost is per-symbol, not per-payload.
+type SymbolPull struct {
+	ID   MessageID
+	Want store.SymbolSet
+}
+
+func (*SymbolPull) Kind() MsgKind   { return KindSymbolPull }
+func (m *SymbolPull) WireSize() int { return headerWire + 8 + 8*store.SymbolWords }
+
+// SymbolAdvert is one coopcast entry in a gossip summary: the message's
+// coding geometry plus the bitmap of symbols the sender currently holds.
+// Incomplete holders re-advertise every round (their bitmap grows), so
+// neighbors always know where to pull missing symbols from.
+type SymbolAdvert struct {
+	ID         MessageID
+	Age        time.Duration
+	K, N       uint16
+	PayloadLen uint32
+	Have       store.SymbolSet
+}

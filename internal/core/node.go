@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"gocast/internal/fec"
 	"gocast/internal/store"
 )
 
@@ -87,6 +88,9 @@ type Node struct {
 	// event-triggered rounds).
 	syncIdx    int
 	lastSyncTo map[NodeID]time.Duration
+	// digestScratch backs localDigest: reused across sync exchanges,
+	// never sent on the wire.
+	digestScratch []store.SourceRange
 
 	// Tree state (Section 2.3).
 	treeEpoch  uint32
@@ -121,6 +125,12 @@ type Node struct {
 	// pool is the env's optional message-struct recycler (nil on envs
 	// without the capability; the send helpers then allocate).
 	pool MessagePool
+
+	// Coopcast: cached erasure coder (rebuilt when the geometry changes)
+	// and the striping-target scratch slice (see coopcast.go).
+	fecCoder   fec.Coder
+	fecParams  fec.Params
+	symTargets []NodeID
 
 	// Free lists for the per-message bookkeeping records and reusable
 	// scratch, so steady-state dissemination allocates nothing.
@@ -279,6 +289,11 @@ func (n *Node) Stop() {
 	for _, ps := range n.pending {
 		ps.timer.Stop()
 	}
+	for _, st := range n.seen {
+		if st.sym != nil {
+			st.sym.timer.Stop()
+		}
+	}
 }
 
 // Leave gracefully departs: notifies all overlay neighbors with a departing
@@ -364,6 +379,10 @@ func (n *Node) HandleMessage(from NodeID, m Message) {
 		n.handleSyncReply(from, msg)
 	case *PullMiss:
 		n.handlePullMiss(from, msg)
+	case *Symbol:
+		n.handleSymbol(from, msg)
+	case *SymbolPull:
+		n.handleSymbolPull(from, msg)
 	}
 }
 

@@ -29,6 +29,9 @@ type Observer interface {
 	// ObserveStoreGC records one store GC sweep: payloads reclaimed,
 	// records dropped entirely, and sweep duration.
 	ObserveStoreGC(reclaimed, dropped int, d time.Duration)
+	// ObserveReassembly records the time a coopcast message spent being
+	// reassembled at this node: first symbol received to payload decoded.
+	ObserveReassembly(d time.Duration)
 	// Event reports one sampled protocol event. The meaning of a and b
 	// depends on ev; see the ObsEvent constants. Message IDs are packed
 	// with PackMessageID.

@@ -28,6 +28,16 @@ type Counters struct {
 	PullMissesSent   int64 // expired-pull indications sent to stalled pullers
 	PullMissesRecv   int64
 
+	// Coopcast (erasure-coded bulk dissemination).
+	SymbolsSent       int64 // symbols pushed down tree links
+	SymbolsRecv       int64 // new symbols accepted from peers
+	SymbolsServed     int64 // symbols served in response to symbol pulls
+	SymbolDups        int64 // redundant symbol copies received
+	SymbolsRejected   int64 // symbols/adverts rejected (bad geometry or size)
+	SymbolPullsSent   int64 // SymbolPull requests issued
+	FECDecodes        int64 // payloads reconstructed from K-of-N symbols
+	FECDecodeFailures int64 // reassemblies abandoned on decode error
+
 	// Overlay maintenance.
 	AddsSent      int64
 	AddsAccepted  int64 // add requests this node accepted

@@ -57,7 +57,28 @@ func (n *Node) requestSync(peer NodeID, force bool) {
 	}
 	n.lastSyncTo[peer] = now
 	n.stats.SyncRequestsSent++
+	// The outgoing digest must be freshly allocated: Send may deliver
+	// asynchronously (netsim holds the message until its event fires), so
+	// a scratch slice reused here would be mutated under the request.
 	n.env.Send(peer, &SyncRequest{Ranges: n.store.Digest()})
+}
+
+// digestAppender is the optional store fast path: summarize into a
+// retained scratch slice instead of allocating per call.
+type digestAppender interface {
+	DigestAppend([]store.SourceRange) []store.SourceRange
+}
+
+// localDigest returns this node's watermark digest for transient,
+// same-event use only (compared and discarded before returning to the
+// event loop). The slice is node-owned scratch: it must never be sent or
+// retained past the current handler.
+func (n *Node) localDigest() []store.SourceRange {
+	if da, ok := n.store.(digestAppender); ok {
+		n.digestScratch = da.DigestAppend(n.digestScratch[:0])
+		return n.digestScratch
+	}
+	return n.store.Digest()
 }
 
 // handleSyncRequest serves one reply batch: everything this node's store
@@ -69,11 +90,12 @@ func (n *Node) requestSync(peer NodeID, force bool) {
 // responder) must absorb.
 func (n *Node) handleSyncRequest(from NodeID, m *SyncRequest) {
 	n.stats.SyncRequestsRecv++
-	missing := store.Missing(n.store.Digest(), m.Ranges)
+	missing := store.Missing(n.localDigest(), m.Ranges)
 	if len(missing) == 0 {
 		return
 	}
 	var items []SyncItem
+	var syms []Symbol
 	budget := n.cfg.SyncBatchBytes
 	more := false
 	for _, r := range missing {
@@ -81,15 +103,39 @@ func (n *Node) handleSyncRequest(from NodeID, m *SyncRequest) {
 			break
 		}
 		n.store.Range(r.Source, r.Low, r.High, func(id store.ID, payload []byte) bool {
-			if len(items) > 0 && len(payload) > budget {
-				more = true
-				return false
-			}
 			mID := mid(id)
 			var age time.Duration
 			st := n.seen[pid(mID)]
 			if st != nil {
 				age = n.ageOf(st)
+			}
+			if meta, _, ok := n.store.SymbolInfo(id); payload == nil && ok {
+				// Symbol-granular (coopcast) record: page its symbols
+				// individually under the same byte budget. The requester
+				// reassembles through the normal symbol path; transfers
+				// truncate at symbol granularity, not whole payloads.
+				// (A nil payload with no symbol info is a legitimately
+				// empty whole message and takes the item path below.)
+				n.store.RangeSymbols(id, func(idx int, data []byte) bool {
+					if (len(items) > 0 || len(syms) > 0) && len(data) > budget {
+						more = true
+						return false
+					}
+					syms = append(syms, Symbol{
+						ID: mID, Age: age, Index: uint16(idx),
+						K: meta.K, N: meta.N, PayloadLen: meta.PayloadLen,
+						Data: data,
+					})
+					budget -= len(data)
+					return true
+				})
+				return !more
+			}
+			if (len(items) > 0 || len(syms) > 0) && len(payload) > budget {
+				more = true
+				return false
+			}
+			if st != nil {
 				// The requester holds the payload once the reply lands;
 				// never gossip-announce this ID back to it.
 				st.heardMask |= n.slotBit(from)
@@ -99,20 +145,23 @@ func (n *Node) handleSyncRequest(from NodeID, m *SyncRequest) {
 			return true
 		})
 	}
-	if len(items) == 0 {
+	if len(items) == 0 && len(syms) == 0 {
 		return
 	}
 	var pageBytes int64
 	for _, it := range items {
 		pageBytes += int64(len(it.Payload))
 	}
+	for i := range syms {
+		pageBytes += int64(len(syms[i].Data))
+	}
 	n.stats.SyncRepliesSent++
-	n.stats.SyncItemsSent += int64(len(items))
+	n.stats.SyncItemsSent += int64(len(items) + len(syms))
 	n.stats.SyncBytesSent += pageBytes
 	if n.obs != nil {
-		n.obs.ObserveSyncPage(len(items), pageBytes)
+		n.obs.ObserveSyncPage(len(items)+len(syms), pageBytes)
 	}
-	n.env.Send(from, &SyncReply{Items: items, More: more})
+	n.env.Send(from, &SyncReply{Items: items, Syms: syms, More: more})
 }
 
 // handleSyncReply ingests recovered payloads. Each item goes through the
@@ -127,6 +176,13 @@ func (n *Node) handleSyncReply(from NodeID, m *SyncReply) {
 			n.stats.SyncItemsRecv++
 		}
 		n.handleMulticast(from, &Multicast{ID: it.ID, Age: it.Age, Payload: it.Payload})
+	}
+	for i := range m.Syms {
+		s := m.Syms[i]
+		if st, ok := n.seen[pid(s.ID)]; !ok || st.sym != nil && !st.sym.have.Has(int(s.Index)) {
+			n.stats.SyncItemsRecv++
+		}
+		n.handleSymbol(from, &s)
 	}
 	if m.More {
 		n.requestSync(from, true)

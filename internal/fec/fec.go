@@ -1,0 +1,392 @@
+// Package fec provides the systematic erasure coders behind GoCast's
+// coopcast dissemination mode (DESIGN.md §13): a payload is split into K
+// source symbols of a fixed size plus R repair symbols, and any K of the
+// N = K+R symbols reconstruct the payload. The protocol pushes different
+// symbols down different tree links and repairs per-symbol over gossip, so
+// the coder's job is purely local: deterministic Encode on the sender,
+// order-insensitive Reconstruct on receivers.
+//
+// Two coders are provided. RS is the default: a Reed-Solomon code over
+// GF(256) whose parity rows form a Cauchy matrix, which makes the code MDS
+// (every K×K submatrix of the generator is invertible, so *any* K symbols
+// decode) for any K+R <= MaxSymbols. XOR is the degenerate single-parity
+// variant (R = 1) kept as the trivial reference implementation and as the
+// cheapest option when only one loss per message need be absorbed.
+//
+// The package is independent of internal/core; core imports it.
+package fec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxSymbols bounds K+R: the Cauchy construction indexes symbols by field
+// elements of GF(256), so at most 256 distinct symbols exist per message.
+// Protocol bitmaps (4×uint64) assume the same bound.
+const MaxSymbols = 256
+
+var (
+	// ErrShortSet reports fewer than K symbols available for decoding.
+	ErrShortSet = errors.New("fec: fewer than K symbols available")
+	// ErrBadParams reports an invalid (K, R, SymbolSize) combination.
+	ErrBadParams = errors.New("fec: invalid coding parameters")
+	// ErrBadSymbol reports a symbol whose length differs from SymbolSize.
+	ErrBadSymbol = errors.New("fec: symbol has wrong length")
+)
+
+// Params fixes one message's coding geometry.
+type Params struct {
+	// K is the number of source symbols (the decode threshold).
+	K int
+	// R is the number of repair symbols.
+	R int
+	// SymbolSize is the byte length of every symbol; the last source
+	// symbol is zero-padded to it.
+	SymbolSize int
+}
+
+// N is the total symbol count K+R.
+func (p Params) N() int { return p.K + p.R }
+
+// Valid reports whether the geometry is usable.
+func (p Params) Valid() bool {
+	return p.K >= 1 && p.R >= 0 && p.SymbolSize >= 1 && p.K+p.R <= MaxSymbols
+}
+
+// SymbolSizeFor returns the canonical symbol size for a payload split into
+// k source symbols: ceil(payloadLen/k). Sender and receivers derive the
+// same value from (payloadLen, K) carried on the wire, so the symbol size
+// itself never needs to be transmitted.
+func SymbolSizeFor(payloadLen, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	return (payloadLen + k - 1) / k
+}
+
+// ParamsFor derives coding parameters for a payload: K = ceil(len/size)
+// source symbols of roughly the requested size, clamped so K+repair fits
+// MaxSymbols (very large payloads get proportionally larger symbols), and
+// SymbolSize recomputed canonically from the final K.
+func ParamsFor(payloadLen, symbolSize, repair int) Params {
+	if symbolSize < 1 {
+		symbolSize = 1
+	}
+	if repair < 0 {
+		repair = 0
+	}
+	if repair > MaxSymbols-1 {
+		repair = MaxSymbols - 1
+	}
+	k := (payloadLen + symbolSize - 1) / symbolSize
+	if k < 1 {
+		k = 1
+	}
+	if k+repair > MaxSymbols {
+		k = MaxSymbols - repair
+	}
+	return Params{K: k, R: repair, SymbolSize: SymbolSizeFor(payloadLen, k)}
+}
+
+// Coder encodes a payload into N symbols and reconstructs missing symbols
+// from any K present ones. Implementations are stateless after
+// construction and safe for concurrent use.
+type Coder interface {
+	Params() Params
+	// Encode splits the payload into K source symbols (the last one
+	// zero-padded) and computes R repair symbols, returning all N in
+	// index order. Source symbols alias the payload where possible.
+	Encode(payload []byte) ([][]byte, error)
+	// Reconstruct fills every nil slot of an N-length symbol vector in
+	// place, given at least K non-nil symbols. Non-nil symbols are not
+	// modified.
+	Reconstruct(symbols [][]byte) error
+}
+
+// Join concatenates the K source symbols back into the original payload
+// of the given length. Symbols 0..K-1 must be non-nil (call Reconstruct
+// first).
+func Join(symbols [][]byte, p Params, payloadLen int) []byte {
+	out := make([]byte, 0, payloadLen)
+	for i := 0; i < p.K && len(out) < payloadLen; i++ {
+		rest := payloadLen - len(out)
+		s := symbols[i]
+		if rest < len(s) {
+			s = s[:rest]
+		}
+		out = append(out, s...)
+	}
+	return out
+}
+
+// split cuts the payload into K source symbols of SymbolSize. All but the
+// last alias the payload; the last is copied so it can be zero-padded.
+func split(payload []byte, p Params) ([][]byte, error) {
+	if len(payload) > p.K*p.SymbolSize {
+		return nil, fmt.Errorf("%w: payload %d bytes exceeds K*SymbolSize %d",
+			ErrBadParams, len(payload), p.K*p.SymbolSize)
+	}
+	out := make([][]byte, p.N())
+	for i := 0; i < p.K; i++ {
+		lo := i * p.SymbolSize
+		hi := lo + p.SymbolSize
+		if hi <= len(payload) {
+			out[i] = payload[lo:hi:hi]
+			continue
+		}
+		s := make([]byte, p.SymbolSize)
+		if lo < len(payload) {
+			copy(s, payload[lo:])
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// RS is the Cauchy Reed-Solomon coder over GF(256). Repair row i is
+// parity[i][j] = 1/(x_i ⊕ y_j) with x_i = K+i and y_j = j: the x and y
+// element sets are disjoint, so the matrix is Cauchy and every square
+// submatrix of [I; parity] is invertible — the MDS property the coopcast
+// protocol relies on ("any K of N symbols reconstruct").
+type RS struct {
+	p      Params
+	parity [][]byte // R rows × K cols
+}
+
+var _ Coder = (*RS)(nil)
+
+// NewRS builds the coder for one geometry.
+func NewRS(p Params) (*RS, error) {
+	if !p.Valid() {
+		return nil, fmt.Errorf("%w: K=%d R=%d SymbolSize=%d", ErrBadParams, p.K, p.R, p.SymbolSize)
+	}
+	rs := &RS{p: p, parity: make([][]byte, p.R)}
+	for i := 0; i < p.R; i++ {
+		row := make([]byte, p.K)
+		for j := 0; j < p.K; j++ {
+			row[j] = gfInv(byte(p.K+i) ^ byte(j))
+		}
+		rs.parity[i] = row
+	}
+	return rs, nil
+}
+
+// Params returns the coder's geometry.
+func (rs *RS) Params() Params { return rs.p }
+
+// Encode produces the N symbols of a payload.
+func (rs *RS) Encode(payload []byte) ([][]byte, error) {
+	syms, err := split(payload, rs.p)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rs.p.R; i++ {
+		rep := make([]byte, rs.p.SymbolSize)
+		for j := 0; j < rs.p.K; j++ {
+			mulAddRow(rep, syms[j], rs.parity[i][j])
+		}
+		syms[rs.p.K+i] = rep
+	}
+	return syms, nil
+}
+
+// Reconstruct fills every missing symbol in place from any K present ones.
+func (rs *RS) Reconstruct(symbols [][]byte) error {
+	p := rs.p
+	if len(symbols) != p.N() {
+		return fmt.Errorf("%w: got %d slots, want %d", ErrBadParams, len(symbols), p.N())
+	}
+	have := 0
+	missingSrc := 0
+	for i, s := range symbols {
+		if s == nil {
+			if i < p.K {
+				missingSrc++
+			}
+			continue
+		}
+		if len(s) != p.SymbolSize {
+			return fmt.Errorf("%w: symbol %d is %d bytes, want %d", ErrBadSymbol, i, len(s), p.SymbolSize)
+		}
+		have++
+	}
+	if have < p.K {
+		return fmt.Errorf("%w: have %d, K=%d", ErrShortSet, have, p.K)
+	}
+	if missingSrc > 0 {
+		if err := rs.solveSources(symbols); err != nil {
+			return err
+		}
+	}
+	// With all sources present, missing repair symbols are re-derived by
+	// straight encoding.
+	for i := 0; i < p.R; i++ {
+		if symbols[p.K+i] != nil {
+			continue
+		}
+		rep := make([]byte, p.SymbolSize)
+		for j := 0; j < p.K; j++ {
+			mulAddRow(rep, symbols[j], rs.parity[i][j])
+		}
+		symbols[p.K+i] = rep
+	}
+	return nil
+}
+
+// solveSources recovers the missing source symbols by Gaussian elimination
+// over the K×K system formed by K received symbols: a received source j
+// contributes the unit row e_j, a received repair i its Cauchy row. The
+// Cauchy structure guarantees the chosen square system is invertible.
+func (rs *RS) solveSources(symbols [][]byte) error {
+	p := rs.p
+	// Pick K received symbols, sources first (their unit rows make the
+	// elimination cheaper).
+	rows := make([][]byte, 0, p.K) // coefficient rows, K wide
+	data := make([][]byte, 0, p.K) // matching right-hand-side symbols
+	for j := 0; j < p.K && len(rows) < p.K; j++ {
+		if symbols[j] != nil {
+			row := make([]byte, p.K)
+			row[j] = 1
+			rows = append(rows, row)
+			data = append(data, symbols[j])
+		}
+	}
+	for i := 0; i < p.R && len(rows) < p.K; i++ {
+		if symbols[p.K+i] != nil {
+			rows = append(rows, append([]byte(nil), rs.parity[i]...))
+			data = append(data, symbols[p.K+i])
+		}
+	}
+	// Gauss-Jordan: reduce [rows | I] to [I | inv]. Right-hand sides are
+	// carried as symbol buffers, mutated by the same row operations, so at
+	// the end data[j] IS source symbol j.
+	rhs := make([][]byte, p.K)
+	for i, d := range data {
+		// Copy: the elimination mutates buffers, and callers' received
+		// symbols must not be touched.
+		rhs[i] = append([]byte(nil), d...)
+	}
+	for col := 0; col < p.K; col++ {
+		// Find a pivot at or below row col.
+		piv := -1
+		for r := col; r < p.K; r++ {
+			if rows[r][col] != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return fmt.Errorf("fec: singular decode matrix at column %d", col)
+		}
+		rows[col], rows[piv] = rows[piv], rows[col]
+		rhs[col], rhs[piv] = rhs[piv], rhs[col]
+		// Normalize the pivot row.
+		if c := rows[col][col]; c != 1 {
+			inv := gfInv(c)
+			for j := col; j < p.K; j++ {
+				rows[col][j] = gfMul(rows[col][j], inv)
+			}
+			scaleRow(rhs[col], inv)
+		}
+		// Eliminate the column everywhere else.
+		for r := 0; r < p.K; r++ {
+			if r == col || rows[r][col] == 0 {
+				continue
+			}
+			c := rows[r][col]
+			for j := col; j < p.K; j++ {
+				rows[r][j] ^= gfMul(c, rows[col][j])
+			}
+			mulAddRow(rhs[r], rhs[col], c)
+		}
+	}
+	for j := 0; j < p.K; j++ {
+		if symbols[j] == nil {
+			symbols[j] = rhs[j]
+		}
+	}
+	return nil
+}
+
+// scaleRow multiplies a symbol buffer by a field constant in place.
+func scaleRow(s []byte, c byte) {
+	if c == 1 {
+		return
+	}
+	logC := int(gfLog[c])
+	for i, v := range s {
+		if v != 0 {
+			s[i] = gfExp[logC+int(gfLog[v])]
+		}
+	}
+}
+
+// XOR is the single-parity coder: one repair symbol equal to the XOR of
+// all source symbols, recovering any single loss. It exists as the
+// trivial reference coder; RS with R=1 is equivalent but pays table
+// lookups XOR does not need.
+type XOR struct {
+	p Params
+}
+
+var _ Coder = (*XOR)(nil)
+
+// NewXOR builds the single-parity coder; R must be exactly 1.
+func NewXOR(p Params) (*XOR, error) {
+	if !p.Valid() || p.R != 1 {
+		return nil, fmt.Errorf("%w: XOR coder requires R=1 (got K=%d R=%d)", ErrBadParams, p.K, p.R)
+	}
+	return &XOR{p: p}, nil
+}
+
+// Params returns the coder's geometry.
+func (x *XOR) Params() Params { return x.p }
+
+// Encode produces K source symbols plus the parity symbol.
+func (x *XOR) Encode(payload []byte) ([][]byte, error) {
+	syms, err := split(payload, x.p)
+	if err != nil {
+		return nil, err
+	}
+	rep := make([]byte, x.p.SymbolSize)
+	for j := 0; j < x.p.K; j++ {
+		mulAddRow(rep, syms[j], 1)
+	}
+	syms[x.p.K] = rep
+	return syms, nil
+}
+
+// Reconstruct recovers at most one missing symbol (source or parity).
+func (x *XOR) Reconstruct(symbols [][]byte) error {
+	p := x.p
+	if len(symbols) != p.N() {
+		return fmt.Errorf("%w: got %d slots, want %d", ErrBadParams, len(symbols), p.N())
+	}
+	missing := -1
+	have := 0
+	for i, s := range symbols {
+		if s == nil {
+			missing = i
+			continue
+		}
+		if len(s) != p.SymbolSize {
+			return fmt.Errorf("%w: symbol %d is %d bytes, want %d", ErrBadSymbol, i, len(s), p.SymbolSize)
+		}
+		have++
+	}
+	if have < p.K {
+		return fmt.Errorf("%w: have %d, K=%d", ErrShortSet, have, p.K)
+	}
+	if missing < 0 {
+		return nil
+	}
+	rec := make([]byte, p.SymbolSize)
+	for i, s := range symbols {
+		if i != missing {
+			mulAddRow(rec, s, 1)
+		}
+	}
+	symbols[missing] = rec
+	return nil
+}

@@ -1,0 +1,70 @@
+package fec
+
+// GF(256) arithmetic over the AES-adjacent primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), with log/exp tables built once at
+// init. Multiplication is two table lookups and one add; inversion is one
+// lookup. The tables cost 768 bytes and make symbol-rate coding cheap
+// enough that encode/decode throughput is memory-bound, not ALU-bound.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // doubled so mul can skip the mod-255 reduction
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a non-zero element.
+func gfInv(a byte) byte {
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfDiv divides a by a non-zero b.
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// mulAddRow accumulates dst ^= c * src byte-wise. c == 0 is a no-op and
+// c == 1 a plain XOR, the two cases the systematic layout hits most.
+func mulAddRow(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		for i, v := range src {
+			dst[i] ^= v
+		}
+	default:
+		logC := int(gfLog[c])
+		for i, v := range src {
+			if v != 0 {
+				dst[i] ^= gfExp[logC+int(gfLog[v])]
+			}
+		}
+	}
+}

@@ -43,6 +43,7 @@ type nodeObs struct {
 	treeRepair  *obs.Histogram
 	gcSweep     *obs.Histogram
 	syncPage    *obs.Histogram
+	reassembly  *obs.Histogram
 
 	syncPages   *obs.Counter
 	gcReclaimed *obs.Counter
@@ -58,6 +59,7 @@ func (o *nodeObs) ObserveTreeForward(age time.Duration) { o.treeForward.ObserveD
 func (o *nodeObs) ObserveGossipRound(d time.Duration)   { o.gossipRound.ObserveDuration(d) }
 func (o *nodeObs) ObservePullRTT(d time.Duration)       { o.pullRTT.ObserveDuration(d) }
 func (o *nodeObs) ObserveTreeRepair(d time.Duration)    { o.treeRepair.ObserveDuration(d) }
+func (o *nodeObs) ObserveReassembly(d time.Duration)    { o.reassembly.ObserveDuration(d) }
 
 func (o *nodeObs) ObserveSyncPage(items int, bytes int64) {
 	o.syncPages.Inc()
@@ -134,6 +136,7 @@ func (n *Node) setupObs() {
 		treeRepair:  reg.Histogram("gocast_core_tree_repair_duration_seconds", "time spent detached from the tree after losing the parent", nil),
 		gcSweep:     reg.Histogram("gocast_store_gc_sweep_duration_seconds", "duration of one message-store GC sweep", nil),
 		syncPage:    reg.Histogram("gocast_sync_page_bytes", "payload bytes per served anti-entropy reply batch", obs.DefByteBuckets),
+		reassembly:  reg.Histogram("gocast_fec_reassembly_seconds", "time from a coopcast message's first symbol arriving to the payload decoding", nil),
 		syncPages:   reg.Counter("gocast_sync_pages_served_total", "anti-entropy reply batches served"),
 		gcReclaimed: reg.Counter("gocast_store_gc_reclaimed_total", "payloads reclaimed by store GC sweeps"),
 		gcDropped:   reg.Counter("gocast_store_gc_dropped_total", "records dropped entirely by store GC sweeps"),
@@ -282,6 +285,15 @@ func (n *Node) mirrorCore(s core.Counters, inc uint32, degree, members int, stor
 	set("gocast_churn_stale_links_dropped_total", s.StaleLinksDropped)
 	set("gocast_churn_rejoins_observed_total", s.RejoinsObserved)
 	set("gocast_churn_self_refutes_total", s.SelfRefutes)
+	// Erasure-coded bulk dissemination (coopcast).
+	set("gocast_fec_symbols_sent_total", s.SymbolsSent)
+	set("gocast_fec_symbols_recv_total", s.SymbolsRecv)
+	set("gocast_fec_symbols_served_total", s.SymbolsServed)
+	set("gocast_fec_symbol_dups_total", s.SymbolDups)
+	set("gocast_fec_symbols_rejected_total", s.SymbolsRejected)
+	set("gocast_fec_symbol_pulls_sent_total", s.SymbolPullsSent)
+	set("gocast_fec_decodes_total", s.FECDecodes)
+	set("gocast_fec_decode_failures_total", s.FECDecodeFailures)
 	n.reg.Gauge("gocast_churn_incarnation", "this node's current incarnation number").Set(int64(inc))
 	// Overlay and membership occupancy.
 	n.reg.Gauge("gocast_core_degree", "current overlay degree").Set(int64(degree))

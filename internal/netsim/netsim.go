@@ -847,6 +847,14 @@ func (c *Cluster) SumCounters() core.Counters {
 		t.StaleLinksDropped += s.StaleLinksDropped
 		t.RejoinsObserved += s.RejoinsObserved
 		t.SelfRefutes += s.SelfRefutes
+		t.SymbolsSent += s.SymbolsSent
+		t.SymbolsRecv += s.SymbolsRecv
+		t.SymbolsServed += s.SymbolsServed
+		t.SymbolDups += s.SymbolDups
+		t.SymbolsRejected += s.SymbolsRejected
+		t.SymbolPullsSent += s.SymbolPullsSent
+		t.FECDecodes += s.FECDecodes
+		t.FECDecodeFailures += s.FECDecodeFailures
 	}
 	return t
 }
@@ -978,6 +986,7 @@ func (c *Cluster) releaseMsg(m core.Message) {
 		v.IDs = v.IDs[:0]
 		v.Members = v.Members[:0]
 		v.Obits = v.Obits[:0]
+		v.Syms = v.Syms[:0]
 		v.Degrees = core.Degrees{}
 		c.gossipFree = append(c.gossipFree, v)
 	case *core.Multicast:

@@ -45,6 +45,9 @@ func Run(s *Scenario, opts Options) (*Report, error) {
 		if opts.Config != nil {
 			cfg = *opts.Config
 		}
+		if s.CoopcastThreshold > 0 {
+			cfg.CoopcastThreshold = s.CoopcastThreshold
+		}
 		sub = newNetsimSub(s, seed, cfg)
 	case "live":
 		sub = newLiveSub(s, seed)

@@ -17,8 +17,8 @@ const (
 // TestLibraryValidates pins that every committed scenario is well-formed.
 func TestLibraryValidates(t *testing.T) {
 	lib := Library()
-	if len(lib) != 6 {
-		t.Fatalf("library holds %d scenarios, want 6", len(lib))
+	if len(lib) != 7 {
+		t.Fatalf("library holds %d scenarios, want 7", len(lib))
 	}
 	for _, s := range lib {
 		if err := s.Validate(); err != nil {
@@ -150,10 +150,10 @@ func TestFlapTogglesPartition(t *testing.T) {
 	}
 }
 
-// TestScenarioLive runs the two live-tagged scenarios on the wall-clock
+// TestScenarioLive runs the live-tagged scenarios on the wall-clock
 // substrate. LiveScale compresses each into a few seconds.
 func TestScenarioLive(t *testing.T) {
-	for _, name := range []string{"split-brain-heal", "churn-storm"} {
+	for _, name := range []string{"split-brain-heal", "churn-storm", "bulk-distribution"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			s := Find(name)

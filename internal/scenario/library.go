@@ -142,6 +142,35 @@ func Library() []*Scenario {
 			LiveScale:  0.05,
 		},
 		{
+			// Large payloads over lossy, then bandwidth-starved leaf links:
+			// erasure-coded coopcast dissemination stripes symbols down the
+			// tree and repairs per-symbol through gossip pulls. Atomicity
+			// must hold with zero violations even though no single link ever
+			// carries a whole payload.
+			Name:              "bulk-distribution",
+			Seed:              47,
+			CoopcastThreshold: 8 << 10,
+			Groups: []Group{
+				{Name: "pubs", Role: RolePublisher, Nodes: 4, Rate: 0.5, Payload: 64 << 10, Protected: true},
+				{Name: "leaves", Role: RoleSubscriber, Nodes: 20},
+			},
+			Warmup: d(60 * time.Second),
+			Phases: []Phase{
+				{Name: "lossy-bulk", Duration: d(90 * time.Second), Loss: 0.08},
+				{
+					Name:     "starved-leaves-bulk",
+					Duration: d(90 * time.Second),
+					Loss:     0.05,
+					Links: []LinkRule{
+						{To: "leaves", Delay: d(50 * time.Millisecond), BytesPerSec: 512 << 10},
+					},
+				},
+			},
+			Drain:      d(150 * time.Second),
+			Invariants: inv,
+			LiveScale:  0.05,
+		},
+		{
 			// A rolling restart sweep across the worker group — the planned
 			// maintenance case. Restarted nodes must catch up by sync.
 			Name: "rolling-restart",
@@ -178,5 +207,5 @@ func Find(name string) *Scenario {
 // LiveCompatible reports whether a library scenario is exercised on the
 // live substrate in short test runs.
 func LiveCompatible(name string) bool {
-	return name == "split-brain-heal" || name == "churn-storm"
+	return name == "split-brain-heal" || name == "churn-storm" || name == "bulk-distribution"
 }

@@ -64,9 +64,13 @@ func newLiveSub(s *Scenario, seed int64) *liveSub {
 	// ceiling so joined nodes get sites too.
 	mat := latency.Synthesize(2*s.TotalNodes(), SubSeed(seed, "latency"))
 	scale := ls.scale
+	cfg := live.FastConfig()
+	if s.CoopcastThreshold > 0 {
+		cfg.CoopcastThreshold = s.CoopcastThreshold
+	}
 	ls.c = live.NewCluster(live.ClusterOptions{
 		Nodes:  s.TotalNodes(),
-		Config: live.FastConfig(),
+		Config: cfg,
 		Seed:   SubSeed(seed, "live"),
 		Faults: ls.ctl,
 		PairLatency: func(i, j int) time.Duration {

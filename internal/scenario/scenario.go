@@ -188,6 +188,11 @@ type Scenario struct {
 	// (e.g. 0.05 turns a 2-minute netsim phase into 6 wall seconds).
 	// Default 0.05. Netsim ignores it.
 	LiveScale float64 `json:"live_scale,omitempty"`
+	// CoopcastThreshold enables erasure-coded bulk dissemination on both
+	// substrates: payloads at or above this many bytes are striped as FEC
+	// symbols down the tree and repaired symbol-by-symbol through gossip.
+	// Zero keeps the classic whole-payload path.
+	CoopcastThreshold int `json:"coopcast_threshold,omitempty"`
 }
 
 // TotalNodes is the sum of group sizes.
@@ -279,6 +284,9 @@ func (s *Scenario) Validate() error {
 	}
 	if s.LiveScale < 0 || s.LiveScale > 1 {
 		return fmt.Errorf("scenario %s: live_scale must be in (0, 1]", s.Name)
+	}
+	if s.CoopcastThreshold < 0 {
+		return fmt.Errorf("scenario %s: negative coopcast_threshold", s.Name)
 	}
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("scenario %s: at least one phase required", s.Name)

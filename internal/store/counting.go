@@ -61,6 +61,26 @@ func (c *Counting) Range(source int32, low, high uint32, visit func(id ID, paylo
 	c.Inner.Range(source, low, high, visit)
 }
 
+func (c *Counting) PutSymbol(id ID, idx int, data []byte, meta SymbolMeta, now time.Duration) bool {
+	c.calls.Inc("PutSymbol", 1)
+	return c.Inner.PutSymbol(id, idx, data, meta, now)
+}
+
+func (c *Counting) GetSymbol(id ID, idx int) ([]byte, bool) {
+	c.calls.Inc("GetSymbol", 1)
+	return c.Inner.GetSymbol(id, idx)
+}
+
+func (c *Counting) SymbolInfo(id ID) (SymbolMeta, SymbolSet, bool) {
+	c.calls.Inc("SymbolInfo", 1)
+	return c.Inner.SymbolInfo(id)
+}
+
+func (c *Counting) RangeSymbols(id ID, visit func(idx int, data []byte) bool) {
+	c.calls.Inc("RangeSymbols", 1)
+	c.Inner.RangeSymbols(id, visit)
+}
+
 func (c *Counting) GC(now time.Duration) GCResult {
 	c.calls.Inc("GC", 1)
 	return c.Inner.GC(now)

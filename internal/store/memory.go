@@ -37,6 +37,13 @@ type Memory struct {
 type memRec struct {
 	payload  []byte
 	storedAt time.Duration
+	// syms non-nil marks a symbol-granular (coopcast) record: the slice is
+	// meta.N long with nil entries for symbols not yet held. The record
+	// occupies one count-cap slot and one digest sequence number like a
+	// whole record; its bytes accumulate symbol by symbol.
+	syms    [][]byte
+	symMeta SymbolMeta
+	have    SymbolSet
 	// releaseAt > 0 marks the record stable: every current neighbor had
 	// the message at MarkStable time, and the payload may be reclaimed
 	// once releaseAt passes.
@@ -103,23 +110,90 @@ func (m *Memory) enforceCaps(now time.Duration) {
 	}
 }
 
-// reclaim frees the payload and leaves a tombstone.
+// reclaim frees the payload (or every held symbol) and leaves a tombstone.
 func (m *Memory) reclaim(id ID, r *memRec, now time.Duration) {
 	m.bytes -= int64(len(r.payload))
+	for _, s := range r.syms {
+		m.bytes -= int64(len(s))
+	}
 	r.payload = nil
+	r.syms = nil
+	r.have = SymbolSet{}
 	r.reclaimed = true
 	r.dropAt = now + m.limits.TombstoneFor
 	m.live--
 	m.removeSeq(id)
 }
 
-// Get returns the payload of a live record.
+// Get returns the payload of a live whole record; symbol-granular records
+// answer through GetSymbol / RangeSymbols instead.
 func (m *Memory) Get(id ID) ([]byte, bool) {
 	r, ok := m.recs[pk(id)]
-	if !ok || r.reclaimed {
+	if !ok || r.reclaimed || r.syms != nil {
 		return nil, false
 	}
 	return r.payload, true
+}
+
+// PutSymbol inserts one symbol, creating the record on first contact.
+func (m *Memory) PutSymbol(id ID, idx int, data []byte, meta SymbolMeta, now time.Duration) bool {
+	if meta.K == 0 || meta.N < meta.K || int(meta.N) > SymbolWords*64 || idx < 0 || idx >= int(meta.N) {
+		m.counters.Inc("rejected_symbol_puts", 1)
+		return false
+	}
+	r, ok := m.recs[pk(id)]
+	if !ok {
+		r = &memRec{storedAt: now, syms: make([][]byte, meta.N), symMeta: meta}
+		m.recs[pk(id)] = r
+		m.insertSeq(id)
+		m.evictQ = append(m.evictQ, id)
+		m.live++
+		m.counters.Inc("puts", 1)
+	}
+	if r.reclaimed || r.syms == nil || r.symMeta != meta || r.have.Has(idx) {
+		m.counters.Inc("duplicate_symbol_puts", 1)
+		return false
+	}
+	r.syms[idx] = data
+	r.have.Add(idx)
+	m.bytes += int64(len(data))
+	m.counters.Inc("symbol_puts", 1)
+	m.enforceCaps(now)
+	return true
+}
+
+// GetSymbol returns one held symbol of a live symbol-granular record.
+func (m *Memory) GetSymbol(id ID, idx int) ([]byte, bool) {
+	r, ok := m.recs[pk(id)]
+	if !ok || r.reclaimed || r.syms == nil || !r.have.Has(idx) {
+		return nil, false
+	}
+	return r.syms[idx], true
+}
+
+// SymbolInfo reports a live symbol-granular record's geometry and bitmap.
+func (m *Memory) SymbolInfo(id ID) (SymbolMeta, SymbolSet, bool) {
+	r, ok := m.recs[pk(id)]
+	if !ok || r.reclaimed || r.syms == nil {
+		return SymbolMeta{}, SymbolSet{}, false
+	}
+	return r.symMeta, r.have, true
+}
+
+// RangeSymbols visits held symbols in ascending index order.
+func (m *Memory) RangeSymbols(id ID, visit func(idx int, data []byte) bool) {
+	r, ok := m.recs[pk(id)]
+	if !ok || r.reclaimed || r.syms == nil {
+		return
+	}
+	for i, s := range r.syms {
+		if !r.have.Has(i) {
+			continue
+		}
+		if !visit(i, s) {
+			return
+		}
+	}
 }
 
 // Has reports whether the ID is known, live or tombstoned.
@@ -144,7 +218,17 @@ func (m *Memory) Unstable(id ID) {
 
 // Digest summarizes live holdings as sorted per-source watermark ranges.
 func (m *Memory) Digest() []SourceRange {
-	out := make([]SourceRange, 0, len(m.bySource))
+	return m.DigestAppend(nil)
+}
+
+// DigestAppend appends the digest to dst, reusing its capacity. Callers
+// that summarize the store repeatedly (the sync responder path) pass a
+// retained scratch slice to keep the per-exchange cost allocation-free.
+func (m *Memory) DigestAppend(dst []SourceRange) []SourceRange {
+	if cap(dst) < len(m.bySource) {
+		dst = make([]SourceRange, 0, len(m.bySource))
+	}
+	out := dst[:0]
 	for src, seqs := range m.bySource {
 		if len(seqs) == 0 {
 			continue

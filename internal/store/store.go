@@ -12,7 +12,10 @@
 // core's configuration without touching protocol code.
 package store
 
-import "time"
+import (
+	"math/bits"
+	"time"
+)
 
 // ID identifies one multicast message: the injecting node's ID (as a raw
 // int32, mirroring core.NodeID) plus that node's local sequence number.
@@ -79,6 +82,66 @@ func (l Limits) withDefaults() Limits {
 	return l
 }
 
+// SymbolMeta describes the erasure-coding geometry of a symbol-granular
+// (coopcast) record: K source symbols, N total symbols, and the original
+// payload length. Every holder derives the uniform symbol size as
+// ceil(PayloadLen/K), so it is never stored or transmitted.
+type SymbolMeta struct {
+	K, N       uint16
+	PayloadLen uint32
+}
+
+// SymbolWords is the fixed word count of a SymbolSet bitmap, sized for the
+// coder's maximum of 256 symbols per message.
+const SymbolWords = 4
+
+// SymbolSet is a bitmap over the symbol indexes [0, 256) of one coopcast
+// message. The zero value is empty; it is a small array, copy it freely.
+type SymbolSet [SymbolWords]uint64
+
+// Has reports whether symbol index i is in the set.
+func (s *SymbolSet) Has(i int) bool {
+	return uint(i) < SymbolWords*64 && s[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Add inserts symbol index i; out-of-range indexes are ignored.
+func (s *SymbolSet) Add(i int) {
+	if uint(i) < SymbolWords*64 {
+		s[i>>6] |= 1 << (uint(i) & 63)
+	}
+}
+
+// Remove deletes symbol index i.
+func (s *SymbolSet) Remove(i int) {
+	if uint(i) < SymbolWords*64 {
+		s[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Count returns the number of symbols in the set.
+func (s *SymbolSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set holds no symbols.
+func (s *SymbolSet) Empty() bool {
+	return s[0]|s[1]|s[2]|s[3] == 0
+}
+
+// AnyNotIn reports whether the set holds a symbol that other lacks.
+func (s *SymbolSet) AnyNotIn(other *SymbolSet) bool {
+	for w := range s {
+		if s[w]&^other[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // GCResult reports one garbage-collection sweep.
 type GCResult struct {
 	// Reclaimed lists messages whose payload was freed this sweep (the
@@ -99,8 +162,9 @@ type MessageStore interface {
 	// stores nothing) if the ID is already present, reclaimed or not.
 	// Inserting may evict the oldest live records to respect the caps.
 	Put(id ID, payload []byte, now time.Duration) bool
-	// Get returns the payload, or ok=false if the ID is absent or its
-	// payload has been reclaimed or evicted.
+	// Get returns the payload, or ok=false if the ID is absent, its
+	// payload has been reclaimed or evicted, or the record is
+	// symbol-granular (use GetSymbol / RangeSymbols for those).
 	Get(id ID) (payload []byte, ok bool)
 	// Has reports whether the ID is known at all — live or tombstoned —
 	// for duplicate suppression.
@@ -114,15 +178,43 @@ type MessageStore interface {
 	// that may still need the payload). Ignored for reclaimed IDs.
 	Unstable(id ID)
 	// Digest summarizes live holdings as per-source watermark ranges,
-	// sorted by source for deterministic wire encoding.
+	// sorted by source for deterministic wire encoding. Symbol-granular
+	// records contribute exactly one sequence number each, the same as
+	// whole records, from their very first symbol: the digest's shape —
+	// and therefore the watermark sync protocol's interior-hole caveat —
+	// is unchanged by coopcast. A partially-assembled message sits inside
+	// the watermark and is invisible to sync by design; the gossip
+	// symbol-advert/pull layer owns completing it.
 	Digest() []SourceRange
 	// Range visits the live messages of one source with Low <= Seq <=
 	// High in ascending sequence order, stopping early when visit
-	// returns false.
+	// returns false. Symbol-granular records are visited with a nil
+	// payload; callers page their symbols via SymbolInfo/RangeSymbols.
 	Range(source int32, low, high uint32, visit func(id ID, payload []byte) bool)
+	// PutSymbol inserts one erasure-coded symbol of a symbol-granular
+	// (coopcast) record. The first symbol creates the record — which
+	// occupies exactly one slot in the count cap, the digest, and the
+	// eviction queue, same as a whole record — and fixes its geometry;
+	// later symbols must match it. It reports false for duplicate or
+	// out-of-range indexes, geometry mismatches, reclaimed records, and
+	// IDs already held as whole payloads. Symbol bytes count against the
+	// byte cap as they arrive, so a flood of partial messages evicts
+	// oldest-first exactly like whole payloads.
+	PutSymbol(id ID, idx int, data []byte, meta SymbolMeta, now time.Duration) bool
+	// GetSymbol returns one held symbol of a live symbol-granular record.
+	GetSymbol(id ID, idx int) (data []byte, ok bool)
+	// SymbolInfo reports a live symbol-granular record's geometry and the
+	// bitmap of symbols currently held. ok is false for whole records,
+	// reclaimed records, and unknown IDs.
+	SymbolInfo(id ID) (meta SymbolMeta, have SymbolSet, ok bool)
+	// RangeSymbols visits a live symbol-granular record's held symbols in
+	// ascending index order, stopping early when visit returns false.
+	RangeSymbols(id ID, visit func(idx int, data []byte) bool)
 	// GC performs one sweep at time now: stable payloads past their
 	// retention window and unstable payloads past MaxAge are reclaimed;
-	// tombstones past TombstoneFor are dropped.
+	// tombstones past TombstoneFor are dropped. A symbol-granular record
+	// that never completed (and so was never marked stable) falls under
+	// the MaxAge fallback — partial messages cannot leak.
 	GC(now time.Duration) GCResult
 	// Len returns the number of live (payload-holding) records.
 	Len() int

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func symMeta(k, n uint16, plen uint32) SymbolMeta {
+	return SymbolMeta{K: k, N: n, PayloadLen: plen}
+}
+
+func TestSymbolSetOps(t *testing.T) {
+	var s SymbolSet
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("zero set not empty")
+	}
+	for _, i := range []int{0, 63, 64, 200, 255} {
+		s.Add(i)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	for _, i := range []int{0, 63, 64, 200, 255} {
+		if !s.Has(i) {
+			t.Fatalf("missing bit %d", i)
+		}
+	}
+	if s.Has(1) || s.Has(199) {
+		t.Fatal("phantom bits")
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 4 {
+		t.Fatal("Remove failed")
+	}
+	var other SymbolSet
+	other.Add(63)
+	if !s.AnyNotIn(&other) {
+		t.Fatal("s holds 0,200,255 beyond other")
+	}
+	if other.AnyNotIn(&s) {
+		t.Fatal("other is a subset of s")
+	}
+}
+
+func TestPutSymbolLifecycle(t *testing.T) {
+	m := NewMemory(Limits{})
+	meta := symMeta(2, 3, 100)
+	if !m.PutSymbol(id(1, 0), 0, make([]byte, 50), meta, 0) {
+		t.Fatal("first symbol rejected")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d: a symbol record must occupy one slot", m.Len())
+	}
+	if m.Bytes() != 50 {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+	// The record is symbol-granular: whole-payload Get must not see it.
+	if _, ok := m.Get(id(1, 0)); ok {
+		t.Fatal("Get returned a partial symbol record")
+	}
+	// Duplicate symbol, mismatched geometry, bad index: all rejected.
+	if m.PutSymbol(id(1, 0), 0, make([]byte, 50), meta, 0) {
+		t.Fatal("duplicate symbol accepted")
+	}
+	if m.PutSymbol(id(1, 0), 1, make([]byte, 50), symMeta(2, 4, 100), 0) {
+		t.Fatal("geometry clash accepted")
+	}
+	if m.PutSymbol(id(1, 0), 3, make([]byte, 50), meta, 0) {
+		t.Fatal("out-of-range index accepted")
+	}
+	if m.PutSymbol(id(2, 0), 0, nil, symMeta(0, 0, 0), 0) {
+		t.Fatal("impossible geometry accepted")
+	}
+	gotMeta, have, ok := m.SymbolInfo(id(1, 0))
+	if !ok || gotMeta != meta || have.Count() != 1 || !have.Has(0) {
+		t.Fatalf("SymbolInfo = %+v %v %v", gotMeta, have, ok)
+	}
+	if _, ok := m.GetSymbol(id(1, 0), 1); ok {
+		t.Fatal("GetSymbol returned a missing symbol")
+	}
+	m.PutSymbol(id(1, 0), 2, make([]byte, 50), meta, 0)
+	var visited []int
+	m.RangeSymbols(id(1, 0), func(idx int, data []byte) bool {
+		visited = append(visited, idx)
+		if len(data) != 50 {
+			t.Fatalf("symbol %d has %d bytes", idx, len(data))
+		}
+		return true
+	})
+	if !reflect.DeepEqual(visited, []int{0, 2}) {
+		t.Fatalf("RangeSymbols visited %v", visited)
+	}
+	if m.Bytes() != 100 {
+		t.Fatalf("Bytes = %d after second symbol", m.Bytes())
+	}
+}
+
+// TestSymbolRecordDigestShapeUnchanged is the watermark-caveat regression
+// test: a symbol-granular record claims its sequence slot from the FIRST
+// symbol, so the store's digest is identical whether a sequence is held
+// whole, partially assembled, or fully assembled. Coopcast therefore does
+// not widen the watermark digest's interior-hole caveat — a partial
+// assembly sits inside the watermark exactly like a whole record, and is
+// invisible to watermark sync BY DESIGN (the gossip symbol-advert/pull
+// layer, not sync, owns completing it).
+func TestSymbolRecordDigestShapeUnchanged(t *testing.T) {
+	whole := NewMemory(Limits{})
+	mixed := NewMemory(Limits{})
+	for seq := uint32(0); seq <= 3; seq++ {
+		whole.Put(id(7, seq), []byte("p"), 0)
+	}
+	mixed.Put(id(7, 0), []byte("p"), 0)
+	mixed.Put(id(7, 1), []byte("p"), 0)
+	// seq 2: partial coopcast assembly — 1 of 4 symbols held.
+	mixed.PutSymbol(id(7, 2), 3, make([]byte, 25), symMeta(3, 4, 75), 0)
+	mixed.Put(id(7, 3), []byte("p"), 0)
+
+	dw, dm := whole.Digest(), mixed.Digest()
+	if !reflect.DeepEqual(dw, dm) {
+		t.Fatalf("digest shape changed by a partial symbol record:\nwhole: %v\nmixed: %v", dw, dm)
+	}
+	// A fully-complete peer offers nothing for seq 2: the partial is
+	// inside the requester's watermark, hence invisible to sync.
+	if missing := Missing(dw, dm); missing != nil {
+		t.Fatalf("watermark sync sees the partial assembly: %v", missing)
+	}
+	// Completing the assembly must not move the digest either.
+	for i := 0; i < 3; i++ {
+		mixed.PutSymbol(id(7, 2), i, make([]byte, 25), symMeta(3, 4, 75), 0)
+	}
+	if got := mixed.Digest(); !reflect.DeepEqual(got, dw) {
+		t.Fatalf("digest moved on assembly completion: %v", got)
+	}
+	// Range must visit the symbol record (with a nil payload marker) so
+	// sync responders can page its symbols.
+	var seqs []uint32
+	var nilAt []uint32
+	mixed.Range(7, 0, 10, func(rid ID, payload []byte) bool {
+		seqs = append(seqs, rid.Seq)
+		if payload == nil {
+			nilAt = append(nilAt, rid.Seq)
+		}
+		return true
+	})
+	if !reflect.DeepEqual(seqs, []uint32{0, 1, 2, 3}) {
+		t.Fatalf("Range visited %v", seqs)
+	}
+	if !reflect.DeepEqual(nilAt, []uint32{2}) {
+		t.Fatalf("nil-payload markers at %v, want [2]", nilAt)
+	}
+}
+
+// TestSymbolRecordMaxAgeGC pins the partial-assembly GC path: a record
+// that never completes is never marked stable, so the MaxAge fallback
+// reclaims it, frees its symbol bytes, and tombstones the ID.
+func TestSymbolRecordMaxAgeGC(t *testing.T) {
+	lim := Limits{Retention: 10 * time.Second, MaxAge: 30 * time.Second, TombstoneFor: 5 * time.Second}
+	m := NewMemory(lim)
+	meta := symMeta(4, 6, 100)
+	m.PutSymbol(id(1, 0), 0, make([]byte, 25), meta, 0)
+	m.PutSymbol(id(1, 0), 1, make([]byte, 25), meta, 0)
+
+	if res := m.GC(29 * time.Second); len(res.Reclaimed) != 0 {
+		t.Fatal("partial reclaimed before MaxAge")
+	}
+	res := m.GC(30 * time.Second)
+	if len(res.Reclaimed) != 1 || res.Reclaimed[0] != id(1, 0) {
+		t.Fatalf("Reclaimed = %v", res.Reclaimed)
+	}
+	if m.Bytes() != 0 || m.Len() != 0 {
+		t.Fatalf("bytes=%d len=%d after reclaim", m.Bytes(), m.Len())
+	}
+	if _, _, ok := m.SymbolInfo(id(1, 0)); ok {
+		t.Fatal("SymbolInfo answered for a tombstone")
+	}
+	// Late symbols for the tombstoned record are duplicates, not revivals.
+	if m.PutSymbol(id(1, 0), 2, make([]byte, 25), meta, 31*time.Second) {
+		t.Fatal("tombstoned record accepted a symbol")
+	}
+	if !m.Has(id(1, 0)) {
+		t.Fatal("tombstone gone too early")
+	}
+}
+
+// TestSymbolRecordsUnderByteCap checks cap enforcement sees symbol bytes:
+// accumulating symbols past MaxBytes evicts oldest records like whole
+// payloads do.
+func TestSymbolRecordsUnderByteCap(t *testing.T) {
+	m := NewMemory(Limits{MaxBytes: 100, MaxMessages: -1, TombstoneFor: time.Second})
+	meta := symMeta(2, 2, 80)
+	m.PutSymbol(id(1, 0), 0, make([]byte, 40), meta, 0)
+	m.PutSymbol(id(1, 0), 1, make([]byte, 40), meta, 0)
+	// Second record pushes total to 120 > 100: the older record must go.
+	m.PutSymbol(id(1, 1), 0, make([]byte, 40), meta, time.Second)
+	if _, _, ok := m.SymbolInfo(id(1, 0)); ok {
+		t.Fatal("oldest symbol record survived the byte cap")
+	}
+	if m.Bytes() > 100 {
+		t.Fatalf("Bytes = %d exceeds cap", m.Bytes())
+	}
+	if _, _, ok := m.SymbolInfo(id(1, 1)); !ok {
+		t.Fatal("newest record evicted instead")
+	}
+}

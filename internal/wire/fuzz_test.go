@@ -1,10 +1,50 @@
 package wire
 
 import (
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strconv"
 	"testing"
 )
+
+// TestWriteFuzzCorpus regenerates the committed fuzz corpus from
+// sampleMessages when WIRE_SEED_WRITE=1, keeping testdata/fuzz/FuzzDecode
+// in lockstep with the message set (one seed per sample, index-named).
+// Without the env var it verifies every sample has a committed seed.
+func TestWriteFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	msgs := sampleMessages()
+	if os.Getenv("WIRE_SEED_WRITE") == "1" {
+		old, err := filepath.Glob(filepath.Join(dir, "seed-*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range old {
+			os.Remove(f)
+		}
+		for i, m := range msgs {
+			frame, err := Append(nil, 1, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(frame[4:])) + ")"
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d-%d", i, i+1))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for i := range msgs {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d-%d", i, i+1))
+		if _, err := os.Stat(name); err != nil {
+			t.Fatalf("missing committed fuzz seed for sample %d (%T): %v\nrun WIRE_SEED_WRITE=1 go test ./internal/wire -run TestWriteFuzzCorpus", i, msgs[i], err)
+		}
+	}
+}
 
 // The decoder must never panic or over-allocate on adversarial input —
 // live nodes read frames from the network.

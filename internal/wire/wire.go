@@ -39,6 +39,14 @@ var (
 // the extended slice, frame prefix included.
 func Append(buf []byte, from core.NodeID, m core.Message) ([]byte, error) {
 	start := len(buf)
+	// Grow once up front: WireSize is the protocol's own size model, so a
+	// frame encoding into a fresh or tight buffer reallocates at most one
+	// time instead of log(frame) times through append.
+	if need := m.WireSize() + 16; cap(buf)-start < need {
+		grown := make([]byte, start, start+need)
+		copy(grown, buf)
+		buf = grown
+	}
 	buf = append(buf, 0, 0, 0, 0) // length placeholder
 	var e encoder
 	e.buf = buf
@@ -112,6 +120,7 @@ func (e *encoder) u16(v uint16)        { e.buf = binary.LittleEndian.AppendUint1
 func (e *encoder) u32(v uint32)        { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
 func (e *encoder) i32(v int32)         { e.u32(uint32(v)) }
 func (e *encoder) i64(v int64)         { e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v)) }
+func (e *encoder) u64(v uint64)        { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
 func (e *encoder) dur(d time.Duration) { e.i64(int64(d)) }
 
 func (e *encoder) str(s string) error {
@@ -170,6 +179,26 @@ func (e *encoder) degrees(d core.Degrees) {
 func (e *encoder) msgID(id core.MessageID) {
 	e.i32(int32(id.Source))
 	e.u32(id.Seq)
+}
+
+func (e *encoder) symbolSet(s store.SymbolSet) {
+	for _, w := range s {
+		e.u64(w)
+	}
+}
+
+func (e *encoder) symbol(v *core.Symbol) error {
+	e.msgID(v.ID)
+	e.dur(v.Age)
+	e.u16(v.Index)
+	e.u16(v.K)
+	e.u16(v.N)
+	e.u32(v.PayloadLen)
+	if err := e.bytes(v.Data); err != nil {
+		return err
+	}
+	e.b(v.ViaTree)
+	return nil
 }
 
 func (e *encoder) message(m core.Message) error {
@@ -241,6 +270,19 @@ func (e *encoder) message(m core.Message) error {
 			e.i32(int32(ob.ID))
 			e.u32(ob.Inc)
 		}
+		if len(v.Syms) > math.MaxUint16 {
+			return errors.New("wire: too many symbol adverts")
+		}
+		e.u16(uint16(len(v.Syms)))
+		for i := range v.Syms {
+			ad := &v.Syms[i]
+			e.msgID(ad.ID)
+			e.dur(ad.Age)
+			e.u16(ad.K)
+			e.u16(ad.N)
+			e.u32(ad.PayloadLen)
+			e.symbolSet(ad.Have)
+		}
 	case *core.PullRequest:
 		if len(v.IDs) > math.MaxUint16 {
 			return errors.New("wire: too many pull IDs")
@@ -288,6 +330,15 @@ func (e *encoder) message(m core.Message) error {
 			}
 		}
 		e.b(v.More)
+		if len(v.Syms) > math.MaxUint16 {
+			return errors.New("wire: too many sync symbols")
+		}
+		e.u16(uint16(len(v.Syms)))
+		for i := range v.Syms {
+			if err := e.symbol(&v.Syms[i]); err != nil {
+				return err
+			}
+		}
 	case *core.PullMiss:
 		if len(v.IDs) > math.MaxUint16 {
 			return errors.New("wire: too many pull-miss IDs")
@@ -296,6 +347,11 @@ func (e *encoder) message(m core.Message) error {
 		for _, id := range v.IDs {
 			e.msgID(id)
 		}
+	case *core.Symbol:
+		return e.symbol(v)
+	case *core.SymbolPull:
+		e.msgID(v.ID)
+		e.symbolSet(v.Want)
 	default:
 		return fmt.Errorf("wire: unknown message type %T", m)
 	}
@@ -440,6 +496,32 @@ func (d *decoder) msgID() core.MessageID {
 	return id
 }
 
+func (d *decoder) u64() uint64 {
+	if d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) symbolSet() store.SymbolSet {
+	var s store.SymbolSet
+	for i := range s {
+		s[i] = d.u64()
+	}
+	return s
+}
+
+func (d *decoder) symbol() core.Symbol {
+	return core.Symbol{
+		ID: d.msgID(), Age: d.dur(), Index: d.u16(),
+		K: d.u16(), N: d.u16(), PayloadLen: d.u32(),
+		Data: d.bytes(), ViaTree: d.b(),
+	}
+}
+
 func (d *decoder) message(kind core.MsgKind) (core.Message, error) {
 	switch kind {
 	case core.KindJoinRequest:
@@ -493,6 +575,21 @@ func (d *decoder) message(kind core.MsgKind) (core.Message, error) {
 			m.Obits = make([]core.Obituary, n)
 			for i := range m.Obits {
 				m.Obits[i] = core.Obituary{ID: core.NodeID(d.i32()), Inc: d.u32()}
+			}
+		}
+		// Symbol-advert section (coopcast). Each advert is exactly 56 bytes.
+		if n := int(d.u16()); n > 0 {
+			if d.off+56*n > len(d.buf) {
+				d.fail()
+				return m, d.err
+			}
+			m.Syms = make([]core.SymbolAdvert, n)
+			for i := range m.Syms {
+				m.Syms[i] = core.SymbolAdvert{
+					ID: d.msgID(), Age: d.dur(),
+					K: d.u16(), N: d.u16(), PayloadLen: d.u32(),
+					Have: d.symbolSet(),
+				}
 			}
 		}
 		return m, nil
@@ -549,6 +646,18 @@ func (d *decoder) message(kind core.MsgKind) (core.Message, error) {
 			}
 		}
 		m.More = d.b()
+		// Symbol section (coopcast). Each symbol needs at least 31 bytes of
+		// fixed fields.
+		if n := int(d.u16()); n > 0 {
+			if d.off+31*n > len(d.buf) {
+				d.fail()
+				return m, d.err
+			}
+			m.Syms = make([]core.Symbol, n)
+			for i := range m.Syms {
+				m.Syms[i] = d.symbol()
+			}
+		}
 		return m, nil
 	case core.KindPullMiss:
 		m := &core.PullMiss{}
@@ -564,6 +673,11 @@ func (d *decoder) message(kind core.MsgKind) (core.Message, error) {
 			}
 		}
 		return m, nil
+	case core.KindSymbol:
+		m := d.symbol()
+		return &m, nil
+	case core.KindSymbolPull:
+		return &core.SymbolPull{ID: d.msgID(), Want: d.symbolSet()}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
 	}

@@ -65,6 +65,51 @@ func sampleMessages() []core.Message {
 		&core.SyncReply{},
 		&core.PullMiss{IDs: []core.MessageID{{Source: 4, Seq: 9}, {Source: 4, Seq: 10}}},
 		&core.PullMiss{},
+		// Coopcast: tree-striped symbol, pulled repair symbol, and the
+		// degenerate zero-data symbol.
+		&core.Symbol{
+			ID: core.MessageID{Source: 6, Seq: 2}, Age: 9 * time.Millisecond,
+			Index: 3, K: 8, N: 10, PayloadLen: 8 << 10,
+			Data: []byte("symbol-data"), ViaTree: true,
+		},
+		&core.Symbol{ID: core.MessageID{Source: 6, Seq: 3}, Index: 9, K: 1, N: 2, PayloadLen: 1, Data: []byte{0xAB}},
+		&core.Symbol{},
+		&core.SymbolPull{
+			ID:   core.MessageID{Source: 6, Seq: 2},
+			Want: store.SymbolSet{0x5, 0, 0, 1 << 63},
+		},
+		&core.SymbolPull{},
+		// Gossip carrying symbol adverts, including a K=1 geometry and a
+		// saturated 256-bit bitmap.
+		&core.Gossip{
+			Degrees: core.Degrees{Rand: 2},
+			Syms: []core.SymbolAdvert{
+				{
+					ID: core.MessageID{Source: 6, Seq: 2}, Age: time.Second,
+					K: 8, N: 10, PayloadLen: 8 << 10,
+					Have: store.SymbolSet{0x3FF, 0, 0, 0},
+				},
+				{
+					ID: core.MessageID{Source: 7, Seq: 1},
+					K:  1, N: 1, PayloadLen: 100,
+					Have: store.SymbolSet{1, 0, 0, 0},
+				},
+				{
+					ID: core.MessageID{Source: 8, Seq: 4}, Age: time.Minute,
+					K: 252, N: 256, PayloadLen: 1 << 20,
+					Have: store.SymbolSet{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)},
+				},
+			},
+		},
+		// Sync reply paging symbols alongside whole items.
+		&core.SyncReply{
+			Items: []core.SyncItem{{ID: core.MessageID{Source: 2, Seq: 5}, Payload: []byte("whole")}},
+			Syms: []core.Symbol{
+				{ID: core.MessageID{Source: 6, Seq: 2}, Index: 0, K: 2, N: 3, PayloadLen: 12, Data: []byte("half-a")},
+				{ID: core.MessageID{Source: 6, Seq: 2}, Index: 2, K: 2, N: 3, PayloadLen: 12, Data: []byte("parity")},
+			},
+			More: true,
+		},
 	}
 }
 
