@@ -33,7 +33,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gocast-experiments", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "which figure to regenerate: all,1,3a,3b,3a-curves,3b-curves,4,5a,5b,6,hears,redundancy,linkchanges,randsweep,diameter,stress,fanoutsweep,coopcast,ablate,churn,recovery ('all' skips the -curves variants)")
+		fig      = fs.String("fig", "all", "which figure to regenerate: all,1,3a,3b,3a-curves,3b-curves,4,5a,5b,6,hears,redundancy,linkchanges,randsweep,diameter,stress,fanoutsweep,coopcast,ablate,churn,recovery,paths ('all' skips the -curves variants)")
 		scale    = fs.String("scale", "quick", "experiment scale: paper or quick")
 		nodes    = fs.Int("nodes", 0, "override the node count")
 		seed     = fs.Int64("seed", 0, "override the random seed")
@@ -138,6 +138,7 @@ func run(args []string) error {
 	emit("coopcast", func() *experiments.Report { return experiments.Coopcast(sc, nil, 0.07) })
 	emit("churn", func() *experiments.Report { return experiments.ChurnSweep(sc, nil) })
 	emit("recovery", func() *experiments.Report { return experiments.Recovery(sc, 30*time.Second) })
+	emit("paths", func() *experiments.Report { return experiments.Paths(sc, 0.10) })
 	emit("ablate", func() *experiments.Report {
 		// Combine the three ablations into one printout.
 		a, b, c := experiments.AblateC1(sc), experiments.AblateDropTrigger(sc), experiments.AblateC4(sc)

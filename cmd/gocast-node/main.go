@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -106,6 +107,12 @@ func newApp(args []string, w io.Writer) (*app, error) {
 
 		traceCap    = fs.Int("trace-capacity", 0, "protocol trace ring size in events (0 = default 1024, negative disables)")
 		traceSample = fs.Int("trace-sample", 0, "record every Nth protocol event in the trace ring (0/1 = all)")
+
+		spanSample = fs.Int("span-sample-every", 0, "dissemination tracing: locally injected multicasts whose sequence number is a multiple of N carry a sampled hop context and leave dtrace spans on every node they touch (0 disables, 1 traces every message)")
+		spanCap    = fs.Int("span-capacity", 0, "dissemination trace span ring size (0 = default 4096, negative disables recording)")
+
+		mutexFraction = fs.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction: sample 1/N of mutex contention events so /debug/pprof/mutex returns data (0 disables, the runtime default)")
+		blockRate     = fs.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate: sample blocking events of at least N ns so /debug/pprof/block returns data (0 disables, the runtime default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -122,8 +129,19 @@ func newApp(args []string, w io.Writer) (*app, error) {
 	cfg.SyncInterval = *syncInterval
 	cfg.SyncBatchBytes = *syncBatch
 	cfg.CoopcastThreshold = *coopcastThreshold
+	cfg.TraceSampleEvery = *spanSample
 	if *fecRepair > 0 {
 		cfg.FECRepair = *fecRepair
+	}
+
+	// Contention profiling is off by default (it costs a sampled global
+	// counter per event); these flags turn it on so the pprof mutex and
+	// block endpoints under -admin-addr return real samples.
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
 	}
 
 	tr, err := gocast.NewTCPTransportWithOptions(gocast.NodeID(*id), *listen, gocast.TCPOptions{
@@ -147,6 +165,7 @@ func newApp(args []string, w io.Writer) (*app, error) {
 		Incarnation:   uint32(*inc),
 		TraceCapacity: *traceCap,
 		TraceSample:   *traceSample,
+		SpanCapacity:  *spanCap,
 		Overload: gocast.OverloadOptions{
 			MemBudget:  *memBudget,
 			ShedPolicy: *shedPolicy,
@@ -163,6 +182,7 @@ func newApp(args []string, w io.Writer) (*app, error) {
 		a.admin, err = gocast.ServeAdmin(*adminAddr, gocast.AdminOptions{
 			Registry: a.node.Registry(),
 			Trace:    a.node.Trace(),
+			Spans:    a.node.Spans,
 			Status:   func() any { return a.node.Status() },
 			Health:   a.node.Health,
 		})
@@ -170,7 +190,7 @@ func newApp(args []string, w io.Writer) (*app, error) {
 			a.node.Close()
 			return nil, err
 		}
-		fmt.Fprintf(w, "admin endpoint on http://%s/ (/metrics /statusz /healthz /tracez /debug/pprof)\n", a.admin.Addr())
+		fmt.Fprintf(w, "admin endpoint on http://%s/ (/metrics /statusz /healthz /tracez /spans /debug/pprof)\n", a.admin.Addr())
 	}
 
 	switch {

@@ -1,0 +1,151 @@
+// Command gocast-trace reconstructs the dissemination path of sampled
+// multicasts across a running GoCast group.
+//
+// It fetches every node's span buffer from the admin endpoints (GET
+// /spans, see gocast-node -admin-addr), stitches the spans into
+// per-message dissemination trees, and renders them as ASCII trees with
+// per-delivery latency attribution — which hops were tree pushes, which
+// had to be recovered by gossip pull or anti-entropy sync, and how long
+// each path took.
+//
+// Usage:
+//
+//	gocast-trace [flags] admin-addr [admin-addr...]
+//
+//	gocast-trace 127.0.0.1:8001 127.0.0.1:8002 127.0.0.1:8003
+//	gocast-trace -msg 1/12 127.0.0.1:8001 127.0.0.1:8002
+//	gocast-trace -json 127.0.0.1:8001 > traces.json
+//	gocast-trace -chrome trace.json 127.0.0.1:8001 127.0.0.1:8002
+//	gocast-trace -in spans.json -msg 0/3
+//
+// Tracing must be on: start nodes with -span-sample-every N (or set
+// Config.TraceSampleEvery) so 1-in-N locally injected multicasts carry a
+// sampled hop context and leave spans behind.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gocast/internal/dtrace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gocast-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("gocast-trace", flag.ExitOnError)
+	var (
+		msg     = fs.String("msg", "", "render only message src/seq (e.g. 1/12)")
+		asJSON  = fs.Bool("json", false, "emit stitched traces as JSON instead of ASCII trees")
+		chrome  = fs.String("chrome", "", "also write Chrome trace-event JSON to this file (chrome://tracing, ui.perfetto.dev)")
+		in      = fs.String("in", "", "read a span JSON array from this file ('-' for stdin) instead of, or in addition to, fetching endpoints")
+		timeout = fs.Duration("timeout", 5*time.Second, "per-endpoint fetch timeout")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: gocast-trace [flags] admin-addr [admin-addr...]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	addrs := fs.Args()
+	if len(addrs) == 0 && *in == "" {
+		fs.Usage()
+		return fmt.Errorf("no admin addresses given (and no -in file)")
+	}
+
+	var spans []dtrace.Span
+	if *in != "" {
+		got, err := readSpans(*in)
+		if err != nil {
+			return err
+		}
+		spans = append(spans, got...)
+	}
+	if len(addrs) > 0 {
+		got, err := dtrace.Collect(addrs, *timeout)
+		spans = append(spans, got...)
+		if err != nil {
+			// Partial collections still stitch; warn and carry on.
+			fmt.Fprintln(os.Stderr, "gocast-trace: some endpoints failed:", err)
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans collected — is sampling on? (gocast-node -span-sample-every N)")
+	}
+
+	traces := dtrace.Stitch(spans)
+	if *msg != "" {
+		src, seq, err := dtrace.ParseMsg(*msg)
+		if err != nil {
+			return err
+		}
+		t := dtrace.Find(traces, src, seq)
+		if t == nil {
+			return fmt.Errorf("no spans for message %s (%d traced messages collected)", *msg, len(traces))
+		}
+		traces = []*dtrace.MessageTrace{t}
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		if err := dtrace.WriteChromeTrace(f, traces, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gocast-trace: wrote Chrome trace-event file %s\n", *chrome)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(traces)
+	}
+	for i, t := range traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(t.Render())
+	}
+	return nil
+}
+
+// readSpans loads a span JSON array — the /spans response body, or the
+// concatenation several of them produce when saved per node.
+func readSpans(path string) ([]dtrace.Span, error) {
+	var r *os.File
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	dec := json.NewDecoder(r)
+	var spans []dtrace.Span
+	for dec.More() {
+		var chunk []dtrace.Span
+		if err := dec.Decode(&chunk); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		spans = append(spans, chunk...)
+	}
+	return spans, nil
+}

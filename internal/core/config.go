@@ -103,6 +103,14 @@ type Config struct {
 	// this long.
 	RootTimeout time.Duration
 
+	// TraceSampleEvery enables causal dissemination tracing: every Nth
+	// locally injected multicast (by sequence number) carries a sampled
+	// hop context, and every node it touches records dtrace spans for it
+	// (given an installed SpanObserver). 0 — the default — disables
+	// sampling entirely; the hot path then pays one branch per receive.
+	// 1 traces every message.
+	TraceSampleEvery int
+
 	// EnableTree turns tree construction and tree forwarding on. The
 	// "proximity overlay" and "random overlay" baselines disable it and
 	// disseminate through neighbor gossip only.
@@ -206,6 +214,9 @@ func (c Config) validate() Config {
 	}
 	if c.CoopcastThreshold < 0 {
 		c.CoopcastThreshold = 0
+	}
+	if c.TraceSampleEvery < 0 {
+		c.TraceSampleEvery = 0
 	}
 	if c.FECSymbolSize <= 0 {
 		c.FECSymbolSize = 1024

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"gocast/internal/dtrace"
 	"gocast/internal/fec"
 	"gocast/internal/store"
 )
@@ -110,6 +111,13 @@ func (n *Node) multicastCoopcast(payload []byte) (MessageID, bool) {
 	n.nextSeq++
 	st := n.getMsgState()
 	st.receivedAt = n.env.Now()
+	if n.cfg.TraceSampleEvery > 0 && id.Seq%uint32(n.cfg.TraceSampleEvery) == 0 {
+		st.traced = true
+		st.origin = n.env.Now()
+		if n.spanObs != nil {
+			n.emitSpan(dtrace.KindInject, id, None, 0, st.origin, st.origin, 0, 0)
+		}
+	}
 	sym := &symState{
 		k:          uint16(p.K),
 		total:      uint16(p.N()),
@@ -164,7 +172,7 @@ func (n *Node) forwardSymbol(id MessageID, st *msgState, idx uint16, data []byte
 	n.env.Send(t, &Symbol{
 		ID: id, Age: n.ageOf(st), Index: idx,
 		K: st.sym.k, N: st.sym.total, PayloadLen: st.sym.payloadLen,
-		Data: data, ViaTree: true,
+		Data: data, ViaTree: true, Hop: n.hopOf(st),
 	})
 }
 
@@ -193,6 +201,12 @@ func (n *Node) handleSymbol(from NodeID, m *Symbol) {
 		st.sym = &symState{k: m.K, total: m.N, payloadLen: m.PayloadLen}
 		n.seen[key] = st
 		n.recent = append(n.recent, m.ID)
+		n.assembling++
+	}
+	if !st.traced {
+		// An assembly opened by a bare advert has no hop context; the
+		// first sampled symbol supplies it.
+		st.adoptHop(m.Hop)
 	}
 	sym := st.sym
 	if sym.failed {
@@ -216,6 +230,14 @@ func (n *Node) handleSymbol(from NodeID, m *Symbol) {
 	sym.have.Add(idx)
 	sym.haveCnt++
 	n.stats.SymbolsRecv++
+	if st.traced && n.spanObs != nil {
+		now := n.env.Now()
+		kind := dtrace.KindSymbolPull
+		if m.ViaTree {
+			kind = dtrace.KindSymbolTree
+		}
+		n.emitSpan(kind, m.ID, from, m.Hop.Hops, now, now, n.ageOf(st), int64(idx))
+	}
 	n.forwardSymbol(m.ID, st, m.Index, m.Data, from)
 	if !sym.complete && sym.haveCnt >= int(sym.k) {
 		n.completeAssembly(m.ID, st, from)
@@ -228,6 +250,9 @@ func (n *Node) handleSymbol(from NodeID, m *Symbol) {
 func (n *Node) completeAssembly(id MessageID, st *msgState, from NodeID) {
 	sym := st.sym
 	total := int(sym.total)
+	held := sym.haveCnt
+	// Either outcome ends the in-progress assembly.
+	n.assembling--
 	p := fec.Params{K: int(sym.k), R: total - int(sym.k), SymbolSize: sym.symbolSize()}
 	coder, err := n.coderFor(p)
 	syms := make([][]byte, total)
@@ -263,6 +288,9 @@ func (n *Node) completeAssembly(id MessageID, st *msgState, from NodeID) {
 	if n.obs != nil {
 		n.obs.ObserveReassembly(n.env.Now() - st.receivedAt)
 		n.obs.Event(EvDeliver, from, PackMessageID(id), int64(n.ageOf(st)))
+	}
+	if st.traced && n.spanObs != nil {
+		n.emitSpan(dtrace.KindReassembly, id, from, st.hops, st.receivedAt, n.env.Now(), n.ageOf(st), int64(held))
 	}
 }
 
@@ -320,6 +348,7 @@ func (n *Node) handleSymbolAdvert(from NodeID, ad *SymbolAdvert, linkLat time.Du
 	st.sym = &symState{k: ad.K, total: ad.N, payloadLen: ad.PayloadLen}
 	n.seen[key] = st
 	n.recent = append(n.recent, ad.ID)
+	n.assembling++
 	if peerComplete {
 		st.heardMask |= n.slotBit(from)
 	}
@@ -418,8 +447,10 @@ func (n *Node) handleSymbolPull(from NodeID, m *SymbolPull) {
 		return
 	}
 	var age time.Duration
+	var hop Hop
 	if st := n.seen[pid(m.ID)]; st != nil {
 		age = n.ageOf(st)
+		hop = n.hopOf(st)
 	}
 	for i := 0; i < int(meta.N); i++ {
 		if !m.Want.Has(i) || !have.Has(i) {
@@ -433,7 +464,28 @@ func (n *Node) handleSymbolPull(from NodeID, m *SymbolPull) {
 		n.env.Send(from, &Symbol{
 			ID: m.ID, Age: age, Index: uint16(i),
 			K: meta.K, N: meta.N, PayloadLen: meta.PayloadLen,
-			Data: data, ViaTree: false,
+			Data: data, ViaTree: false, Hop: hop,
 		})
 	}
+}
+
+// Assembling reports the node's in-progress coopcast reassemblies: how
+// many messages sit between first symbol and decode, and the age of the
+// oldest such assembly (0 when none). The count is O(1); the oldest-age
+// scan only runs while assemblies exist. Must run on the node's logical
+// thread.
+func (n *Node) Assembling() (count int, oldest time.Duration) {
+	if n.assembling <= 0 {
+		return 0, 0
+	}
+	now := n.env.Now()
+	for _, st := range n.seen {
+		if st.sym != nil && !st.sym.complete && !st.sym.failed {
+			count++
+			if age := now - st.receivedAt; age > oldest {
+				oldest = age
+			}
+		}
+	}
+	return count, oldest
 }

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"time"
 
+	"gocast/internal/dtrace"
 	"gocast/internal/store"
 )
 
@@ -44,6 +45,23 @@ type msgState struct {
 	// "peer known able to reconstruct" (advertised >= K symbols), not
 	// "peer holds the payload".
 	sym *symState
+	// traced marks a message sampled for dissemination tracing; hops and
+	// origin mirror the incoming hop context (both zero at the origin).
+	// Outgoing copies are re-stamped via hopOf.
+	traced bool
+	hops   uint8
+	origin time.Duration
+}
+
+// adoptHop installs an incoming sampled hop context on a fresh message
+// record so outgoing copies and trace spans carry the right depth. One
+// branch for the unsampled majority.
+func (st *msgState) adoptHop(h Hop) {
+	if h.Sampled {
+		st.traced = true
+		st.hops = h.Hops
+		st.origin = h.Origin
+	}
 }
 
 // pullState tracks a message known only by ID (from gossips).
@@ -56,6 +74,9 @@ type pullState struct {
 	// pullSentAt is when the most recent PullRequest for this ID left,
 	// 0 while no pull has been issued yet (observability only).
 	pullSentAt time.Duration
+	// hop is the trace context from the gossip advert that opened this
+	// pull, so pull-path spans know the message is sampled.
+	hop Hop
 }
 
 // invalidSlot marks a neighbor holding no bitmask slot (only possible
@@ -168,13 +189,23 @@ func (n *Node) newGossip() *Gossip {
 	return &Gossip{}
 }
 
-func (n *Node) newMulticast(id MessageID, age time.Duration, payload []byte, viaTree bool) *Multicast {
+func (n *Node) newMulticast(id MessageID, age time.Duration, payload []byte, viaTree bool, hop Hop) *Multicast {
 	if n.pool != nil {
 		m := n.pool.GetMulticast()
-		m.ID, m.Age, m.Payload, m.ViaTree = id, age, payload, viaTree
+		m.ID, m.Age, m.Payload, m.ViaTree, m.Hop = id, age, payload, viaTree, hop
 		return m
 	}
-	return &Multicast{ID: id, Age: age, Payload: payload, ViaTree: viaTree}
+	return &Multicast{ID: id, Age: age, Payload: payload, ViaTree: viaTree, Hop: hop}
+}
+
+// hopOf builds the outgoing trace hop context for a buffered message:
+// all zeros (one branch) unless the message is sampled, in which case
+// outgoing copies carry this node's arrival depth plus one.
+func (n *Node) hopOf(st *msgState) Hop {
+	if st == nil || !st.traced {
+		return Hop{}
+	}
+	return Hop{Sampled: true, Hops: st.hops + 1, Origin: st.origin}
 }
 
 func (n *Node) newPullRequest() *PullRequest {
@@ -223,6 +254,13 @@ func (n *Node) Multicast(payload []byte) MessageID {
 	st := n.getMsgState()
 	st.receivedAt = n.env.Now()
 	n.seen[pid(id)] = st
+	if n.cfg.TraceSampleEvery > 0 && id.Seq%uint32(n.cfg.TraceSampleEvery) == 0 {
+		st.traced = true
+		st.origin = n.env.Now()
+		if n.spanObs != nil {
+			n.emitSpan(dtrace.KindInject, id, None, 0, st.origin, st.origin, 0, 0)
+		}
+	}
 	n.store.Put(sid(id), payload, n.env.Now())
 	n.recent = append(n.recent, id)
 	n.stats.Injected++
@@ -253,6 +291,7 @@ func (n *Node) forwardTree(id MessageID, st *msgState, payload []byte, except No
 	if !n.cfg.EnableTree {
 		return
 	}
+	hop := n.hopOf(st)
 	for _, t := range n.TreeNeighbors() {
 		if t == except || st.heardMask&n.slotBit(t) != 0 {
 			continue
@@ -261,13 +300,20 @@ func (n *Node) forwardTree(id MessageID, st *msgState, payload []byte, except No
 		if n.obs != nil {
 			n.obs.Event(EvSend, t, PackMessageID(id), 0)
 		}
-		n.env.Send(t, n.newMulticast(id, n.ageOf(st), payload, true))
+		n.env.Send(t, n.newMulticast(id, n.ageOf(st), payload, true, hop))
 	}
 }
 
-// handleMulticast receives a payload, via tree push, pull response, or
-// sync recovery.
+// handleMulticast receives a payload via tree push or pull response.
 func (n *Node) handleMulticast(from NodeID, m *Multicast) {
+	n.receiveMulticast(from, m, false)
+}
+
+// receiveMulticast is the shared receive path for whole-payload
+// multicasts: tree pushes and pull responses arrive through
+// handleMulticast, sync catch-up items through handleSyncReply with
+// viaSync set — the distinction only matters for trace attribution.
+func (n *Node) receiveMulticast(from NodeID, m *Multicast, viaSync bool) {
 	if st, ok := n.seen[pid(m.ID)]; ok {
 		// Redundant copy (the 2% case discussed in Section 2.1).
 		n.stats.Duplicates++
@@ -284,12 +330,17 @@ func (n *Node) handleMulticast(from NodeID, m *Multicast) {
 	st.receivedAt = n.env.Now()
 	st.ageAtReceipt = age
 	st.heardMask = n.slotBit(from)
+	st.adoptHop(m.Hop)
 	n.seen[pid(m.ID)] = st
 	n.store.Put(sid(m.ID), m.Payload, n.env.Now())
 	n.recent = append(n.recent, m.ID)
 	n.stats.PayloadsRecv++
+	// pulledAt survives the pullState's recycling so the pull-delivery
+	// span can report the request→reply RTT.
+	var pulledAt time.Duration
 	if ps, ok := n.pending[pid(m.ID)]; ok {
 		ps.timer.Stop()
+		pulledAt = ps.pullSentAt
 		if n.obs != nil && ps.pullSentAt > 0 {
 			n.obs.ObservePullRTT(n.env.Now() - ps.pullSentAt)
 		}
@@ -302,6 +353,21 @@ func (n *Node) handleMulticast(from NodeID, m *Multicast) {
 			n.obs.ObserveTreeForward(n.ageOf(st))
 		}
 		n.obs.Event(EvDeliver, from, PackMessageID(m.ID), int64(n.ageOf(st)))
+	}
+	if st.traced && n.spanObs != nil {
+		now := n.env.Now()
+		switch {
+		case viaSync:
+			n.emitSpan(dtrace.KindSyncDeliver, m.ID, from, m.Hop.Hops, now, now, n.ageOf(st), 0)
+		case m.ViaTree:
+			n.emitSpan(dtrace.KindTreeDeliver, m.ID, from, m.Hop.Hops, now, now, n.ageOf(st), 0)
+		default:
+			start := now
+			if pulledAt > 0 {
+				start = pulledAt
+			}
+			n.emitSpan(dtrace.KindPullDeliver, m.ID, from, m.Hop.Hops, start, now, n.ageOf(st), 0)
+		}
 	}
 	n.forwardTree(m.ID, st, m.Payload, from)
 }
@@ -371,7 +437,7 @@ func (n *Node) gossipRound() {
 			continue
 		}
 		st.announcedMask |= bit
-		g.IDs = append(g.IDs, GossipID{ID: id, Age: n.ageOf(st)})
+		g.IDs = append(g.IDs, GossipID{ID: id, Age: n.ageOf(st), Hop: n.hopOf(st)})
 	}
 	n.compactRecent()
 	g.Members = n.appendSampleMembers(g.Members, n.cfg.MemberSampleSize, y)
@@ -489,7 +555,11 @@ func (n *Node) handleGossip(from NodeID, g *Gossip) {
 		ps.holders = append(ps.holders, from)
 		ps.learnedAt = n.env.Now()
 		ps.ageAtLearn = age
+		ps.hop = gid.Hop
 		n.pending[pid(gid.ID)] = ps
+		if gid.Hop.Sampled && n.spanObs != nil {
+			n.emitSpan(dtrace.KindAdvert, gid.ID, from, gid.Hop.Hops, ps.learnedAt, ps.learnedAt, age, 0)
+		}
 		// Give the tree PullDelay (f) since injection before pulling.
 		wait := n.cfg.PullDelay - age
 		if wait <= 0 {
@@ -501,6 +571,9 @@ func (n *Node) handleGossip(from NodeID, g *Gossip) {
 			ps.pullSentAt = n.env.Now()
 			if n.obs != nil {
 				n.obs.Event(EvPull, from, PackMessageID(gid.ID), 0)
+			}
+			if gid.Hop.Sampled && n.spanObs != nil {
+				n.emitSpan(dtrace.KindPull, gid.ID, from, gid.Hop.Hops, ps.learnedAt, ps.pullSentAt, age, 0)
 			}
 			ps.timer = n.startPullRetry(gid.ID)
 			continue
@@ -532,6 +605,9 @@ func (n *Node) firePull(id MessageID) {
 	n.stats.PullsSent++
 	if n.obs != nil {
 		n.obs.Event(EvPull, holder, PackMessageID(id), int64(attempt))
+	}
+	if ps.hop.Sampled && n.spanObs != nil {
+		n.emitSpan(dtrace.KindPull, id, holder, ps.hop.Hops, ps.learnedAt, ps.pullSentAt, ps.ageAtLearn, int64(attempt))
 	}
 	pr := n.newPullRequest()
 	pr.IDs = append(pr.IDs, id)
@@ -578,7 +654,7 @@ func (n *Node) handlePullRequest(from NodeID, m *PullRequest) {
 		}
 		st.heardMask |= n.slotBit(from) // requester will have it; never announce back
 		n.stats.PullsServed++
-		n.env.Send(from, n.newMulticast(id, n.ageOf(st), payload, false))
+		n.env.Send(from, n.newMulticast(id, n.ageOf(st), payload, false, n.hopOf(st)))
 	}
 	if len(missed) > 0 {
 		n.stats.PullMissesSent += int64(len(missed))
@@ -630,6 +706,9 @@ func (n *Node) reclaimTick() {
 		// A reclaimed coopcast record can no longer accept or serve
 		// symbols; stop its pull loop instead of retrying into a tombstone.
 		if st := n.seen[pid(mid(id))]; st != nil && st.sym != nil && !st.sym.complete {
+			if !st.sym.failed {
+				n.assembling--
+			}
 			st.sym.failed = true
 			st.sym.timer.Stop()
 		}
@@ -639,6 +718,9 @@ func (n *Node) reclaimTick() {
 		if st := n.seen[key]; st != nil {
 			if st.sym != nil {
 				st.sym.timer.Stop()
+				if !st.sym.complete && !st.sym.failed {
+					n.assembling--
+				}
 			}
 			delete(n.seen, key)
 			n.putMsgState(st)

@@ -45,7 +45,30 @@ const (
 	entryWire  = 20 // id + incarnation + addr ref + landmark vector, approximate
 	headerWire = 8  // kind + sender + framing, approximate
 	obitWire   = 8  // id + incarnation
+	hopWire    = 10 // trace hop context: flags + hop count + origin stamp
 )
+
+// Hop is the per-message trace context carried by payload-bearing wire
+// messages (Multicast, GossipID, SyncItem, Symbol). For unsampled
+// messages — the overwhelming majority — it is all zeros and costs one
+// branch on the receive path. When a multicast is sampled for
+// dissemination tracing, Sampled is set at the origin and every node
+// that stores the message re-stamps outgoing copies with its own hop
+// count + 1, so receivers know their overlay depth and record trace
+// spans (see internal/dtrace).
+type Hop struct {
+	// Sampled marks the message as traced; nodes holding a span observer
+	// record spans for it.
+	Sampled bool
+	// Hops is how many overlay hops the carrying message has traveled
+	// when it arrives: 1 on a copy sent by the origin, each relay stamps
+	// its own arrival count plus one.
+	Hops uint8
+	// Origin is the origin node's clock at inject, meaningful where
+	// clocks are comparable (netsim virtual time); live stitching relies
+	// on the skew-free Age instead.
+	Origin time.Duration
+}
 
 // Degrees is the sender's current degree information, piggybacked on most
 // messages so neighbors can evaluate the maintenance conditions (Section
@@ -170,6 +193,9 @@ func (*RebalanceReply) WireSize() int { return headerWire + 5 }
 type GossipID struct {
 	ID  MessageID
 	Age time.Duration
+	// Hop carries the trace context so pull-path recovery of sampled
+	// messages stays traceable end to end.
+	Hop Hop
 }
 
 // Gossip is the periodic summary a node sends to one overlay neighbor
@@ -193,7 +219,7 @@ type Gossip struct {
 
 func (*Gossip) Kind() MsgKind { return KindGossip }
 func (m *Gossip) WireSize() int {
-	return headerWire + 12*len(m.IDs) + entryWire*len(m.Members) + degreesWire() +
+	return headerWire + (12+hopWire)*len(m.IDs) + entryWire*len(m.Members) + degreesWire() +
 		obitWire*len(m.Obits) + symAdvertWire*len(m.Syms)
 }
 
@@ -225,10 +251,12 @@ type Multicast struct {
 	// ViaTree is true for unconditional tree forwarding, false for pull
 	// responses.
 	ViaTree bool
+	// Hop is the dissemination trace context (zero unless sampled).
+	Hop Hop
 }
 
 func (*Multicast) Kind() MsgKind   { return KindMulticast }
-func (m *Multicast) WireSize() int { return headerWire + 8 + 8 + 1 + len(m.Payload) }
+func (m *Multicast) WireSize() int { return headerWire + 8 + 8 + 1 + hopWire + len(m.Payload) }
 
 // TreeAdvert propagates root distance information. The root floods a new
 // Wave every heartbeat period; every node adopts as parent the neighbor
@@ -280,6 +308,8 @@ type SyncItem struct {
 	ID      MessageID
 	Age     time.Duration
 	Payload []byte
+	// Hop is the dissemination trace context (zero unless sampled).
+	Hop Hop
 }
 
 // SyncReply returns the payloads the requester's digest was missing,
@@ -299,7 +329,7 @@ func (*SyncReply) Kind() MsgKind { return KindSyncReply }
 func (m *SyncReply) WireSize() int {
 	n := headerWire + 1
 	for _, it := range m.Items {
-		n += 8 + 8 + 4 + len(it.Payload)
+		n += 8 + 8 + 4 + hopWire + len(it.Payload)
 	}
 	for i := range m.Syms {
 		n += symbolWire + len(m.Syms[i].Data)
@@ -320,8 +350,9 @@ func (m *PullMiss) WireSize() int { return headerWire + 8*len(m.IDs) }
 
 const (
 	// symbolWire is a Symbol's fixed overhead: ID + age + index/K/N +
-	// payload length + data length prefix + via-tree flag, approximate.
-	symbolWire = 8 + 8 + 6 + 4 + 4 + 1
+	// payload length + data length prefix + via-tree flag + trace hop
+	// context, approximate.
+	symbolWire = 8 + 8 + 6 + 4 + 4 + 1 + hopWire
 	// symAdvertWire is one SymbolAdvert: ID + age + geometry + bitmap.
 	symAdvertWire = 8 + 8 + 8 + 8*store.SymbolWords
 )
@@ -341,6 +372,8 @@ type Symbol struct {
 	PayloadLen uint32
 	Data       []byte
 	ViaTree    bool
+	// Hop is the dissemination trace context (zero unless sampled).
+	Hop Hop
 }
 
 func (*Symbol) Kind() MsgKind   { return KindSymbol }

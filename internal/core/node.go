@@ -82,6 +82,10 @@ type Node struct {
 	recent    []MessageID
 	nextSeq   uint32
 	gossipIdx int
+	// assembling counts coopcast messages with an in-progress (incomplete,
+	// not failed) symbol assembly, maintained at symState transitions so
+	// the gauge costs nothing to read.
+	assembling int
 
 	// Anti-entropy sync state: round-robin cursor over neighbors and the
 	// last time a sync was initiated toward each peer (rate limit for the
@@ -121,6 +125,10 @@ type Node struct {
 	// obs, when non-nil, receives latency observations and sampled protocol
 	// events (see observe.go). Nil keeps every hook a single branch.
 	obs Observer
+	// spanObs, when non-nil, receives dissemination trace spans for
+	// sampled messages (set by SetObserver when the observer also
+	// implements SpanObserver).
+	spanObs SpanObserver
 
 	// pool is the env's optional message-struct recycler (nil on envs
 	// without the capability; the send helpers then allocate).

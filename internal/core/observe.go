@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"gocast/internal/dtrace"
+)
 
 // Observer receives protocol telemetry from a node. A nil observer (the
 // default) costs a single nil-check per hook, so the discrete-event
@@ -73,6 +77,40 @@ func UnpackMessageID(v int64) MessageID {
 	return MessageID{Source: NodeID(v >> 32), Seq: uint32(v)}
 }
 
+// SpanObserver receives causal dissemination trace spans for sampled
+// messages (see internal/dtrace and Config.TraceSampleEvery). An
+// Observer that also implements SpanObserver is wired up automatically
+// by SetObserver; nodes without one still propagate the wire hop
+// context so downstream nodes can trace.
+//
+// ObserveSpan runs on the node's logical thread and must not call back
+// into the node.
+type SpanObserver interface {
+	ObserveSpan(s dtrace.Span)
+}
+
 // SetObserver installs (or removes, with nil) the node's observer. Must be
-// called on the node's logical thread, normally before Start.
-func (n *Node) SetObserver(o Observer) { n.obs = o }
+// called on the node's logical thread, normally before Start. If o also
+// implements SpanObserver, the node emits dissemination trace spans to it
+// for sampled messages.
+func (n *Node) SetObserver(o Observer) {
+	n.obs = o
+	n.spanObs, _ = o.(SpanObserver)
+}
+
+// emitSpan records one dissemination trace span. Callers guard with
+// n.spanObs != nil; the helper exists so emission sites stay one line.
+func (n *Node) emitSpan(kind dtrace.Kind, id MessageID, from NodeID, hops uint8, start, end, age time.Duration, aux int64) {
+	n.spanObs.ObserveSpan(dtrace.Span{
+		Src:   int32(id.Source),
+		Seq:   id.Seq,
+		Node:  int32(n.id),
+		From:  int32(from),
+		Kind:  kind,
+		Hops:  hops,
+		Start: start,
+		End:   end,
+		Age:   age,
+		Aux:   aux,
+	})
+}

@@ -124,7 +124,7 @@ func (n *Node) handleSyncRequest(from NodeID, m *SyncRequest) {
 					syms = append(syms, Symbol{
 						ID: mID, Age: age, Index: uint16(idx),
 						K: meta.K, N: meta.N, PayloadLen: meta.PayloadLen,
-						Data: data,
+						Data: data, Hop: n.hopOf(st),
 					})
 					budget -= len(data)
 					return true
@@ -140,7 +140,7 @@ func (n *Node) handleSyncRequest(from NodeID, m *SyncRequest) {
 				// never gossip-announce this ID back to it.
 				st.heardMask |= n.slotBit(from)
 			}
-			items = append(items, SyncItem{ID: mID, Age: age, Payload: payload})
+			items = append(items, SyncItem{ID: mID, Age: age, Payload: payload, Hop: n.hopOf(st)})
 			budget -= len(payload)
 			return true
 		})
@@ -175,7 +175,7 @@ func (n *Node) handleSyncReply(from NodeID, m *SyncReply) {
 		if _, dup := n.seen[pid(it.ID)]; !dup {
 			n.stats.SyncItemsRecv++
 		}
-		n.handleMulticast(from, &Multicast{ID: it.ID, Age: it.Age, Payload: it.Payload})
+		n.receiveMulticast(from, &Multicast{ID: it.ID, Age: it.Age, Payload: it.Payload, Hop: it.Hop}, true)
 	}
 	for i := range m.Syms {
 		s := m.Syms[i]

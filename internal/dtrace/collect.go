@@ -1,0 +1,58 @@
+package dtrace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Collect fetches every node's span buffer from its admin endpoint
+// (GET <addr>/spans, served by obs.NewAdminHandler) and merges them for
+// stitching. Addresses may be bare host:port or http:// URLs. Nodes
+// that fail to answer are skipped; their failures come back joined in
+// err alongside whatever spans were gathered, so a partial trace is
+// still renderable.
+func Collect(addrs []string, timeout time.Duration) ([]Span, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
+	var spans []Span
+	var errs []error
+	for _, addr := range addrs {
+		url := addr
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		url = strings.TrimSuffix(url, "/") + "/spans"
+		got, err := fetchSpans(client, url)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+			continue
+		}
+		spans = append(spans, got...)
+	}
+	return spans, errors.Join(errs...)
+}
+
+// fetchSpans GETs one /spans endpoint and decodes its JSON array.
+func fetchSpans(client *http.Client, url string) ([]Span, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("status %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var spans []Span
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}

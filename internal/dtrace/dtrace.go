@@ -1,0 +1,197 @@
+// Package dtrace is GoCast's causal dissemination tracer: sampled,
+// per-message delivery-path reconstruction across nodes.
+//
+// Sampled multicasts carry a small hop context on the wire (sampled bit,
+// hop count, origin stamp). Every node the message touches records typed
+// Spans — inject, tree delivery, gossip advert, pull request, pull
+// delivery, sync catch-up, FEC symbol receipt, reassembly — into a
+// bounded Buffer. A stitcher (Stitch) collects spans from all nodes and
+// reconstructs each message's dissemination tree with per-delivery
+// latency attribution: did this node get the message by tree push, by a
+// gossip pull after loss, by anti-entropy sync, or by FEC reassembly,
+// and where did the time go.
+//
+// The package is dependency-free (standard library only) so internal/core
+// can emit Spans without importing the observability stack. Span is a
+// small value type; recording one is a struct copy under a mutex, no
+// allocation.
+package dtrace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind is the type of one span. Delivery kinds (Inject, TreeDeliver,
+// PullDeliver, SyncDeliver, Reassembly) mark the message landing on a
+// node; the rest are waypoints attributed to the node's delivery.
+type Kind uint8
+
+// Span kinds.
+const (
+	// KindInject marks the origin: the application published the message
+	// on this node. Point event.
+	KindInject Kind = iota + 1
+	// KindTreeDeliver marks a delivery via tree push. Point event at
+	// receipt; Hops is the tree depth the message traveled.
+	KindTreeDeliver
+	// KindPullDeliver marks a delivery via a gossip pull reply.
+	// Start is when the pull request was sent, End is receipt, so
+	// End-Start is the pull RTT.
+	KindPullDeliver
+	// KindSyncDeliver marks a delivery via anti-entropy sync catch-up.
+	// Point event at receipt.
+	KindSyncDeliver
+	// KindAdvert marks the node first hearing of the message in a gossip
+	// digest. Point event; From is the advertising peer.
+	KindAdvert
+	// KindPull marks a pull request leaving the node. Start is when the
+	// node learned of the message (advert time), End is the request send,
+	// so End-Start is the deliberate pull wait; Aux is the attempt number
+	// (1-based).
+	KindPull
+	// KindSymbolTree marks an FEC symbol arriving via tree push; Aux is
+	// the symbol index.
+	KindSymbolTree
+	// KindSymbolPull marks an FEC symbol arriving via gossip pull or
+	// sync; Aux is the symbol index.
+	KindSymbolPull
+	// KindReassembly marks an FEC decode completing: the coopcast message
+	// is delivered. Start is first-symbol receipt, End is decode, Aux is
+	// the number of symbols held at decode.
+	KindReassembly
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInject:
+		return "inject"
+	case KindTreeDeliver:
+		return "tree-deliver"
+	case KindPullDeliver:
+		return "pull-deliver"
+	case KindSyncDeliver:
+		return "sync-deliver"
+	case KindAdvert:
+		return "advert"
+	case KindPull:
+		return "pull-req"
+	case KindSymbolTree:
+		return "symbol-tree"
+	case KindSymbolPull:
+		return "symbol-pull"
+	case KindReassembly:
+		return "reassembly"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// DeliveryKind reports whether k marks the message landing on a node.
+func (k Kind) DeliveryKind() bool {
+	switch k {
+	case KindInject, KindTreeDeliver, KindPullDeliver, KindSyncDeliver, KindReassembly:
+		return true
+	}
+	return false
+}
+
+// Span is one typed trace event recorded by one node for one sampled
+// message. It is a flat value type: recording and snapshotting copy it,
+// never point into protocol state.
+//
+// Start/End are the recording node's own clock (netsim: globally
+// comparable virtual time; live: per-node monotonic time, NOT comparable
+// across nodes — Age is the skew-free latency signal there). Point
+// events have Start == End.
+type Span struct {
+	// Src and Seq identify the message (MessageID fields).
+	Src int32  `json:"src"`
+	Seq uint32 `json:"seq"`
+	// Node recorded the span; From is the peer whose message triggered
+	// it (-1 for local events like inject).
+	Node int32 `json:"node"`
+	From int32 `json:"from"`
+	Kind Kind  `json:"kind"`
+	// Hops is the hop count carried in the triggering message's hop
+	// context (0 at the origin).
+	Hops uint8 `json:"hops"`
+	// Start and End bracket the span on the recording node's clock.
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+	// Age is the protocol's skew-free age estimate for the message at
+	// the event.
+	Age time.Duration `json:"age"`
+	// Aux is kind-specific: pull attempt number, symbol index, symbol
+	// count at decode.
+	Aux int64 `json:"aux,omitempty"`
+}
+
+// Buffer is a bounded ring of spans. Recording overwrites the oldest
+// span once full; Dropped counts overwrites. Safe for concurrent use.
+type Buffer struct {
+	mu      sync.Mutex
+	spans   []Span
+	next    int
+	full    bool
+	dropped int64
+}
+
+// DefaultBufferCapacity is the per-node span ring size when the caller
+// does not choose one.
+const DefaultBufferCapacity = 4096
+
+// NewBuffer returns a ring holding up to capacity spans (<= 0 selects
+// DefaultBufferCapacity).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = DefaultBufferCapacity
+	}
+	return &Buffer{spans: make([]Span, capacity)}
+}
+
+// Record appends one span, evicting the oldest if the ring is full.
+func (b *Buffer) Record(s Span) {
+	b.mu.Lock()
+	if b.full {
+		b.dropped++
+	}
+	b.spans[b.next] = s
+	b.next++
+	if b.next == len(b.spans) {
+		b.next = 0
+		b.full = true
+	}
+	b.mu.Unlock()
+}
+
+// Snapshot returns the buffered spans in record order.
+func (b *Buffer) Snapshot() []Span {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.full {
+		return append([]Span(nil), b.spans[:b.next]...)
+	}
+	out := make([]Span, 0, len(b.spans))
+	out = append(out, b.spans[b.next:]...)
+	out = append(out, b.spans[:b.next]...)
+	return out
+}
+
+// Len returns the number of buffered spans.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.full {
+		return len(b.spans)
+	}
+	return b.next
+}
+
+// Dropped returns how many spans were evicted to make room.
+func (b *Buffer) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gocast/internal/core"
+	"gocast/internal/dtrace"
 	"gocast/internal/obs"
 	"gocast/internal/trace"
 )
@@ -50,6 +51,12 @@ type NodeOptions struct {
 	// TraceSample records every Nth protocol event in the trace ring
 	// (0 and 1 record all). Latency histograms are never sampled.
 	TraceSample int
+	// SpanCapacity sizes the dissemination trace span ring (see
+	// internal/dtrace): 0 selects the dtrace default (4096 spans),
+	// negative disables span recording entirely. Spans are only produced
+	// for sampled messages (Config.TraceSampleEvery), so the ring stays
+	// empty unless sampling is on somewhere in the group.
+	SpanCapacity int
 	// Overload tunes the prioritized mailbox, the degradation governor,
 	// and the memory budget (see OverloadOptions). The zero value selects
 	// the defaults.
@@ -78,13 +85,16 @@ type Node struct {
 	panicked atomic.Bool
 
 	// Observability surfaces (see obs.go). reg is never nil; tbuf is nil
-	// when tracing is disabled. lastStats/lastStatus cache the most recent
-	// collect so stats stay readable after Close/Kill.
+	// when tracing is disabled, sbuf when span recording is disabled.
+	// lastStats/lastStatus cache the most recent collect so stats stay
+	// readable after Close/Kill.
 	reg        *obs.Registry
 	tbuf       *trace.Buffer
+	sbuf       *dtrace.Buffer
 	obsMu      sync.Mutex
 	lastStats  core.Counters
 	lastStatus StatusSnapshot
+	oldestAsm  time.Duration // age of the oldest in-progress FEC assembly at last collect
 
 	// Overload metric handles (captured in setupObs so the shed path is
 	// allocation-free) and the rate limiter for the shed log line.
@@ -262,6 +272,13 @@ func (n *Node) Parent() core.NodeID {
 	return p
 }
 
+// TreeNeighbors snapshots the node's tree links (parent plus children).
+func (n *Node) TreeNeighbors() []core.NodeID {
+	var out []core.NodeID
+	n.call(func() { out = n.coreN.TreeNeighbors() })
+	return out
+}
+
 // Stats snapshots the node's protocol counters. After Close/Kill it
 // returns the final pre-stop snapshot instead of zeros.
 func (n *Node) Stats() core.Counters {
@@ -293,6 +310,17 @@ func (n *Node) SyncStats() map[string]int64 { return n.statsView("sync") }
 // StoreStats snapshots the message store's occupancy and activity counters
 // (puts, evictions, reclaims, ...).
 func (n *Node) StoreStats() map[string]int64 { return n.statsView("store") }
+
+// Spans snapshots the node's dissemination trace span ring in record
+// order, or nil when span recording was disabled with a negative
+// NodeOptions.SpanCapacity. Safe for concurrent use; feed the result
+// (merged across nodes) to dtrace.Stitch.
+func (n *Node) Spans() []dtrace.Span {
+	if n.sbuf == nil {
+		return nil
+	}
+	return n.sbuf.Snapshot()
+}
 
 // Seen reports whether the node has received the message.
 func (n *Node) Seen(id core.MessageID) bool {

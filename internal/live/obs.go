@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gocast/internal/core"
+	"gocast/internal/dtrace"
 	"gocast/internal/obs"
 	"gocast/internal/trace"
 )
@@ -27,8 +28,13 @@ type StatusSnapshot struct {
 	DistToRoot    string      `json:"dist_to_root,omitempty"`
 	StoreMessages int         `json:"store_messages"`
 	StoreBytes    int64       `json:"store_bytes"`
-	Overload      string      `json:"overload"`
-	Stopped       bool        `json:"stopped"`
+	// FECAssembling counts coopcast messages currently mid-reassembly
+	// (first symbol received, not yet decoded or failed);
+	// FECOldestAssembly is the age of the oldest such assembly.
+	FECAssembling     int    `json:"fec_assembling"`
+	FECOldestAssembly string `json:"fec_oldest_assembly,omitempty"`
+	Overload          string `json:"overload"`
+	Stopped           bool   `json:"stopped"`
 }
 
 // nodeObs adapts core.Observer onto the metrics registry and the trace
@@ -49,11 +55,35 @@ type nodeObs struct {
 	gcReclaimed *obs.Counter
 	gcDropped   *obs.Counter
 
+	// Dissemination trace handles (see ObserveSpan). spanAge only sees
+	// delivery-kind spans, giving the per-delivery end-to-end latency
+	// distribution of sampled messages.
+	spansRecorded *obs.Counter
+	spanAge       *obs.Histogram
+
 	sample  int   // record every sample-th protocol event (<=1 = all)
 	evCount int64 // event-loop only, no atomics needed
 }
 
-var _ core.Observer = (*nodeObs)(nil)
+var (
+	_ core.Observer     = (*nodeObs)(nil)
+	_ core.SpanObserver = (*nodeObs)(nil)
+)
+
+// ObserveSpan records one dissemination trace span into the node's span
+// ring (no-op when span recording is disabled). Only sampled messages
+// produce spans, so this path is cold unless Config.TraceSampleEvery is
+// set.
+func (o *nodeObs) ObserveSpan(s dtrace.Span) {
+	if o.n.sbuf == nil {
+		return
+	}
+	o.n.sbuf.Record(s)
+	o.spansRecorded.Inc()
+	if s.Kind.DeliveryKind() {
+		o.spanAge.ObserveDuration(s.Age)
+	}
+}
 
 func (o *nodeObs) ObserveTreeForward(age time.Duration) { o.treeForward.ObserveDuration(age) }
 func (o *nodeObs) ObserveGossipRound(d time.Duration)   { o.gossipRound.ObserveDuration(d) }
@@ -127,6 +157,9 @@ func (n *Node) setupObs() {
 	if capa > 0 {
 		n.tbuf = trace.NewBuffer(capa)
 	}
+	if n.opts.SpanCapacity >= 0 {
+		n.sbuf = dtrace.NewBuffer(n.opts.SpanCapacity)
+	}
 	n.coreN.SetObserver(&nodeObs{
 		n:           n,
 		sample:      n.opts.TraceSample,
@@ -140,7 +173,13 @@ func (n *Node) setupObs() {
 		syncPages:   reg.Counter("gocast_sync_pages_served_total", "anti-entropy reply batches served"),
 		gcReclaimed: reg.Counter("gocast_store_gc_reclaimed_total", "payloads reclaimed by store GC sweeps"),
 		gcDropped:   reg.Counter("gocast_store_gc_dropped_total", "records dropped entirely by store GC sweeps"),
+
+		spansRecorded: reg.Counter("gocast_trace_spans_recorded_total", "dissemination trace spans recorded into the span ring"),
+		spanAge:       reg.Histogram("gocast_trace_delivery_age_seconds", "estimated injection-to-delivery age per delivery span of sampled messages", nil),
 	})
+	// Pre-registered so the family exists (at zero) from the first scrape.
+	reg.Counter("gocast_trace_spans_dropped_total", "dissemination trace spans evicted from the full span ring")
+	reg.Gauge("gocast_fec_assembling", "coopcast messages currently mid-reassembly (first symbol received, not decoded or failed)")
 	// Overload-protection surfaces. The handles are captured so the shed
 	// and publish-reject paths never touch the registry map.
 	n.mbDropped = reg.Counter("gocast_live_mailbox_dropped_total", "event-loop work units shed by the prioritized mailbox (all classes)")
@@ -199,6 +238,8 @@ func (n *Node) collect() {
 		storeCtr     map[string]int64
 		storeLen     int
 		storeBytes   int64
+		assembling   int
+		oldestAsm    time.Duration
 	)
 	if err := n.call(func() {
 		s = n.coreN.Stats()
@@ -212,6 +253,7 @@ func (n *Node) collect() {
 		storeCtr = st.Counters()
 		storeLen = st.Len()
 		storeBytes = st.Bytes()
+		assembling, oldestAsm = n.coreN.Assembling()
 	}); err == nil {
 		n.lastStats = s
 		n.lastStatus = StatusSnapshot{
@@ -224,11 +266,20 @@ func (n *Node) collect() {
 			Root:          root,
 			StoreMessages: storeLen,
 			StoreBytes:    storeBytes,
+			FECAssembling: assembling,
 		}
 		if distOK {
 			n.lastStatus.DistToRoot = dist.String()
 		}
+		if assembling > 0 {
+			n.lastStatus.FECOldestAssembly = oldestAsm.String()
+		}
+		n.oldestAsm = oldestAsm
 		n.mirrorCore(s, inc, degree, members, storeCtr, storeLen, storeBytes)
+		n.reg.Gauge("gocast_fec_assembling", "coopcast messages currently mid-reassembly (first symbol received, not decoded or failed)").Set(int64(assembling))
+	}
+	if n.sbuf != nil {
+		n.reg.Counter("gocast_trace_spans_dropped_total", "dissemination trace spans evicted from the full span ring").Set(n.sbuf.Dropped())
 	}
 	// Transport counters stay readable after the node stops.
 	if ts, ok := n.opts.Transport.(interface{ Stats() map[string]int64 }); ok {
@@ -371,6 +422,14 @@ func (n *Node) Health() error {
 	}
 	if n.coreN.Config().EnableTree && n.lastStatus.Root == core.None {
 		return errors.New("no tree root known")
+	}
+	// A reassembly older than ReclaimAfter (half the store's MaxAge) has
+	// outlived every repair mechanism's expected horizon: symbols stopped
+	// arriving and the assembly is effectively stuck until the store GC
+	// abandons it.
+	if stuck := n.coreN.Config().ReclaimAfter; n.lastStatus.FECAssembling > 0 && n.oldestAsm > stuck {
+		return fmt.Errorf("stuck FEC assembly: oldest of %d in-progress reassemblies is %v old (limit %v)",
+			n.lastStatus.FECAssembling, n.oldestAsm, stuck)
 	}
 	return nil
 }

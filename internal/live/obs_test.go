@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"gocast/internal/obs/promtest"
 	"gocast/internal/trace"
 )
 
@@ -51,10 +52,12 @@ func TestObsMetricsAndTraceWiring(t *testing.T) {
 	if !c.AwaitDegree(1, 10*time.Second) {
 		t.Fatalf("pair never linked")
 	}
-	// Wait for the first heartbeat wave to attach node 1 to the tree, so
-	// the multicast below travels as a tree push (not a gossip pull).
+	// Wait for the first heartbeat wave to attach node 1 to the tree —
+	// and for node 0 to process the TreeParent notice and count node 1
+	// as a child — so the multicast below travels as a tree push (not a
+	// gossip pull).
 	deadline := time.Now().Add(10 * time.Second)
-	for c.Node(1).Parent() != 0 {
+	for c.Node(1).Parent() != 0 || len(c.Node(0).TreeNeighbors()) == 0 {
 		if time.Now().After(deadline) {
 			t.Fatalf("node 1 never attached to the tree")
 		}
@@ -100,6 +103,72 @@ func TestObsMetricsAndTraceWiring(t *testing.T) {
 	ups := tb.Query(trace.Filter{Kinds: []trace.Kind{trace.KindLinkUp}, Node: -1})
 	if len(ups) == 0 {
 		t.Errorf("receiver trace has no link-up events: %s", tb.Summary())
+	}
+}
+
+// TestTraceMetricsConformance drives a traced multicast through a pair
+// and strict-parses the receiver's Prometheus exposition: every
+// gocast_trace_* family (and the FEC assembly gauge) must be present,
+// well-typed, and reflect the traced delivery.
+func TestTraceMetricsConformance(t *testing.T) {
+	cfg := FastConfig()
+	cfg.TraceSampleEvery = 1
+	c := NewCluster(ClusterOptions{Nodes: 2, Config: cfg, Seed: 14})
+	defer c.Close()
+	if !c.AwaitDegree(1, 10*time.Second) {
+		t.Fatalf("pair never linked")
+	}
+	id := c.Node(0).Multicast([]byte("trace metrics"))
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Node(1).Seen(id) {
+		if time.Now().After(deadline) {
+			t.Fatalf("multicast never delivered")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var sb strings.Builder
+	if err := c.Node(1).Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	families := promtest.Parse(t, text)
+	for name, wantType := range map[string]string{
+		"gocast_trace_spans_recorded_total": "counter",
+		"gocast_trace_spans_dropped_total":  "counter",
+		"gocast_trace_delivery_age_seconds": "histogram",
+		"gocast_fec_assembling":             "gauge",
+	} {
+		f, ok := families[name]
+		if !ok {
+			t.Fatalf("family %s missing from exposition:\n%s", name, text)
+		}
+		if !f.Help || f.Type != wantType {
+			t.Errorf("family %s: help=%v type=%q, want help and %q", name, f.Help, f.Type, wantType)
+		}
+		if !promtest.ValidName(name) {
+			t.Errorf("family name %q invalid", name)
+		}
+	}
+	if got := families["gocast_trace_spans_recorded_total"].Samples["gocast_trace_spans_recorded_total"]; got < 1 {
+		t.Errorf("spans_recorded_total = %v after a traced delivery, want >= 1", got)
+	}
+	if got := families["gocast_trace_delivery_age_seconds"].Samples["gocast_trace_delivery_age_seconds_count"]; got < 1 {
+		t.Errorf("delivery age histogram count = %v, want >= 1", got)
+	}
+	if got := families["gocast_trace_spans_dropped_total"].Samples["gocast_trace_spans_dropped_total"]; got != 0 {
+		t.Errorf("spans_dropped_total = %v, want 0", got)
+	}
+
+	// The receiver's span buffer holds the delivery for /spans scraping.
+	found := false
+	for _, s := range c.Node(1).Spans() {
+		if s.Src == int32(id.Source) && s.Seq == id.Seq && s.Kind.DeliveryKind() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("receiver span buffer has no delivery span for %v: %+v", id, c.Node(1).Spans())
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gocast/internal/core"
+	"gocast/internal/dtrace"
 	"gocast/internal/graph"
 	"gocast/internal/latency"
 	"gocast/internal/metrics"
@@ -41,6 +42,11 @@ type Options struct {
 	// Tracer, if set, records protocol events (link changes, parent
 	// changes, deliveries) for debugging.
 	Tracer *trace.Buffer
+	// Spans, if set, collects dissemination trace spans from every node
+	// (see internal/dtrace; sampling is controlled by
+	// Config.TraceSampleEvery). The engine is single-threaded and virtual
+	// time is globally comparable, so one shared buffer stitches exactly.
+	Spans *dtrace.Buffer
 }
 
 // Cluster is a simulated GoCast deployment.
@@ -70,6 +76,7 @@ type Cluster struct {
 
 	// Delivery accounting.
 	msgIndex    map[core.MessageID]int
+	msgIDs      []core.MessageID
 	injectTimes []time.Duration
 	sources     []int
 	recv        [][]time.Duration // [msg][node] delivery time, -1 = never
@@ -181,7 +188,36 @@ func (c *Cluster) buildNode(i int) *core.Node {
 			tb.Addf(c.Engine.Now(), k, int32(idx), int32(peer), "%s rtt=%v", kind, rtt)
 		})
 	}
+	if c.opts.Spans != nil {
+		n.SetObserver(&spanSink{buf: c.opts.Spans})
+	}
 	return n
+}
+
+// spanSink is the observer netsim installs when Options.Spans is set: it
+// forwards dissemination trace spans to the shared buffer and ignores the
+// metric hooks (the simulator has its own accounting).
+type spanSink struct {
+	buf *dtrace.Buffer
+}
+
+func (s *spanSink) ObserveSpan(sp dtrace.Span)                     { s.buf.Record(sp) }
+func (s *spanSink) ObserveTreeForward(time.Duration)               {}
+func (s *spanSink) ObserveGossipRound(time.Duration)               {}
+func (s *spanSink) ObservePullRTT(time.Duration)                   {}
+func (s *spanSink) ObserveSyncPage(int, int64)                     {}
+func (s *spanSink) ObserveTreeRepair(time.Duration)                {}
+func (s *spanSink) ObserveStoreGC(int, int, time.Duration)         {}
+func (s *spanSink) ObserveReassembly(time.Duration)                {}
+func (s *spanSink) Event(core.ObsEvent, core.NodeID, int64, int64) {}
+
+// Spans snapshots the cluster-wide dissemination span buffer (nil Options.
+// Spans yields nil).
+func (c *Cluster) Spans() []dtrace.Span {
+	if c.opts.Spans == nil {
+		return nil
+	}
+	return c.opts.Spans.Snapshot()
 }
 
 // landmarkEntries returns the landmark set (the first LandmarkCount slots)
@@ -509,6 +545,7 @@ func (c *Cluster) Inject(from int, payload []byte) core.MessageID {
 	// Register before Multicast: the source's own delivery is synchronous.
 	id := c.nodes[from].NextMessageID()
 	c.msgIndex[id] = idx
+	c.msgIDs = append(c.msgIDs, id)
 	if got := c.nodes[from].Multicast(payload); got != id {
 		panic("netsim: message ID prediction mismatch")
 	}
@@ -612,6 +649,31 @@ func (c *Cluster) AtomicityViolations(grace time.Duration) int {
 		}
 	}
 	return v
+}
+
+// AtomicityOffenders returns the message IDs that AtomicityViolations
+// would count against — messages old enough to judge that at least one
+// stably-up node never received — in injection order. When dissemination
+// tracing is on (Options.Spans), stitching a trace for one of these shows
+// exactly where its dissemination tree stopped short.
+func (c *Cluster) AtomicityOffenders(grace time.Duration) []core.MessageID {
+	now := c.Engine.Now()
+	var out []core.MessageID
+	for m := range c.recv {
+		if c.injectTimes[m]+grace > now {
+			continue
+		}
+		for i := range c.nodes {
+			if !c.alive[i] || c.joined[i] > c.injectTimes[m] {
+				continue
+			}
+			if c.recv[m][i] < 0 {
+				out = append(out, c.msgIDs[m])
+				break
+			}
+		}
+	}
+	return out
 }
 
 // StaleLinks counts overlay links at live nodes whose neighbor entry holds

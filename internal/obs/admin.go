@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"gocast/internal/dtrace"
 	"gocast/internal/trace"
 )
 
@@ -21,6 +22,10 @@ type AdminOptions struct {
 	Registry *Registry
 	// Trace backs /tracez and renders recent protocol events.
 	Trace *trace.Buffer
+	// Spans backs /spans (dissemination trace spans as JSON, consumed by
+	// gocast-trace and dtrace.Collect) and /tracez?msg=src/seq (the
+	// node-local stitched view of one sampled message).
+	Spans func() []dtrace.Span
 	// Status returns the /statusz payload (any JSON-marshalable value):
 	// degrees, parent, root, incarnation, store occupancy.
 	Status func() any
@@ -34,7 +39,10 @@ type AdminOptions struct {
 //	/metrics  Prometheus text exposition
 //	/statusz  JSON node status snapshot
 //	/healthz  200 "ok" or 503 with the failure reason
-//	/tracez   recent trace-ring events as text (?n=N tail, ?kind=K filter)
+//	/tracez   recent trace-ring events as text (?n=N tail, ?kind=K filter);
+//	          with ?msg=src/seq, this node's stitched dissemination trace
+//	          of that sampled message instead
+//	/spans    dissemination trace spans as a JSON array
 //	/debug/pprof/...  net/http/pprof
 func NewAdminHandler(o AdminOptions) http.Handler {
 	mux := http.NewServeMux()
@@ -73,7 +81,24 @@ func NewAdminHandler(o AdminOptions) http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
+		if o.Spans == nil {
+			http.NotFound(w, req)
+			return
+		}
+		spans := o.Spans()
+		if spans == nil {
+			spans = []dtrace.Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(spans)
+	})
+
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, req *http.Request) {
+		if s := req.URL.Query().Get("msg"); s != "" {
+			serveMsgTrace(w, req, o, s)
+			return
+		}
 		if o.Trace == nil {
 			http.NotFound(w, req)
 			return
@@ -109,6 +134,30 @@ func NewAdminHandler(o AdminOptions) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	return mux
+}
+
+// serveMsgTrace answers /tracez?msg=src/seq: the dissemination trace of
+// one sampled message stitched from this node's own spans. A single node
+// only holds its local view (use gocast-trace to stitch across the whole
+// group), but even that distinguishes how the message reached this node.
+func serveMsgTrace(w http.ResponseWriter, req *http.Request, o AdminOptions, msg string) {
+	if o.Spans == nil {
+		http.NotFound(w, req)
+		return
+	}
+	src, seq, err := dtrace.ParseMsg(msg)
+	if err != nil {
+		http.Error(w, "bad msg (want src/seq): "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	traces := dtrace.Stitch(o.Spans())
+	tr := dtrace.Find(traces, src, seq)
+	if tr == nil {
+		http.Error(w, fmt.Sprintf("no spans recorded for message %s (is sampling on? see Config.TraceSampleEvery)", msg), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, tr.Render())
 }
 
 // AdminServer is a running admin HTTP endpoint.

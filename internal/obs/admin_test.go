@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"gocast/internal/dtrace"
 	"gocast/internal/trace"
 )
 
@@ -103,6 +104,55 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 }
 
+// TestAdminSpansAndMsgTrace covers the dissemination-tracing endpoints:
+// /spans serves the span buffer as JSON (the feed gocast-trace and
+// dtrace.Collect stitch), and /tracez?msg=src/seq renders the node-local
+// stitched tree of one message.
+func TestAdminSpansAndMsgTrace(t *testing.T) {
+	spans := []dtrace.Span{
+		{Src: 1, Seq: 5, Node: 1, From: -1, Kind: dtrace.KindInject},
+		{Src: 1, Seq: 5, Node: 2, From: 1, Kind: dtrace.KindTreeDeliver, Hops: 1,
+			Start: 3 * time.Millisecond, End: 3 * time.Millisecond, Age: 3 * time.Millisecond},
+	}
+	srv, err := ServeAdmin("127.0.0.1:0", AdminOptions{
+		Spans: func() []dtrace.Span { return spans },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/spans")
+	if code != http.StatusOK {
+		t.Fatalf("/spans = %d", code)
+	}
+	var got []dtrace.Span
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/spans not a span JSON array: %v\n%s", err, body)
+	}
+	if len(got) != 2 || got[0] != spans[0] || got[1] != spans[1] {
+		t.Fatalf("/spans round trip = %+v, want %+v", got, spans)
+	}
+
+	// The same endpoint feeds dtrace.Collect.
+	collected, err := dtrace.Collect([]string{srv.Addr()}, time.Second)
+	if err != nil || len(collected) != 2 {
+		t.Fatalf("Collect = %d spans, %v", len(collected), err)
+	}
+
+	code, body = get(t, base+"/tracez?msg=1/5")
+	if code != http.StatusOK || !strings.Contains(body, "inject") || !strings.Contains(body, "node 2 tree") {
+		t.Errorf("/tracez?msg=1/5 = %d:\n%s", code, body)
+	}
+	if code, _ = get(t, base+"/tracez?msg=9/9"); code != http.StatusNotFound {
+		t.Errorf("/tracez?msg=9/9 (untraced) = %d, want 404", code)
+	}
+	if code, _ = get(t, base+"/tracez?msg=banana"); code != http.StatusBadRequest {
+		t.Errorf("/tracez?msg=banana = %d, want 400", code)
+	}
+}
+
 func TestAdminWithoutSurfaces(t *testing.T) {
 	srv, err := ServeAdmin("127.0.0.1:0", AdminOptions{})
 	if err != nil {
@@ -115,6 +165,12 @@ func TestAdminWithoutSurfaces(t *testing.T) {
 	}
 	if code, _ := get(t, base+"/tracez"); code != http.StatusNotFound {
 		t.Errorf("/tracez without buffer = %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/spans"); code != http.StatusNotFound {
+		t.Errorf("/spans without source = %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/tracez?msg=1/1"); code != http.StatusNotFound {
+		t.Errorf("/tracez?msg without spans source = %d, want 404", code)
 	}
 	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
 		t.Errorf("/healthz without checker = %d, want 200", code)

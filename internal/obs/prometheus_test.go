@@ -3,108 +3,12 @@ package obs
 import (
 	"bufio"
 	"fmt"
-	"regexp"
 	"sort"
-	"strconv"
 	"strings"
 	"testing"
+
+	"gocast/internal/obs/promtest"
 )
-
-// promFamily is one parsed exposition family.
-type promFamily struct {
-	name    string
-	typ     string
-	help    bool
-	samples map[string]float64 // sample line key (name + labels) -> value
-	order   []string
-}
-
-var (
-	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	sampleRe    = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|NaN)$`)
-	helpTypeRe  = regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)(?: (.*))?$`)
-	validTypeRe = regexp.MustCompile(`^(counter|gauge|histogram|summary|untyped)$`)
-)
-
-// parsePrometheus parses text exposition output strictly enough to catch
-// format bugs: every line must be HELP, TYPE, or a sample; families must
-// not repeat; samples must follow their TYPE line.
-func parsePrometheus(t *testing.T, text string) map[string]*promFamily {
-	t.Helper()
-	families := map[string]*promFamily{}
-	var current *promFamily
-	sc := bufio.NewScanner(strings.NewReader(text))
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			m := helpTypeRe.FindStringSubmatch(line)
-			if m == nil {
-				t.Fatalf("malformed comment line: %q", line)
-			}
-			kind, name := m[1], m[2]
-			switch kind {
-			case "HELP":
-				if f, ok := families[name]; ok && f.help {
-					t.Fatalf("duplicate HELP for %s", name)
-				}
-				if _, ok := families[name]; !ok {
-					families[name] = &promFamily{name: name, samples: map[string]float64{}}
-				}
-				families[name].help = true
-				current = families[name]
-			case "TYPE":
-				f, ok := families[name]
-				if !ok {
-					f = &promFamily{name: name, samples: map[string]float64{}}
-					families[name] = f
-				}
-				if f.typ != "" {
-					t.Fatalf("duplicate TYPE for %s", name)
-				}
-				if !validTypeRe.MatchString(m[3]) {
-					t.Fatalf("invalid TYPE %q for %s", m[3], name)
-				}
-				f.typ = m[3]
-				current = f
-			}
-			continue
-		}
-		m := sampleRe.FindStringSubmatch(line)
-		if m == nil {
-			t.Fatalf("malformed sample line: %q", line)
-		}
-		sampleName := m[1]
-		base := sampleName
-		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-			if strings.HasSuffix(sampleName, suffix) {
-				if f, ok := families[strings.TrimSuffix(sampleName, suffix)]; ok && f.typ == "histogram" {
-					base = strings.TrimSuffix(sampleName, suffix)
-				}
-			}
-		}
-		f, ok := families[base]
-		if !ok {
-			t.Fatalf("sample %q before its TYPE line", line)
-		}
-		if current == nil || current.name != base {
-			t.Fatalf("sample %q outside its family block (current %v)", line, current)
-		}
-		key := sampleName + m[2]
-		if _, dup := f.samples[key]; dup {
-			t.Fatalf("duplicate sample %q", key)
-		}
-		v, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			t.Fatalf("sample %q: bad value: %v", line, err)
-		}
-		f.samples[key] = v
-		f.order = append(f.order, key)
-	}
-	return families
-}
 
 func TestPrometheusConformance(t *testing.T) {
 	r := NewRegistry()
@@ -120,7 +24,7 @@ func TestPrometheusConformance(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := sb.String()
-	families := parsePrometheus(t, text)
+	families := promtest.Parse(t, text)
 
 	for name, wantType := range map[string]string{
 		"gocast_test_events_total":    "counter",
@@ -131,18 +35,18 @@ func TestPrometheusConformance(t *testing.T) {
 		if !ok {
 			t.Fatalf("family %s missing:\n%s", name, text)
 		}
-		if !f.help || f.typ != wantType {
-			t.Errorf("family %s: help=%v type=%q, want help and %q", name, f.help, f.typ, wantType)
+		if !f.Help || f.Type != wantType {
+			t.Errorf("family %s: help=%v type=%q, want help and %q", name, f.Help, f.Type, wantType)
 		}
-		if !promNameRe.MatchString(name) {
+		if !promtest.ValidName(name) {
 			t.Errorf("family name %q not a valid metric name", name)
 		}
 	}
 
-	if got := families["gocast_test_events_total"].samples["gocast_test_events_total"]; got != 12 {
+	if got := families["gocast_test_events_total"].Samples["gocast_test_events_total"]; got != 12 {
 		t.Errorf("counter sample = %v, want 12", got)
 	}
-	if got := families["gocast_test_depth"].samples["gocast_test_depth"]; got != -3 {
+	if got := families["gocast_test_depth"].Samples["gocast_test_depth"]; got != -3 {
 		t.Errorf("gauge sample = %v, want -3", got)
 	}
 
@@ -156,7 +60,7 @@ func TestPrometheusConformance(t *testing.T) {
 	prev := 0.0
 	for _, b := range buckets {
 		key := fmt.Sprintf(`gocast_test_latency_seconds_bucket{le=%q}`, b.le)
-		got, ok := hf.samples[key]
+		got, ok := hf.Samples[key]
 		if !ok {
 			t.Fatalf("missing bucket %s in:\n%s", key, text)
 		}
@@ -168,10 +72,10 @@ func TestPrometheusConformance(t *testing.T) {
 		}
 		prev = got
 	}
-	if got := hf.samples["gocast_test_latency_seconds_count"]; got != 5 {
+	if got := hf.Samples["gocast_test_latency_seconds_count"]; got != 5 {
 		t.Errorf("_count = %v, want 5", got)
 	}
-	if got := hf.samples["gocast_test_latency_seconds_sum"]; got < 10.64 || got > 10.66 {
+	if got := hf.Samples["gocast_test_latency_seconds_sum"]; got < 10.64 || got > 10.66 {
 		t.Errorf("_sum = %v, want 10.65", got)
 	}
 
@@ -183,11 +87,44 @@ func TestPrometheusConformance(t *testing.T) {
 	// Families must appear in sorted order (stable scrapes diff cleanly).
 	var familyOrder []string
 	for sc := bufio.NewScanner(strings.NewReader(text)); sc.Scan(); {
-		if m := helpTypeRe.FindStringSubmatch(sc.Text()); m != nil && m[1] == "HELP" {
-			familyOrder = append(familyOrder, m[2])
+		if kind, name, ok := promtest.HelpTypeLine(sc.Text()); ok && kind == "HELP" {
+			familyOrder = append(familyOrder, name)
 		}
 	}
 	if !sort.StringsAreSorted(familyOrder) {
 		t.Errorf("families not sorted: %v", familyOrder)
+	}
+}
+
+// TestHistogramBucketBoundaryExposition pins the le boundary semantics
+// end to end: a value exactly equal to a bucket's upper bound counts in
+// that bucket ("le" is less-than-OR-EQUAL), both in the in-memory counts
+// and in the exposed text.
+func TestHistogramBucketBoundaryExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("gocast_test_boundary_seconds", "boundary", []float64{0.1, 0.5, 2.5})
+	h.Observe(0.5) // exactly on a bound
+	h.Observe(0.1) // exactly on the first bound
+	h.Observe(2.5) // exactly on the last finite bound
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	hf := promtest.Parse(t, sb.String())["gocast_test_boundary_seconds"]
+	if hf == nil {
+		t.Fatalf("family missing:\n%s", sb.String())
+	}
+	for _, b := range []struct {
+		le   string
+		want float64
+	}{{"0.1", 1}, {"0.5", 2}, {"2.5", 3}, {"+Inf", 3}} {
+		key := fmt.Sprintf(`gocast_test_boundary_seconds_bucket{le=%q}`, b.le)
+		if got := hf.Samples[key]; got != b.want {
+			t.Errorf("bucket le=%s = %v, want %v (boundary value must land in its own bucket)", b.le, got, b.want)
+		}
+	}
+	if got := hf.Samples["gocast_test_boundary_seconds_count"]; got != 3 {
+		t.Errorf("_count = %v, want 3", got)
 	}
 }

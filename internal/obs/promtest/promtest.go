@@ -1,0 +1,126 @@
+// Package promtest is a strict Prometheus text-exposition parser for
+// tests. It fails the test on anything a real scrape pipeline would
+// reject or silently misread: malformed lines, duplicate HELP/TYPE or
+// samples, samples outside their family block, and invalid types. Both
+// the obs package's own conformance tests and downstream packages that
+// register metrics (internal/live) parse their exposition through it.
+package promtest
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Family is one parsed exposition family.
+type Family struct {
+	Name string
+	Type string
+	Help bool
+	// Samples maps sample key (name + label block) to value.
+	Samples map[string]float64
+	// Order lists sample keys in exposition order.
+	Order []string
+}
+
+var (
+	nameRe      = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe    = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|NaN)$`)
+	helpTypeRe  = regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)(?: (.*))?$`)
+	validTypeRe = regexp.MustCompile(`^(counter|gauge|histogram|summary|untyped)$`)
+)
+
+// ValidName reports whether name is a legal Prometheus metric name.
+func ValidName(name string) bool { return nameRe.MatchString(name) }
+
+// HelpTypeLine parses a comment line, returning the kind ("HELP" or
+// "TYPE") and family name, or ok=false for non-comment lines.
+func HelpTypeLine(line string) (kind, name string, ok bool) {
+	m := helpTypeRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", "", false
+	}
+	return m[1], m[2], true
+}
+
+// Parse strictly parses text exposition output, failing t on any format
+// violation: every line must be HELP, TYPE, or a sample; families must
+// not repeat; samples must follow their TYPE line.
+func Parse(t testing.TB, text string) map[string]*Family {
+	t.Helper()
+	families := map[string]*Family{}
+	var current *Family
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := helpTypeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			kind, name := m[1], m[2]
+			switch kind {
+			case "HELP":
+				if f, ok := families[name]; ok && f.Help {
+					t.Fatalf("duplicate HELP for %s", name)
+				}
+				if _, ok := families[name]; !ok {
+					families[name] = &Family{Name: name, Samples: map[string]float64{}}
+				}
+				families[name].Help = true
+				current = families[name]
+			case "TYPE":
+				f, ok := families[name]
+				if !ok {
+					f = &Family{Name: name, Samples: map[string]float64{}}
+					families[name] = f
+				}
+				if f.Type != "" {
+					t.Fatalf("duplicate TYPE for %s", name)
+				}
+				if !validTypeRe.MatchString(m[3]) {
+					t.Fatalf("invalid TYPE %q for %s", m[3], name)
+				}
+				f.Type = m[3]
+				current = f
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		sampleName := m[1]
+		base := sampleName
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(sampleName, suffix) {
+				if f, ok := families[strings.TrimSuffix(sampleName, suffix)]; ok && f.Type == "histogram" {
+					base = strings.TrimSuffix(sampleName, suffix)
+				}
+			}
+		}
+		f, ok := families[base]
+		if !ok {
+			t.Fatalf("sample %q before its TYPE line", line)
+		}
+		if current == nil || current.Name != base {
+			t.Fatalf("sample %q outside its family block (current %v)", line, current)
+		}
+		key := sampleName + m[2]
+		if _, dup := f.Samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("sample %q: bad value: %v", line, err)
+		}
+		f.Samples[key] = v
+		f.Order = append(f.Order, key)
+	}
+	return families
+}

@@ -550,6 +550,19 @@ func (e *engine) drainAndJudge() {
 	judge(InvAtomicity, inv.Atomicity, av > 0,
 		fmt.Sprintf("%d (message, stable-node) deliveries missing after %s grace", av, grace),
 		fmt.Sprintf("%d published, 0 missing", e.sub.published()))
+	if av > 0 {
+		// Attach one offender's stitched dissemination trace to the
+		// violation judge just recorded, showing where its tree stopped
+		// short (JSON-only; Render stays trace-free).
+		if tr := e.sub.offenderTrace(grace); tr != "" {
+			for i := len(e.rep.Violations) - 1; i >= 0; i-- {
+				if e.rep.Violations[i].Invariant == InvAtomicity {
+					e.rep.Violations[i].Trace = tr
+					break
+				}
+			}
+		}
+	}
 
 	// Tree validity's end verdict summarizes the continuous checks.
 	treeViols := 0

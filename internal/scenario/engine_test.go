@@ -102,17 +102,32 @@ func TestBrokenInvariantBites(t *testing.T) {
 		t.Fatalf("run passed with sync disabled — the atomicity checker did not bite:\n%s", rep.Render())
 	}
 	found := false
+	trace := ""
 	for _, v := range rep.Violations {
 		if v.Invariant == InvAtomicity && v.Phase != "" && v.At > 0 {
 			found = true
+			if v.Trace != "" {
+				trace = v.Trace
+			}
 		}
 	}
 	if !found {
 		t.Fatalf("no atomicity violation naming phase and time:\n%s", rep.Render())
 	}
+	// The netsim substrate traces every message, so the failure carries
+	// one offender's stitched dissemination tree (JSON-only).
+	if trace == "" {
+		t.Fatalf("atomicity violation has no offender trace attached:\n%s", rep.Render())
+	}
+	if !strings.Contains(trace, "msg ") || !strings.Contains(trace, "inject") {
+		t.Fatalf("offender trace does not look like a rendered dissemination tree:\n%s", trace)
+	}
 	out := rep.Render()
 	if !strings.Contains(out, "FAIL") || !strings.Contains(out, InvAtomicity) {
 		t.Fatalf("report does not name the failed invariant:\n%s", out)
+	}
+	if strings.Contains(out, "inject") {
+		t.Fatalf("Render leaked the offender trace (must stay JSON-only):\n%s", out)
 	}
 }
 

@@ -373,6 +373,11 @@ func (l *liveSub) atomicityViolations(grace time.Duration) int {
 	return v
 }
 
+// offenderTrace is unavailable on the live substrate: scenario clusters
+// run with sampling off (wall-clock runs keep the multicast path cold),
+// so there are no spans to stitch an offender from.
+func (l *liveSub) offenderTrace(time.Duration) string { return "" }
+
 func (l *liveSub) recoveryViolations(time.Duration) (int, bool) { return 0, false }
 
 func (l *liveSub) criticalSheds() int64 {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gocast/internal/core"
+	"gocast/internal/dtrace"
 	"gocast/internal/netsim"
 )
 
@@ -14,6 +15,7 @@ import (
 // (scenario, seed).
 type netsimSub struct {
 	c     *netsim.Cluster
+	spans *dtrace.Buffer
 	start time.Duration
 	pubs  int64
 	churn []*netsim.ChurnStats
@@ -33,10 +35,18 @@ func netsimConfig() core.Config {
 
 func newNetsimSub(s *Scenario, seed int64, cfg core.Config) *netsimSub {
 	n := s.TotalNodes()
+	// Trace every message so an atomicity failure can name its offender's
+	// dissemination path. The ring holds recent spans only; an old
+	// offender's trace may be partial, which still beats a bare count.
+	if cfg.TraceSampleEvery == 0 {
+		cfg.TraceSampleEvery = 1
+	}
+	spans := dtrace.NewBuffer(8 * dtrace.DefaultBufferCapacity)
 	c := netsim.New(netsim.Options{
 		Nodes:  n,
 		Seed:   SubSeed(seed, "netsim"),
 		Config: cfg,
+		Spans:  spans,
 	})
 	c.BootstrapMembership(cfg.MemberViewSize / 2)
 	init := cfg.TargetDegree() / 2
@@ -51,7 +61,7 @@ func newNetsimSub(s *Scenario, seed int64, cfg core.Config) *netsimSub {
 	if hasFlood(s) {
 		c.SetAdmission(netsim.AdmissionCaps{Repair: 64, Background: 8})
 	}
-	return &netsimSub{c: c, start: c.Now()}
+	return &netsimSub{c: c, spans: spans, start: c.Now()}
 }
 
 func hasFlood(s *Scenario) bool {
@@ -170,6 +180,23 @@ func (n *netsimSub) converged() string {
 
 func (n *netsimSub) atomicityViolations(grace time.Duration) int {
 	return n.c.AtomicityViolations(grace)
+}
+
+func (n *netsimSub) offenderTrace(grace time.Duration) string {
+	offenders := n.c.AtomicityOffenders(grace)
+	if len(offenders) == 0 {
+		return ""
+	}
+	traces := dtrace.Stitch(n.spans.Snapshot())
+	// Prefer the newest offender: its spans are least likely to have been
+	// evicted from the ring.
+	for i := len(offenders) - 1; i >= 0; i-- {
+		id := offenders[i]
+		if t := dtrace.Find(traces, int32(id.Source), id.Seq); t != nil {
+			return t.Render()
+		}
+	}
+	return ""
 }
 
 func (n *netsimSub) recoveryViolations(grace time.Duration) (int, bool) {

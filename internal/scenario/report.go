@@ -23,6 +23,12 @@ type Violation struct {
 	Phase     string        `json:"phase"`
 	At        time.Duration `json:"at"`
 	Detail    string        `json:"detail"`
+	// Trace is the stitched dissemination trace of one offending message
+	// (rendered ASCII tree, see internal/dtrace), attached when the
+	// substrate can reconstruct it — today, atomicity failures on netsim.
+	// JSON-only: Render omits it so report text stays compact and
+	// byte-identical whether or not tracing captured the offender.
+	Trace string `json:"trace,omitempty"`
 }
 
 // InvariantResult is the end-of-run verdict for one invariant.

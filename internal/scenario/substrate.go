@@ -76,6 +76,10 @@ type substrate interface {
 	// atomicityViolations counts (message, stable-node) pairs that missed
 	// a delivery, judging only messages older than grace.
 	atomicityViolations(grace time.Duration) int
+	// offenderTrace returns the rendered dissemination trace of one
+	// message that violated atomicity ("" when the substrate records no
+	// spans or no offender was traced).
+	offenderTrace(grace time.Duration) string
 	// recoveryViolations counts deliveries restarted nodes never caught
 	// up on; ok=false means the substrate cannot judge this (live).
 	recoveryViolations(grace time.Duration) (n int, ok bool)

@@ -181,6 +181,14 @@ func (e *encoder) msgID(id core.MessageID) {
 	e.u32(id.Seq)
 }
 
+// hop writes the 10-byte dissemination trace context: flags, hop count,
+// origin stamp. All zeros for unsampled messages.
+func (e *encoder) hop(h core.Hop) {
+	e.b(h.Sampled)
+	e.u8(h.Hops)
+	e.dur(h.Origin)
+}
+
 func (e *encoder) symbolSet(s store.SymbolSet) {
 	for _, w := range s {
 		e.u64(w)
@@ -198,6 +206,7 @@ func (e *encoder) symbol(v *core.Symbol) error {
 		return err
 	}
 	e.b(v.ViaTree)
+	e.hop(v.Hop)
 	return nil
 }
 
@@ -257,6 +266,7 @@ func (e *encoder) message(m core.Message) error {
 		for _, g := range v.IDs {
 			e.msgID(g.ID)
 			e.dur(g.Age)
+			e.hop(g.Hop)
 		}
 		if err := e.entries(v.Members); err != nil {
 			return err
@@ -298,6 +308,7 @@ func (e *encoder) message(m core.Message) error {
 			return err
 		}
 		e.b(v.ViaTree)
+		e.hop(v.Hop)
 	case *core.TreeAdvert:
 		e.i32(int32(v.Root))
 		e.u32(v.Epoch)
@@ -328,6 +339,7 @@ func (e *encoder) message(m core.Message) error {
 			if err := e.bytes(it.Payload); err != nil {
 				return err
 			}
+			e.hop(it.Hop)
 		}
 		e.b(v.More)
 		if len(v.Syms) > math.MaxUint16 {
@@ -496,6 +508,10 @@ func (d *decoder) msgID() core.MessageID {
 	return id
 }
 
+func (d *decoder) hop() core.Hop {
+	return core.Hop{Sampled: d.b(), Hops: d.u8(), Origin: d.dur()}
+}
+
 func (d *decoder) u64() uint64 {
 	if d.off+8 > len(d.buf) {
 		d.fail()
@@ -518,7 +534,7 @@ func (d *decoder) symbol() core.Symbol {
 	return core.Symbol{
 		ID: d.msgID(), Age: d.dur(), Index: d.u16(),
 		K: d.u16(), N: d.u16(), PayloadLen: d.u32(),
-		Data: d.bytes(), ViaTree: d.b(),
+		Data: d.bytes(), ViaTree: d.b(), Hop: d.hop(),
 	}
 }
 
@@ -556,13 +572,14 @@ func (d *decoder) message(kind core.MsgKind) (core.Message, error) {
 		m := &core.Gossip{}
 		n := int(d.u16())
 		if n > 0 {
-			if d.off+16*n > len(d.buf) {
+			// Each gossip ID is exactly 26 bytes (ID + age + hop context).
+			if d.off+26*n > len(d.buf) {
 				d.fail()
 				return m, d.err
 			}
 			m.IDs = make([]core.GossipID, n)
 			for i := range m.IDs {
-				m.IDs[i] = core.GossipID{ID: d.msgID(), Age: d.dur()}
+				m.IDs[i] = core.GossipID{ID: d.msgID(), Age: d.dur(), Hop: d.hop()}
 			}
 		}
 		m.Members = d.entries()
@@ -608,7 +625,7 @@ func (d *decoder) message(kind core.MsgKind) (core.Message, error) {
 		}
 		return m, nil
 	case core.KindMulticast:
-		return &core.Multicast{ID: d.msgID(), Age: d.dur(), Payload: d.bytes(), ViaTree: d.b()}, nil
+		return &core.Multicast{ID: d.msgID(), Age: d.dur(), Payload: d.bytes(), ViaTree: d.b(), Hop: d.hop()}, nil
 	case core.KindTreeAdvert:
 		return &core.TreeAdvert{
 			Root: core.NodeID(d.i32()), Epoch: d.u32(), Wave: d.u32(), Dist: d.dur(),
@@ -635,21 +652,22 @@ func (d *decoder) message(kind core.MsgKind) (core.Message, error) {
 		m := &core.SyncReply{}
 		n := int(d.u16())
 		if n > 0 {
-			// Each item needs at least 20 bytes (ID + age + payload length).
-			if d.off+20*n > len(d.buf) {
+			// Each item needs at least 30 bytes (ID + age + payload length +
+			// hop context).
+			if d.off+30*n > len(d.buf) {
 				d.fail()
 				return m, d.err
 			}
 			m.Items = make([]core.SyncItem, n)
 			for i := range m.Items {
-				m.Items[i] = core.SyncItem{ID: d.msgID(), Age: d.dur(), Payload: d.bytes()}
+				m.Items[i] = core.SyncItem{ID: d.msgID(), Age: d.dur(), Payload: d.bytes(), Hop: d.hop()}
 			}
 		}
 		m.More = d.b()
-		// Symbol section (coopcast). Each symbol needs at least 31 bytes of
+		// Symbol section (coopcast). Each symbol needs at least 41 bytes of
 		// fixed fields.
 		if n := int(d.u16()); n > 0 {
-			if d.off+31*n > len(d.buf) {
+			if d.off+41*n > len(d.buf) {
 				d.fail()
 				return m, d.err
 			}

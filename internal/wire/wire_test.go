@@ -35,6 +35,10 @@ func sampleMessages() []core.Message {
 			IDs: []core.GossipID{
 				{ID: core.MessageID{Source: 1, Seq: 2}, Age: 50 * time.Millisecond},
 				{ID: core.MessageID{Source: 3, Seq: 0}},
+				{
+					ID: core.MessageID{Source: 4, Seq: 1}, Age: time.Second,
+					Hop: core.Hop{Sampled: true, Hops: 3, Origin: 90 * time.Second},
+				},
 			},
 			Members: []core.Entry{entry},
 			Degrees: core.Degrees{Rand: 1, Near: 6, MaxNearbyRTT: time.Millisecond},
@@ -46,6 +50,12 @@ func sampleMessages() []core.Message {
 		&core.PullRequest{},
 		&core.Multicast{ID: core.MessageID{Source: 2, Seq: 7}, Age: 123 * time.Millisecond, Payload: []byte("payload"), ViaTree: true},
 		&core.Multicast{ID: core.MessageID{Source: 2, Seq: 8}},
+		// Sampled dissemination trace hop context riding on a push.
+		&core.Multicast{
+			ID: core.MessageID{Source: 2, Seq: 10}, Age: time.Millisecond,
+			Payload: []byte("traced"), ViaTree: true,
+			Hop: core.Hop{Sampled: true, Hops: 2, Origin: 5 * time.Minute},
+		},
 		&core.TreeAdvert{Root: 0, Epoch: 3, Wave: 17, Dist: 45 * time.Millisecond},
 		&core.TreeParent{On: true},
 		&core.TreeParent{},
@@ -59,6 +69,10 @@ func sampleMessages() []core.Message {
 			Items: []core.SyncItem{
 				{ID: core.MessageID{Source: 2, Seq: 5}, Age: 40 * time.Millisecond, Payload: []byte("recovered")},
 				{ID: core.MessageID{Source: 3, Seq: 0}},
+				{
+					ID: core.MessageID{Source: 3, Seq: 9}, Payload: []byte("traced"),
+					Hop: core.Hop{Sampled: true, Hops: 7, Origin: time.Hour},
+				},
 			},
 			More: true,
 		},
@@ -74,6 +88,12 @@ func sampleMessages() []core.Message {
 		},
 		&core.Symbol{ID: core.MessageID{Source: 6, Seq: 3}, Index: 9, K: 1, N: 2, PayloadLen: 1, Data: []byte{0xAB}},
 		&core.Symbol{},
+		&core.Symbol{
+			ID: core.MessageID{Source: 6, Seq: 4}, Age: time.Millisecond,
+			Index: 1, K: 4, N: 6, PayloadLen: 4 << 10,
+			Data: []byte("traced-symbol"), ViaTree: true,
+			Hop: core.Hop{Sampled: true, Hops: 1, Origin: 30 * time.Second},
+		},
 		&core.SymbolPull{
 			ID:   core.MessageID{Source: 6, Seq: 2},
 			Want: store.SymbolSet{0x5, 0, 0, 1 << 63},
@@ -207,6 +227,16 @@ func TestDecodeRejectsAbsurdCounts(t *testing.T) {
 	}
 }
 
+// randHop returns a hop context that is sampled half the time; unsampled
+// hops still carry arbitrary field values (the codec must not canonicalize).
+func randHop(rng *rand.Rand) core.Hop {
+	return core.Hop{
+		Sampled: rng.Intn(2) == 0,
+		Hops:    uint8(rng.Intn(256)),
+		Origin:  time.Duration(rng.Intn(1e9)),
+	}
+}
+
 // Property: random gossips and multicasts round-trip.
 func TestPropertyRandomRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
@@ -223,6 +253,7 @@ func TestPropertyRandomRoundTrip(t *testing.T) {
 				g.IDs = append(g.IDs, core.GossipID{
 					ID:  core.MessageID{Source: core.NodeID(rng.Intn(1000)), Seq: rng.Uint32()},
 					Age: time.Duration(rng.Intn(1e9)),
+					Hop: randHop(rng),
 				})
 			}
 			for i := 0; i < rng.Intn(3); i++ {
@@ -247,6 +278,7 @@ func TestPropertyRandomRoundTrip(t *testing.T) {
 				ID:      core.MessageID{Source: core.NodeID(rng.Intn(1000)), Seq: rng.Uint32()},
 				Age:     time.Duration(rng.Intn(1e9)),
 				ViaTree: rng.Intn(2) == 0,
+				Hop:     randHop(rng),
 			}
 			if n := rng.Intn(64); n > 0 {
 				mc.Payload = make([]byte, n)
@@ -270,6 +302,7 @@ func TestPropertyRandomRoundTrip(t *testing.T) {
 				it := core.SyncItem{
 					ID:  core.MessageID{Source: core.NodeID(rng.Intn(1000)), Seq: rng.Uint32()},
 					Age: time.Duration(rng.Intn(1e9)),
+					Hop: randHop(rng),
 				}
 				if n := rng.Intn(32); n > 0 {
 					it.Payload = make([]byte, n)
