@@ -7,6 +7,7 @@
 package gocast
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -74,6 +75,52 @@ func BenchmarkFigure4(b *testing.B) {
 		rep := experiments.Figure4(small, large, 0.20)
 		reportSeconds(b, "small-max-s", rep.Rows[0][5])
 		reportSeconds(b, "large-max-s", rep.Rows[2][5])
+	}
+}
+
+// BenchmarkFigure4Sharded is BenchmarkFigure4 on the sharded engine at 8
+// shards. Results are identical to the sequential run by construction —
+// the small-max-s/large-max-s metrics must match BenchmarkFigure4's in
+// any snapshot — so the only number this adds is wall clock, which on a
+// multi-core runner should be a multiple below the sequential benchmark.
+func BenchmarkFigure4Sharded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small := benchScale()
+		small.Shards = 8
+		large := small
+		large.Nodes = small.Nodes * 4
+		rep := experiments.Figure4(small, large, 0.20)
+		reportSeconds(b, "small-max-s", rep.Rows[0][5])
+		reportSeconds(b, "large-max-s", rep.Rows[2][5])
+	}
+}
+
+// BenchmarkScale100k pushes one 100,000-node point through the sharded
+// engine — two orders of magnitude past the paper's 1,024-node tables
+// and the size the sequential engine cannot turn around interactively.
+// The horizon is deliberately short: the benchmark prices cost-per-event
+// at size, not protocol quality over time.
+func BenchmarkScale100k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-node point takes minutes per core")
+	}
+	for i := 0; i < b.N; i++ {
+		sc := experiments.Scale{
+			Warmup:   10 * time.Second,
+			Messages: 3,
+			Rate:     1,
+			Drain:    10 * time.Second,
+			Seed:     1,
+			Shards:   runtime.NumCPU(),
+		}
+		rep := experiments.ScaleSweep(sc, []int{100_000})
+		events, _ := strconv.ParseFloat(rep.Rows[0][3], 64)
+		delivered, _ := strconv.ParseFloat(rep.Rows[0][7], 64)
+		if delivered <= 0 {
+			b.Fatal("no deliveries at 100k nodes")
+		}
+		b.ReportMetric(events/b.Elapsed().Seconds()/1e6, "Mev/s")
+		b.ReportMetric(delivered, "delivered")
 	}
 }
 

@@ -33,13 +33,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gocast-experiments", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "which figure to regenerate: all,1,3a,3b,3a-curves,3b-curves,4,5a,5b,6,hears,redundancy,linkchanges,randsweep,diameter,stress,fanoutsweep,coopcast,ablate,churn,recovery,paths ('all' skips the -curves variants)")
+		fig      = fs.String("fig", "all", "which figure to regenerate: all,1,3a,3b,3a-curves,3b-curves,4,5a,5b,6,hears,redundancy,linkchanges,randsweep,diameter,stress,fanoutsweep,coopcast,ablate,churn,recovery,paths,scale ('all' skips the -curves variants and the scale sweep)")
 		scale    = fs.String("scale", "quick", "experiment scale: paper or quick")
 		nodes    = fs.Int("nodes", 0, "override the node count")
 		seed     = fs.Int64("seed", 0, "override the random seed")
 		warmup   = fs.Duration("warmup", 0, "override the adaptation warmup")
 		msgs     = fs.Int("messages", 0, "override the message count")
 		parallel = fs.Int("parallel", 1, "simulations to run concurrently within an experiment (0 = NumCPU); results are identical at any value")
+		shards   = fs.Int("shards", 0, "simulation shards per run (0/1 = sequential; results are identical at any value, multi-core wall clock is not)")
+		sizes    = fs.String("scale-sizes", "", "comma-separated node counts for -fig scale (default 4096,32768,102400 paper / 1024,8192 quick)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +71,9 @@ func run(args []string) error {
 	}
 	if *msgs > 0 {
 		sc.Messages = *msgs
+	}
+	if *shards > 0 {
+		sc.Shards = *shards
 	}
 
 	want := map[string]bool{}
@@ -139,6 +144,34 @@ func run(args []string) error {
 	emit("churn", func() *experiments.Report { return experiments.ChurnSweep(sc, nil) })
 	emit("recovery", func() *experiments.Report { return experiments.Recovery(sc, 30*time.Second) })
 	emit("paths", func() *experiments.Report { return experiments.Paths(sc, 0.10) })
+	emit("scale", func() *experiments.Report {
+		// Sweep points are huge; use a short horizon so the largest sizes
+		// finish in minutes, and honor explicit -warmup/-messages overrides.
+		sw := sc
+		sw.Warmup, sw.Messages, sw.Rate, sw.Drain = 30*time.Second, 10, 2, 20*time.Second
+		if *warmup > 0 {
+			sw.Warmup = *warmup
+		}
+		if *msgs > 0 {
+			sw.Messages = *msgs
+		}
+		pts := []int{4096, 32768, 102400}
+		if *scale == "quick" {
+			pts = []int{1024, 8192}
+		}
+		if *sizes != "" {
+			pts = pts[:0]
+			for _, s := range strings.Split(*sizes, ",") {
+				var n int
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 {
+					fmt.Fprintf(os.Stderr, "gocast-experiments: bad -scale-sizes entry %q\n", s)
+					os.Exit(1)
+				}
+				pts = append(pts, n)
+			}
+		}
+		return experiments.ScaleSweep(sw, pts)
+	})
 	emit("ablate", func() *experiments.Report {
 		// Combine the three ablations into one printout.
 		a, b, c := experiments.AblateC1(sc), experiments.AblateDropTrigger(sc), experiments.AblateC4(sc)

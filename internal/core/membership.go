@@ -33,7 +33,7 @@ func (n *Node) learnEntry(e Entry) {
 		n.stats.ObitsHonored++
 		return
 	}
-	old, known := n.members[e.ID]
+	old, known := n.members.get(e.ID)
 	if known && e.Inc < old.Inc {
 		n.stats.StaleIncRejects++
 		return
@@ -49,16 +49,16 @@ func (n *Node) learnEntry(e Entry) {
 			// Steady-state gossip re-delivers the same entry constantly
 			// (senders hand out one cached landmark slice, so identity
 			// comparison of the slice headers catches the common case);
-			// skip the map write when the stored value would not change.
+			// skip the table write when the stored value would not change.
 			if e.Inc != old.Inc || e.Addr != old.Addr ||
 				len(e.Landmarks) != len(old.Landmarks) ||
 				(len(e.Landmarks) > 0 && &e.Landmarks[0] != &old.Landmarks[0]) {
-				n.members[e.ID] = e
+				n.members.set(e)
 			}
 		}
 		return
 	}
-	if len(n.members) >= n.cfg.MemberViewSize {
+	if n.members.len() >= n.cfg.MemberViewSize {
 		// Evict a random entry that is not a current neighbor.
 		victim := n.randomMember(func(id NodeID) bool { return n.neighbors[id] == nil })
 		if victim == None {
@@ -66,8 +66,7 @@ func (n *Node) learnEntry(e Entry) {
 		}
 		n.forgetMember(victim)
 	}
-	n.members[e.ID] = e
-	n.order = append(n.order, e.ID)
+	n.members.set(e)
 }
 
 // obitBlocks reports whether an active obituary quarantines this entry. A
@@ -93,7 +92,7 @@ func (n *Node) obitBlocks(e Entry) bool {
 // and cached measurements of the old life are discarded.
 func (n *Node) noteRejoin(e Entry) {
 	nb := n.neighbors[e.ID]
-	old, known := n.members[e.ID]
+	old, known := n.members.get(e.ID)
 	rejoined := (known && e.Inc > old.Inc) || (nb != nil && e.Inc > nb.entry.Inc)
 	if !rejoined {
 		return
@@ -120,7 +119,7 @@ func (n *Node) recordObit(id NodeID, inc uint32, spread bool) {
 	if id == n.id || id == None {
 		return
 	}
-	if cur, ok := n.members[id]; ok && cur.Inc > inc {
+	if cur, ok := n.members.get(id); ok && cur.Inc > inc {
 		return // a newer life is already known; the obituary is stale
 	}
 	if ob, ok := n.obits[id]; ok {
@@ -150,7 +149,7 @@ func (n *Node) knownInc(id NodeID) uint32 {
 	if nb := n.neighbors[id]; nb != nil {
 		inc = nb.entry.Inc
 	}
-	if e, ok := n.members[id]; ok && e.Inc > inc {
+	if e, ok := n.members.get(id); ok && e.Inc > inc {
 		inc = e.Inc
 	}
 	return inc
@@ -233,19 +232,16 @@ func (n *Node) Obituaries() []Obituary {
 
 // forgetMember removes a node from the view (e.g. it was found dead).
 func (n *Node) forgetMember(id NodeID) {
-	if _, ok := n.members[id]; !ok {
+	i := n.members.remove(id)
+	if i < 0 {
 		return
 	}
-	delete(n.members, id)
 	delete(n.lastPong, id)
-	for i, v := range n.order {
-		if v == id {
-			n.order = append(n.order[:i], n.order[i+1:]...)
-			if n.scanIdx > i {
-				n.scanIdx--
-			}
-			break
-		}
+	// The swap-remove moved the former tail into slot i; keep the
+	// round-robin cursor in range (exact fairness across a removal is not
+	// required, staying deterministic is).
+	if n.scanIdx > i {
+		n.scanIdx--
 	}
 }
 
@@ -258,15 +254,11 @@ func (n *Node) SeedMembers(entries []Entry) {
 }
 
 // MemberCount returns the current partial-view size.
-func (n *Node) MemberCount() int { return len(n.members) }
+func (n *Node) MemberCount() int { return n.members.len() }
 
 // Members returns a copy of the current partial view.
 func (n *Node) Members() []Entry {
-	out := make([]Entry, 0, len(n.members))
-	for _, e := range n.members {
-		out = append(out, e)
-	}
-	return out
+	return append([]Entry(nil), n.members.entries...)
 }
 
 // sampleMembers returns up to k random entries, excluding `exclude`
@@ -287,17 +279,15 @@ func (n *Node) appendSampleMembers(out []Entry, k int, exclude NodeID) []Entry {
 	if k <= 0 {
 		return out
 	}
-	if len(n.order) > 0 {
+	if m := n.members.len(); m > 0 {
 		base := len(out)
-		start := n.env.Rand(len(n.order))
-		for i := 0; i < len(n.order) && len(out)-base < k; i++ {
-			id := n.order[(start+i)%len(n.order)]
-			if id == exclude {
+		start := n.env.Rand(m)
+		for i := 0; i < m && len(out)-base < k; i++ {
+			e := n.members.at((start + i) % m)
+			if e.ID == exclude {
 				continue
 			}
-			if e, ok := n.members[id]; ok {
-				out = append(out, e)
-			}
+			out = append(out, e)
 		}
 	}
 	return append(out, n.selfEntry())
@@ -322,15 +312,13 @@ func (n *Node) selfEntry() Entry {
 // randomMember picks a uniformly random member satisfying ok (nil = any),
 // or None if none qualifies.
 func (n *Node) randomMember(ok func(NodeID) bool) NodeID {
-	if len(n.order) == 0 {
+	m := n.members.len()
+	if m == 0 {
 		return None
 	}
-	start := n.env.Rand(len(n.order))
-	for i := 0; i < len(n.order); i++ {
-		id := n.order[(start+i)%len(n.order)]
-		if _, live := n.members[id]; !live {
-			continue
-		}
+	start := n.env.Rand(m)
+	for i := 0; i < m; i++ {
+		id := n.members.at((start + i) % m).ID
 		if ok == nil || ok(id) {
 			return id
 		}
@@ -350,20 +338,16 @@ func (n *Node) nextCandidate(skip func(NodeID) bool) (Entry, bool) {
 	for len(n.estimated) > 0 {
 		id := n.estimated[0]
 		n.estimated = n.estimated[1:]
-		e, ok := n.members[id]
+		e, ok := n.members.get(id)
 		if !ok || (skip != nil && skip(id)) {
 			continue
 		}
 		return e, true
 	}
-	for i := 0; i < len(n.order); i++ {
-		if len(n.order) == 0 {
-			break
-		}
-		n.scanIdx = (n.scanIdx + 1) % len(n.order)
-		id := n.order[n.scanIdx]
-		e, ok := n.members[id]
-		if !ok || (skip != nil && skip(id)) {
+	for i, m := 0, n.members.len(); i < m; i++ {
+		n.scanIdx = (n.scanIdx + 1) % m
+		e := n.members.at(n.scanIdx)
+		if skip != nil && skip(e.ID) {
 			continue
 		}
 		return e, true
@@ -378,11 +362,9 @@ func (n *Node) buildEstimatePass() {
 		id  NodeID
 		est int64
 	}
-	cands := make([]cand, 0, len(n.members))
-	for _, id := range n.order {
-		if e, ok := n.members[id]; ok {
-			cands = append(cands, cand{id: id, est: int64(n.estimateRTT(e))})
-		}
+	cands := make([]cand, 0, n.members.len())
+	for _, e := range n.members.entries {
+		cands = append(cands, cand{id: e.ID, est: int64(n.estimateRTT(e))})
 	}
 	// Insertion sort with ID tie-break: views are small and the order must
 	// be deterministic.

@@ -36,9 +36,9 @@ type Node struct {
 	// sync intervals by cfg.DegradedIntervalScale.
 	overload OverloadLevel
 
-	// Partial membership view (Section 2.2.1).
-	members map[NodeID]Entry
-	order   []NodeID // scan order for round-robin candidate selection
+	// Partial membership view (Section 2.2.1): dense table scanned
+	// directly for sampling and round-robin candidate selection.
+	members memberTable
 	scanIdx int
 	// obits quarantines dead or departed incarnations so stale in-flight
 	// gossip cannot resurrect them (see membership.go).
@@ -209,7 +209,7 @@ func New(id NodeID, cfg Config, env Env) *Node {
 		cfg:          cfg,
 		env:          env,
 		maintenance:  true,
-		members:      make(map[NodeID]Entry),
+		members:      newMemberTable(),
 		obits:        make(map[NodeID]obitRecord),
 		rtt:          make(map[NodeID]time.Duration),
 		pings:        make(map[uint32]*pingCtx),

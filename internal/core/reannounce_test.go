@@ -101,7 +101,7 @@ func TestStalePingExpiryKeepsAnsweredMember(t *testing.T) {
 	a.lastPong[2] = a.env.Now()
 	a.pings[1] = &pingCtx{target: 2, purpose: pingProbeReplace, sentAt: 0}
 	a.expirePings()
-	if _, ok := a.members[2]; !ok {
+	if !a.members.has(2) {
 		t.Fatalf("member evicted despite a pong newer than the stale ping")
 	}
 	if len(a.pings) != 0 {
@@ -112,7 +112,7 @@ func TestStalePingExpiryKeepsAnsweredMember(t *testing.T) {
 	delete(a.lastPong, 2)
 	a.pings[2] = &pingCtx{target: 2, purpose: pingProbeReplace, sentAt: 0}
 	a.expirePings()
-	if _, ok := a.members[2]; ok {
+	if a.members.has(2) {
 		t.Fatalf("member not evicted for an unanswered stale ping")
 	}
 }

@@ -34,6 +34,10 @@ type Scale struct {
 	Drain time.Duration
 	// Seed drives all randomness.
 	Seed int64
+	// Shards requests conservative parallel simulation (netsim
+	// Options.Shards): results are identical at any shard count, so it is
+	// purely a wall-clock knob. 0 runs sequentially.
+	Shards int
 }
 
 // PaperScale is the paper's experimental setup.
@@ -114,7 +118,7 @@ func overlayConfig(p Protocol) (core.Config, bool) {
 // buildOverlayCluster assembles a cluster per the paper's setup: random
 // partial views, C_degree/2 random links initiated per node, node 0 root.
 func buildOverlayCluster(sc Scale, cfg core.Config) *netsim.Cluster {
-	c := netsim.New(netsim.Options{Nodes: sc.Nodes, Seed: sc.Seed, Config: cfg})
+	c := netsim.New(netsim.Options{Nodes: sc.Nodes, Seed: sc.Seed, Config: cfg, Shards: sc.Shards})
 	c.BootstrapMembership(cfg.MemberViewSize / 2)
 	c.WireRandom(cfg.TargetDegree() / 2)
 	c.Start(0)

@@ -19,6 +19,7 @@ package fec
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // MaxSymbols bounds K+R: the Cauchy construction indexes symbols by field
@@ -149,9 +150,25 @@ func split(payload []byte, p Params) ([][]byte, error) {
 // element sets are disjoint, so the matrix is Cauchy and every square
 // submatrix of [I; parity] is invertible — the MDS property the coopcast
 // protocol relies on ("any K of N symbols reconstruct").
+//
+// Decode working memory is recycled through a sync.Pool, so the coder
+// stays safe for concurrent use while steady-state Reconstruct allocates
+// only the recovered symbols themselves (one slab per call).
 type RS struct {
-	p      Params
-	parity [][]byte // R rows × K cols
+	p       Params
+	parity  [][]byte  // R rows × K cols
+	scratch sync.Pool // *rsScratch
+}
+
+// rsScratch is one decode's reusable working set, sized once per coder
+// geometry: at most R sources can be missing (more is ErrShortSet), so
+// every piece is R-bounded.
+type rsScratch struct {
+	miss []int    // missing source indexes
+	reps []int    // repair indexes drafted into the system
+	acc  [][]byte // per-drafted-repair accumulator, SymbolSize each
+	mat  []byte   // m×m Cauchy submatrix, mutated by the inversion
+	inv  []byte   // its inverse
 }
 
 var _ Coder = (*RS)(nil)
@@ -168,6 +185,19 @@ func NewRS(p Params) (*RS, error) {
 			row[j] = gfInv(byte(p.K+i) ^ byte(j))
 		}
 		rs.parity[i] = row
+	}
+	rs.scratch.New = func() any {
+		sc := &rsScratch{
+			miss: make([]int, 0, p.R),
+			reps: make([]int, 0, p.R),
+			acc:  make([][]byte, p.R),
+			mat:  make([]byte, p.R*p.R),
+			inv:  make([]byte, p.R*p.R),
+		}
+		for i := range sc.acc {
+			sc.acc[i] = make([]byte, p.SymbolSize)
+		}
+		return sc
 	}
 	return rs, nil
 }
@@ -234,44 +264,83 @@ func (rs *RS) Reconstruct(symbols [][]byte) error {
 	return nil
 }
 
-// solveSources recovers the missing source symbols by Gaussian elimination
-// over the K×K system formed by K received symbols: a received source j
-// contributes the unit row e_j, a received repair i its Cauchy row. The
-// Cauchy structure guarantees the chosen square system is invertible.
+// solveSources recovers the missing source symbols. Rather than
+// eliminating the full K×K system of received symbols, it subtracts every
+// present source's contribution from m received repair symbols (m = the
+// number of missing sources, at most R) and solves the residual m×m
+// system restricted to the missing columns — the work that used to be
+// O(K²·SymbolSize) with K row allocations is O((K+m)·m·SymbolSize) with
+// pooled scratch. The m×m matrix is a square submatrix of the Cauchy
+// parity block, hence invertible.
 func (rs *RS) solveSources(symbols [][]byte) error {
 	p := rs.p
-	// Pick K received symbols, sources first (their unit rows make the
-	// elimination cheaper).
-	rows := make([][]byte, 0, p.K) // coefficient rows, K wide
-	data := make([][]byte, 0, p.K) // matching right-hand-side symbols
-	for j := 0; j < p.K && len(rows) < p.K; j++ {
-		if symbols[j] != nil {
-			row := make([]byte, p.K)
-			row[j] = 1
-			rows = append(rows, row)
-			data = append(data, symbols[j])
+	sc := rs.scratch.Get().(*rsScratch)
+	defer rs.scratch.Put(sc)
+	miss := sc.miss[:0]
+	for j := 0; j < p.K; j++ {
+		if symbols[j] == nil {
+			miss = append(miss, j)
 		}
 	}
-	for i := 0; i < p.R && len(rows) < p.K; i++ {
+	m := len(miss)
+	reps := sc.reps[:0]
+	for i := 0; i < p.R && len(reps) < m; i++ {
 		if symbols[p.K+i] != nil {
-			rows = append(rows, append([]byte(nil), rs.parity[i]...))
-			data = append(data, symbols[p.K+i])
+			reps = append(reps, i)
 		}
 	}
-	// Gauss-Jordan: reduce [rows | I] to [I | inv]. Right-hand sides are
-	// carried as symbol buffers, mutated by the same row operations, so at
-	// the end data[j] IS source symbol j.
-	rhs := make([][]byte, p.K)
-	for i, d := range data {
-		// Copy: the elimination mutates buffers, and callers' received
-		// symbols must not be touched.
-		rhs[i] = append([]byte(nil), d...)
+	if len(reps) < m {
+		// Unreachable after Reconstruct's have >= K check; kept as a guard.
+		return fmt.Errorf("%w: %d sources missing, %d repairs held", ErrShortSet, m, len(reps))
 	}
-	for col := 0; col < p.K; col++ {
-		// Find a pivot at or below row col.
+	// acc[ri] = repair_{reps[ri]} ⊕ Σ_{present j} parity[reps[ri]][j]·src_j:
+	// what the missing sources must still account for.
+	for ri, i := range reps {
+		acc := sc.acc[ri]
+		copy(acc, symbols[p.K+i])
+		row := rs.parity[i]
+		for j := 0; j < p.K; j++ {
+			if symbols[j] != nil {
+				mulAddRow(acc, symbols[j], row[j])
+			}
+		}
+	}
+	mat, inv := sc.mat[:m*m], sc.inv[:m*m]
+	for ri, i := range reps {
+		for ci, j := range miss {
+			mat[ri*m+ci] = rs.parity[i][j]
+		}
+	}
+	if err := gfInvertMatrix(mat, inv, m); err != nil {
+		return err
+	}
+	// One slab for all recovered symbols; full-slice expressions keep a
+	// later append on one from clobbering its neighbor.
+	slab := make([]byte, m*p.SymbolSize)
+	for ci, j := range miss {
+		out := slab[ci*p.SymbolSize : (ci+1)*p.SymbolSize : (ci+1)*p.SymbolSize]
+		for ri := range reps {
+			mulAddRow(out, sc.acc[ri], inv[ci*m+ri])
+		}
+		symbols[j] = out
+	}
+	sc.miss, sc.reps = miss, reps
+	return nil
+}
+
+// gfInvertMatrix inverts the n×n row-major matrix mat into inv by
+// Gauss-Jordan elimination, destroying mat.
+func gfInvertMatrix(mat, inv []byte, n int) error {
+	for i := range inv {
+		inv[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		inv[i*n+i] = 1
+	}
+	for col := 0; col < n; col++ {
 		piv := -1
-		for r := col; r < p.K; r++ {
-			if rows[r][col] != 0 {
+		for r := col; r < n; r++ {
+			if mat[r*n+col] != 0 {
 				piv = r
 				break
 			}
@@ -279,47 +348,34 @@ func (rs *RS) solveSources(symbols [][]byte) error {
 		if piv < 0 {
 			return fmt.Errorf("fec: singular decode matrix at column %d", col)
 		}
-		rows[col], rows[piv] = rows[piv], rows[col]
-		rhs[col], rhs[piv] = rhs[piv], rhs[col]
-		// Normalize the pivot row.
-		if c := rows[col][col]; c != 1 {
-			inv := gfInv(c)
-			for j := col; j < p.K; j++ {
-				rows[col][j] = gfMul(rows[col][j], inv)
+		if piv != col {
+			for j := 0; j < n; j++ {
+				mat[col*n+j], mat[piv*n+j] = mat[piv*n+j], mat[col*n+j]
+				inv[col*n+j], inv[piv*n+j] = inv[piv*n+j], inv[col*n+j]
 			}
-			scaleRow(rhs[col], inv)
 		}
-		// Eliminate the column everywhere else.
-		for r := 0; r < p.K; r++ {
-			if r == col || rows[r][col] == 0 {
+		if c := mat[col*n+col]; c != 1 {
+			ic := gfInv(c)
+			for j := 0; j < n; j++ {
+				mat[col*n+j] = gfMul(mat[col*n+j], ic)
+				inv[col*n+j] = gfMul(inv[col*n+j], ic)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
 				continue
 			}
-			c := rows[r][col]
-			for j := col; j < p.K; j++ {
-				rows[r][j] ^= gfMul(c, rows[col][j])
+			c := mat[r*n+col]
+			if c == 0 {
+				continue
 			}
-			mulAddRow(rhs[r], rhs[col], c)
-		}
-	}
-	for j := 0; j < p.K; j++ {
-		if symbols[j] == nil {
-			symbols[j] = rhs[j]
+			for j := 0; j < n; j++ {
+				mat[r*n+j] ^= gfMul(c, mat[col*n+j])
+				inv[r*n+j] ^= gfMul(c, inv[col*n+j])
+			}
 		}
 	}
 	return nil
-}
-
-// scaleRow multiplies a symbol buffer by a field constant in place.
-func scaleRow(s []byte, c byte) {
-	if c == 1 {
-		return
-	}
-	logC := int(gfLog[c])
-	for i, v := range s {
-		if v != 0 {
-			s[i] = gfExp[logC+int(gfLog[v])]
-		}
-	}
 }
 
 // XOR is the single-parity coder: one repair symbol equal to the XOR of

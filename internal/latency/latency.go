@@ -44,6 +44,11 @@ const (
 type Matrix struct {
 	n  int
 	us []int32 // row-major n*n, one-way latency in microseconds
+	// regions labels each site with the geographic cluster it was
+	// synthesized in (index into synthClusters), or is nil for matrices
+	// built by NewMatrix/Load. Partition uses the labels as the natural
+	// shard cut; unlabeled matrices are partitioned by distance instead.
+	regions []int16
 }
 
 // NewMatrix returns an all-zero latency matrix over n sites.
@@ -147,8 +152,11 @@ func Synthesize(n int, seed int64) *Matrix {
 		access float64 // per-site last-mile delay, ms
 	}
 	sites := make([]site, n)
+	regions := make([]int16, n)
 	for i := range sites {
-		c := pickCluster(rng)
+		ci := pickCluster(rng)
+		c := synthClusters[ci]
+		regions[i] = int16(ci)
 		sites[i] = site{
 			x:      c.x + rng.NormFloat64()*c.spread,
 			y:      c.y + rng.NormFloat64()*c.spread,
@@ -156,6 +164,7 @@ func Synthesize(n int, seed int64) *Matrix {
 		}
 	}
 	m := NewMatrix(n)
+	m.regions = regions
 	var sum float64
 	var pairs int64
 	for i := 0; i < n; i++ {
@@ -193,16 +202,16 @@ func Synthesize(n int, seed int64) *Matrix {
 	return m
 }
 
-func pickCluster(rng *rand.Rand) cluster {
+func pickCluster(rng *rand.Rand) int {
 	r := rng.Float64()
 	acc := 0.0
-	for _, c := range synthClusters {
+	for i, c := range synthClusters {
 		acc += c.weight
 		if r < acc {
-			return c
+			return i
 		}
 	}
-	return synthClusters[len(synthClusters)-1]
+	return len(synthClusters) - 1
 }
 
 // Save writes the matrix in a plain text format: a header line "sites N"

@@ -1,0 +1,210 @@
+package latency
+
+import (
+	"sort"
+	"time"
+)
+
+// Region returns the geographic cluster label of site i for synthesized
+// matrices, or -1 when the matrix carries no placement information
+// (NewMatrix / Load).
+func (m *Matrix) Region(i int) int {
+	if m.regions == nil {
+		return -1
+	}
+	return int(m.regions[i])
+}
+
+// Partition groups the matrix's sites into up to want shards for
+// conservative parallel simulation, and computes each shard's lookahead
+// bound. It returns the site→shard assignment and, per shard, the
+// minimum one-way latency from any of the shard's sites to any site
+// outside it — the latency floor below which the shard cannot affect
+// another shard, i.e. the safe window for independent advancement.
+//
+// Synthesized matrices are cut along their geographic clusters, which
+// is the natural partition: intra-site traffic is LocalOneWay and
+// inter-region latencies are bounded well below by the ocean gaps, so
+// region cuts maximize the lookahead. When fewer shards are requested
+// than regions, the geographically closest groups are merged; when
+// more are requested, the largest groups are split around their two
+// most distant sites. Unlabeled matrices start as a single group and
+// rely purely on distance splitting.
+//
+// The result is deterministic in the matrix alone. The effective shard
+// count may be lower than want (few sites, or unsplittable groups);
+// degenerate matrices whose cross-shard latency floor is not positive
+// collapse to a single shard, for which minOut is []{0} — callers must
+// treat a single-shard result as "run sequentially".
+func Partition(m *Matrix, want int) (siteShard []int, minOut []time.Duration) {
+	if want > m.n {
+		want = m.n
+	}
+	siteShard = make([]int, m.n)
+	if want <= 1 {
+		return siteShard, []time.Duration{0}
+	}
+
+	var groups [][]int
+	if m.regions != nil {
+		byRegion := map[int16][]int{}
+		for i, r := range m.regions {
+			byRegion[r] = append(byRegion[r], i)
+		}
+		labels := make([]int16, 0, len(byRegion))
+		for r := range byRegion {
+			labels = append(labels, r)
+		}
+		sort.Slice(labels, func(a, b int) bool { return labels[a] < labels[b] })
+		for _, r := range labels {
+			groups = append(groups, byRegion[r])
+		}
+	} else {
+		all := make([]int, m.n)
+		for i := range all {
+			all[i] = i
+		}
+		groups = [][]int{all}
+	}
+
+	for len(groups) > want {
+		groups = mergeClosest(m, groups)
+	}
+	for len(groups) < want {
+		split, ok := splitWidest(m, groups)
+		if !ok {
+			break
+		}
+		groups = split
+	}
+
+	// Canonical shard numbering: ascending minimum site index.
+	sort.Slice(groups, func(a, b int) bool { return minSite(groups[a]) < minSite(groups[b]) })
+	if len(groups) == 1 {
+		return siteShard, []time.Duration{0}
+	}
+	for s, g := range groups {
+		for _, site := range g {
+			siteShard[site] = s
+		}
+	}
+	minOut = make([]time.Duration, len(groups))
+	for s := range minOut {
+		minOut[s] = time.Duration(1) << 62
+	}
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if i == j || siteShard[i] == siteShard[j] {
+				continue
+			}
+			if d := m.OneWay(i, j); d < minOut[siteShard[i]] {
+				minOut[siteShard[i]] = d
+			}
+		}
+	}
+	for _, d := range minOut {
+		if d <= 0 {
+			// A zero entry between shards (partially filled Load matrix)
+			// leaves no safe window: fall back to one shard.
+			return make([]int, m.n), []time.Duration{0}
+		}
+	}
+	return siteShard, minOut
+}
+
+func minSite(g []int) int {
+	min := g[0]
+	for _, s := range g[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// groupDist is the minimum one-way latency between any site of a and
+// any site of b.
+func groupDist(m *Matrix, a, b []int) time.Duration {
+	best := time.Duration(1) << 62
+	for _, i := range a {
+		for _, j := range b {
+			if d := m.OneWay(i, j); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// mergeClosest merges the pair of groups with the smallest cross
+// latency (ties broken by lowest site indexes), keeping the cut along
+// the widest gaps so the surviving shards retain the most lookahead.
+func mergeClosest(m *Matrix, groups [][]int) [][]int {
+	ba, bb := 0, 1
+	best := time.Duration(1)<<62 + 1
+	for a := 0; a < len(groups); a++ {
+		for b := a + 1; b < len(groups); b++ {
+			d := groupDist(m, groups[a], groups[b])
+			if d < best {
+				best, ba, bb = d, a, b
+			}
+		}
+	}
+	merged := append(append([]int{}, groups[ba]...), groups[bb]...)
+	sort.Ints(merged)
+	out := make([][]int, 0, len(groups)-1)
+	for i, g := range groups {
+		if i == ba || i == bb {
+			continue
+		}
+		out = append(out, g)
+	}
+	return append(out, merged)
+}
+
+// splitWidest splits the largest group (>= 2 sites) around its two most
+// distant sites, assigning every site to the nearer pole. Returns false
+// when no group can be split further.
+func splitWidest(m *Matrix, groups [][]int) ([][]int, bool) {
+	gi := -1
+	for i, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		if gi < 0 || len(g) > len(groups[gi]) ||
+			(len(g) == len(groups[gi]) && minSite(g) < minSite(groups[gi])) {
+			gi = i
+		}
+	}
+	if gi < 0 {
+		return groups, false
+	}
+	g := groups[gi]
+	pa, pb := g[0], g[1]
+	var widest time.Duration = -1
+	for x := 0; x < len(g); x++ {
+		for y := x + 1; y < len(g); y++ {
+			if d := m.OneWay(g[x], g[y]); d > widest {
+				widest, pa, pb = d, g[x], g[y]
+			}
+		}
+	}
+	var left, right []int
+	for _, s := range g {
+		// OneWay(s, s) is LocalOneWay, below any cross-site latency, so
+		// each pole lands on its own side and both halves are non-empty.
+		if m.OneWay(s, pa) <= m.OneWay(s, pb) {
+			left = append(left, s)
+		} else {
+			right = append(right, s)
+		}
+	}
+	out := make([][]int, 0, len(groups)+1)
+	for i, grp := range groups {
+		if i == gi {
+			continue
+		}
+		out = append(out, grp)
+	}
+	return append(out, left, right), true
+}

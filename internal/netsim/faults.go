@@ -99,6 +99,9 @@ func (c *Cluster) SetFaults(spec *FaultSpec) {
 		c.faults = nil
 		return
 	}
+	if len(c.shards) > 1 {
+		panic("netsim: link faults require sequential execution (Options.Shards <= 1)")
+	}
 	seed := spec.Seed
 	if seed == 0 {
 		seed = 1

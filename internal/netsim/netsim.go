@@ -7,6 +7,8 @@ package netsim
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gocast/internal/core"
@@ -47,12 +49,46 @@ type Options struct {
 	// Config.TraceSampleEvery). The engine is single-threaded and virtual
 	// time is globally comparable, so one shared buffer stitches exactly.
 	Spans *dtrace.Buffer
+	// Shards requests conservative parallel execution: nodes are
+	// partitioned into region shards along the latency matrix's
+	// geographic clusters, each shard advances on its own event engine
+	// within latency-bounded lookahead windows, and cross-shard sends are
+	// injected at window barriers (DESIGN.md §15). Results are identical
+	// to a sequential run at the same seed regardless of the shard count.
+	// 0 or 1 runs sequentially. The effective count may be lower than
+	// requested (few sites, or no positive inter-shard latency floor —
+	// e.g. every node on one site — falls back to sequential); clusters
+	// with an Observer, Tracer, or Spans buffer always run sequentially,
+	// since those record from inside node callbacks and assume a single
+	// thread. Admission caps and link faults are incompatible with
+	// sharded execution (SetAdmission / SetFaults panic).
+	Shards int
 }
 
 // Cluster is a simulated GoCast deployment.
 type Cluster struct {
+	// Engine is the control engine: the clock the driver schedules
+	// against (injection streams, churn plans, failure timers). In
+	// sequential runs it is also the node engine; in sharded runs node
+	// events live on per-shard engines and control events fire only at
+	// window barriers, while every engine's clock agrees whenever the
+	// driver can observe it.
 	Engine *sim.Engine
 	Matrix *latency.Matrix
+
+	// shards holds the per-shard execution state (engine, pools,
+	// outboxes); sequential runs have exactly one, sharing Engine.
+	// shardOf maps each node slot to its shard, fixed at creation from
+	// the node's site. group coordinates parallel windows (nil when
+	// sequential). keySeq issues each slot's canonical event keys; it is
+	// never reset (not even by Restart) so keys stay globally unique.
+	shards  []*simShard
+	shardOf []int
+	group   *sim.ShardGroup
+	keySeq  []uint32
+	// cachedSiteShard is the site→shard assignment from latency.Partition
+	// (all zeros when sequential), kept for nodes added at runtime.
+	cachedSiteShard []int
 
 	opts   Options
 	rng    *rand.Rand
@@ -74,13 +110,16 @@ type Cluster struct {
 	gen      []int
 	restarts int
 
-	// Delivery accounting.
+	// Delivery accounting. recv rows are appended only between windows
+	// (Inject runs on the control clock); cells are written by the
+	// receiving node's shard, one writer per cell. redelivered is atomic
+	// because two shards may count duplicates concurrently.
 	msgIndex    map[core.MessageID]int
 	msgIDs      []core.MessageID
 	injectTimes []time.Duration
 	sources     []int
 	recv        [][]time.Duration // [msg][node] delivery time, -1 = never
-	redelivered int               // deliveries repeated across a node's lives
+	redelivered atomic.Int64      // deliveries repeated across a node's lives
 
 	// Admission control (see SetAdmission). inflight counts each node's
 	// queued inbound transmissions per class; over-cap sends are shed at
@@ -96,21 +135,51 @@ type Cluster struct {
 
 	// Tree-repair accounting: when a node's parent becomes None, the
 	// detach time is noted; the next re-attach records the repair latency.
+	// detachedAt cells have one writer (the node's shard, or the fence);
+	// the shared recorder needs the mutex because any shard may append.
 	detachedAt []time.Duration
 	repairs    *metrics.DelayRecorder
+	repairMu   sync.Mutex
+}
 
-	// Free lists for the hot-path simulation records. The engine is
-	// single-threaded, so plain slices suffice. deliveryFree recycles the
-	// per-send delivery records (each with a prebuilt closure, so a send
-	// schedules without allocating); wrapFree recycles the env.After
-	// wrapper records that guard callbacks with the life check. The wire
-	// pools recycle Gossip/Multicast/PullRequest structs handed to core
-	// via the MessagePool capability and released after delivery.
+// simShard is one shard's execution state: its event engine, the
+// free lists for the hot-path simulation records, and the outboxes
+// buffering cross-shard sends until the next window barrier. Sequential
+// clusters have exactly one shard whose engine is Cluster.Engine, so
+// the hot path is the same code either way. Each engine is
+// single-threaded, so plain slices suffice for the free lists:
+// deliveryFree recycles the per-send delivery records (each with a
+// prebuilt closure, so a send schedules without allocating); wrapFree
+// recycles the env.After wrapper records that guard callbacks with the
+// life check. The wire pools recycle Gossip/Multicast/PullRequest
+// structs handed to core via the MessagePool capability and released
+// after delivery — a struct sent across shards is released into (and
+// thereafter recycled by) the receiver's shard, which is safe because
+// ownership transfers at a barrier.
+type simShard struct {
+	idx int
+	eng *sim.Engine
+
+	// outbox[d] buffers sends destined for shard d; drained into d's
+	// engine at each barrier. Never touched for d == idx.
+	outbox [][]crossEvent
+
 	deliveryFree []*delivery
 	wrapFree     []*timerWrap
 	gossipFree   []*core.Gossip
 	mcFree       []*core.Multicast
 	prFree       []*core.PullRequest
+}
+
+// crossEvent is one buffered cross-shard transmission: everything the
+// destination shard needs to schedule the delivery under the same
+// timestamp and canonical key the sender computed.
+type crossEvent struct {
+	at   time.Duration
+	key  uint64
+	from core.NodeID
+	to   core.NodeID
+	m    core.Message
 }
 
 // New builds a cluster; nodes are created but idle until Start.
@@ -136,6 +205,8 @@ func New(opts Options) *Cluster {
 		opts:       opts,
 		rng:        rand.New(rand.NewSource(opts.Seed ^ 0x5ca1ab1e)),
 		siteOf:     make([]int, opts.Nodes),
+		shardOf:    make([]int, opts.Nodes),
+		keySeq:     make([]uint32, opts.Nodes),
 		nodes:      make([]*core.Node, opts.Nodes),
 		alive:      make([]bool, opts.Nodes),
 		joined:     make([]time.Duration, opts.Nodes),
@@ -147,8 +218,10 @@ func New(opts Options) *Cluster {
 		msgIndex:   make(map[core.MessageID]int),
 		repairs:    metrics.NewDelayRecorder(),
 	}
+	c.buildShards()
 	for i := 0; i < opts.Nodes; i++ {
 		c.siteOf[i] = i % mat.Sites()
+		c.shardOf[i] = c.siteShard()[c.siteOf[i]]
 		c.alive[i] = true
 		c.detachedAt[i] = -1
 		c.nodes[i] = c.buildNode(i)
@@ -159,22 +232,107 @@ func New(opts Options) *Cluster {
 	return c
 }
 
+// buildShards partitions the latency matrix's sites and constructs the
+// per-shard engines and the window coordinator. Requests that cannot be
+// honored — one shard, observers that record from inside node callbacks,
+// or a matrix with no positive inter-shard latency floor — fall back to
+// a single shard sharing the control engine (plain sequential execution).
+func (c *Cluster) buildShards() {
+	want := c.opts.Shards
+	if c.opts.Observer != nil || c.opts.Tracer != nil || c.opts.Spans != nil {
+		want = 1
+	}
+	var siteShard []int
+	var minOut []time.Duration
+	if want > 1 {
+		siteShard, minOut = latency.Partition(c.Matrix, want)
+	}
+	if len(minOut) <= 1 {
+		sh := &simShard{idx: 0, eng: c.Engine, outbox: make([][]crossEvent, 1)}
+		c.shards = []*simShard{sh}
+		c.cachedSiteShard = make([]int, c.Matrix.Sites())
+		return
+	}
+	c.cachedSiteShard = siteShard
+	engines := make([]*sim.Engine, len(minOut))
+	c.shards = make([]*simShard, len(minOut))
+	for s := range c.shards {
+		engines[s] = sim.NewEngine(c.opts.Seed ^ int64(0x5aa5<<8|s))
+		c.shards[s] = &simShard{idx: s, eng: engines[s], outbox: make([][]crossEvent, len(minOut))}
+	}
+	c.group = sim.NewShardGroup(c.Engine, engines, minOut, c.drainCross)
+}
+
+// siteShard returns the site→shard assignment chosen at construction.
+func (c *Cluster) siteShard() []int { return c.cachedSiteShard }
+
+// EffectiveShards returns how many shards the cluster actually runs
+// (1 = sequential), which may be fewer than Options.Shards requested.
+func (c *Cluster) EffectiveShards() int { return len(c.shards) }
+
+// ExecutedEvents returns the total number of simulation events fired
+// across the control engine and every shard engine.
+func (c *Cluster) ExecutedEvents() uint64 {
+	total := c.Engine.Executed()
+	if c.group != nil {
+		for _, sh := range c.shards {
+			total += sh.eng.Executed()
+		}
+	}
+	return total
+}
+
+// nextKey issues slot id's next canonical event key: slot-major, with a
+// per-slot monotonic counter that survives restarts. Keys order
+// same-instant events identically on every engine, which is what makes
+// sharded results byte-identical to sequential ones (see sim.ScheduleKeyed).
+// Only slot id's own shard (or the fence) draws keys for id, so the
+// counters need no synchronization.
+func (c *Cluster) nextKey(id core.NodeID) uint64 {
+	c.keySeq[id]++
+	return uint64(uint32(id)+1)<<32 | uint64(c.keySeq[id])
+}
+
+// drainCross injects every buffered cross-shard send into its
+// destination shard's engine. The group calls it only at barriers, when
+// all shard goroutines are parked, so it may touch every shard freely.
+func (c *Cluster) drainCross() {
+	for _, src := range c.shards {
+		for dst, evs := range src.outbox {
+			if len(evs) == 0 {
+				continue
+			}
+			d := c.shards[dst]
+			for i := range evs {
+				ev := &evs[i]
+				dl := d.getDelivery(c)
+				dl.from, dl.to, dl.m = ev.from, ev.to, ev.m
+				dl.cls, dl.counted = 0, false
+				d.eng.ScheduleKeyed(ev.at, ev.key, dl.run)
+				ev.m = nil
+			}
+			src.outbox[dst] = evs[:0]
+		}
+	}
+}
+
 // buildNode constructs a protocol instance for slot i with a fresh env of
 // the slot's current generation and wires the delivery, tree-repair, and
 // trace observers. It does not start the node.
 func (c *Cluster) buildNode(i int) *core.Node {
-	e := &env{c: c, id: core.NodeID(i), gen: c.gen[i], rng: rand.New(rand.NewSource(c.rng.Int63()))}
+	sh := c.shards[c.shardOf[i]]
+	e := &env{c: c, sh: sh, id: core.NodeID(i), gen: c.gen[i], rng: rand.New(rand.NewSource(c.rng.Int63()))}
 	n := core.New(core.NodeID(i), c.opts.Config, e)
 	n.SetIncarnation(c.incar[i])
 	idx := i
 	n.OnDeliver(func(id core.MessageID, _ []byte, _ time.Duration) {
-		c.recordDelivery(id, idx)
+		c.recordDelivery(id, idx, sh.eng.Now())
 		if tb := c.opts.Tracer; tb != nil {
 			tb.Addf(c.Engine.Now(), trace.KindDeliver, int32(idx), int32(id.Source), "msg=%s", id)
 		}
 	})
 	n.OnParentChange(func(old, new core.NodeID) {
-		c.noteParentChange(idx, new)
+		c.noteParentChange(idx, new, sh.eng.Now())
 		if tb := c.opts.Tracer; tb != nil {
 			tb.Addf(c.Engine.Now(), trace.KindParentChange, int32(idx), int32(new), "old=%d", old)
 		}
@@ -235,9 +393,10 @@ func (c *Cluster) landmarkEntries() []core.Entry {
 }
 
 // noteParentChange tracks tree-repair latency: the time from losing the
-// parent (or restarting) to re-attaching anywhere.
-func (c *Cluster) noteParentChange(i int, newParent core.NodeID) {
-	now := c.Engine.Now()
+// parent (or restarting) to re-attaching anywhere. now is the clock of
+// the shard the change happened on; detachedAt[i] has a single writer
+// at any time, but the recorder is shared across shards.
+func (c *Cluster) noteParentChange(i int, newParent core.NodeID, now time.Duration) {
 	if newParent == core.None {
 		if c.detachedAt[i] < 0 {
 			c.detachedAt[i] = now
@@ -245,7 +404,9 @@ func (c *Cluster) noteParentChange(i int, newParent core.NodeID) {
 		return
 	}
 	if c.detachedAt[i] >= 0 {
+		c.repairMu.Lock()
 		c.repairs.Add(now - c.detachedAt[i])
+		c.repairMu.Unlock()
 		c.detachedAt[i] = -1
 	}
 }
@@ -356,9 +517,18 @@ func (c *Cluster) Start(root int) {
 	}
 }
 
-// Run advances the simulation by d.
+// Run advances the simulation by d. Sharded clusters run the window
+// protocol; sequential ones drive the engine directly. Either way every
+// engine's clock ends parked at the same instant and all events due in
+// the interval have fired, so Run calls can be freely interleaved with
+// driver calls (Inject, Kill, ...).
 func (c *Cluster) Run(d time.Duration) {
-	c.Engine.Run(c.Engine.Now() + d)
+	target := c.Engine.Now() + d
+	if c.group != nil {
+		c.group.Run(target)
+		return
+	}
+	c.Engine.Run(target)
 }
 
 // Now returns the current simulated time.
@@ -403,6 +573,9 @@ func (a AdmissionCaps) capFor(cls core.Class) int {
 // disables admission control (the default). Over-cap sends are shed at
 // the sender and counted in AdmissionSheds.
 func (c *Cluster) SetAdmission(caps AdmissionCaps) {
+	if len(c.shards) > 1 && caps != (AdmissionCaps{}) {
+		panic("netsim: admission caps require sequential execution (Options.Shards <= 1)")
+	}
 	c.admission = caps
 	if c.inflight == nil && caps != (AdmissionCaps{}) {
 		c.inflight = make([][core.NumClasses]int, len(c.nodes))
@@ -434,9 +607,14 @@ func (c *Cluster) Kill(i int) {
 		return
 	}
 	genAtKill := c.gen[i]
+	at := c.Engine.Now() + c.opts.DetectionDelay
 	for _, nb := range neighbors {
 		peer := int(nb.ID)
-		c.Engine.After(c.opts.DetectionDelay, func() {
+		// The notification is an event of the peer, so it is scheduled on
+		// the peer's shard engine (Kill runs at a fence, where all engine
+		// clocks agree). Unkeyed: control events sort before node events
+		// at the same instant on every engine, identically in both modes.
+		c.shards[c.shardOf[peer]].eng.Schedule(at, func() {
 			// Skip if the dead node already restarted: the peer's broken
 			// connection belonged to the old life, and the new life holds
 			// (or is negotiating) a distinct one.
@@ -471,6 +649,8 @@ func (c *Cluster) KillFraction(frac float64) []int {
 func (c *Cluster) AddNode(contact int) int {
 	i := len(c.nodes)
 	c.siteOf = append(c.siteOf, i%c.Matrix.Sites())
+	c.shardOf = append(c.shardOf, c.cachedSiteShard[i%c.Matrix.Sites()])
+	c.keySeq = append(c.keySeq, 0)
 	c.alive = append(c.alive, true)
 	c.joined = append(c.joined, c.Engine.Now())
 	c.firstJoin = append(c.firstJoin, c.Engine.Now())
@@ -577,25 +757,25 @@ func (c *Cluster) randomLive() int {
 	return -1
 }
 
-func (c *Cluster) recordDelivery(id core.MessageID, node int) {
+func (c *Cluster) recordDelivery(id core.MessageID, node int, now time.Duration) {
 	idx, ok := c.msgIndex[id]
 	if !ok {
 		return
 	}
 	if c.recv[idx][node] < 0 {
-		c.recv[idx][node] = c.Engine.Now()
+		c.recv[idx][node] = now
 	} else {
 		// Second delivery of the same message at the same slot: only
 		// possible across a restart, when the new life's dedup state is
 		// empty. An application-visible duplicate.
-		c.redelivered++
+		c.redelivered.Add(1)
 	}
 }
 
 // Redelivered counts application-level duplicate deliveries — the same
 // tracked message delivered twice at one slot, which only happens when a
 // restarted life re-receives a message its past life already delivered.
-func (c *Cluster) Redelivered() int { return c.redelivered }
+func (c *Cluster) Redelivered() int { return int(c.redelivered.Load()) }
 
 // TreeRepairs returns the distribution of tree-repair latencies: the time
 // from losing a parent (or restarting) to re-attaching to the tree.
@@ -923,9 +1103,12 @@ func (c *Cluster) SumCounters() core.Counters {
 
 // env adapts the cluster to core.Env for one life of one node. gen pins
 // the life: after a Restart the slot's generation advances, so timers and
-// sends armed by the dead past life are silently discarded.
+// sends armed by the dead past life are silently discarded. sh is the
+// node's shard; all of the node's events, timers, and pooled records
+// live there.
 type env struct {
 	c   *Cluster
+	sh  *simShard
 	id  core.NodeID
 	gen int
 	rng *rand.Rand
@@ -947,17 +1130,17 @@ type timerWrap struct {
 	run func()
 }
 
-func (c *Cluster) getWrap() *timerWrap {
-	if n := len(c.wrapFree) - 1; n >= 0 {
-		w := c.wrapFree[n]
-		c.wrapFree = c.wrapFree[:n]
+func (sh *simShard) getWrap() *timerWrap {
+	if n := len(sh.wrapFree) - 1; n >= 0 {
+		w := sh.wrapFree[n]
+		sh.wrapFree = sh.wrapFree[:n]
 		return w
 	}
 	w := &timerWrap{}
 	w.run = func() {
 		e, fn := w.env, w.fn
 		w.env, w.fn = nil, nil
-		c.wrapFree = append(c.wrapFree, w)
+		sh.wrapFree = append(sh.wrapFree, w)
 		if e.live() {
 			fn()
 		}
@@ -977,10 +1160,10 @@ type delivery struct {
 	run     func()
 }
 
-func (c *Cluster) getDelivery() *delivery {
-	if n := len(c.deliveryFree) - 1; n >= 0 {
-		d := c.deliveryFree[n]
-		c.deliveryFree = c.deliveryFree[:n]
+func (sh *simShard) getDelivery(c *Cluster) *delivery {
+	if n := len(sh.deliveryFree) - 1; n >= 0 {
+		d := sh.deliveryFree[n]
+		sh.deliveryFree = sh.deliveryFree[:n]
 		return d
 	}
 	d := &delivery{c: c}
@@ -991,13 +1174,13 @@ func (c *Cluster) getDelivery() *delivery {
 			d.counted = false
 			c.inflight[to][d.cls]--
 		}
-		c.deliveryFree = append(c.deliveryFree, d)
+		sh.deliveryFree = append(sh.deliveryFree, d)
 		// Delivered to whichever life currently owns the address; the
 		// receiver's stale-incarnation guards reject dead-past-life traffic.
 		if c.alive[to] {
 			c.nodes[to].HandleMessage(from, m)
 		}
-		c.releaseMsg(m)
+		sh.releaseMsg(m)
 	}
 	return d
 }
@@ -1009,40 +1192,42 @@ func (c *Cluster) getDelivery() *delivery {
 // outside the pooled records, so recycling is safe.
 
 func (e *env) GetGossip() *core.Gossip {
-	c := e.c
-	if n := len(c.gossipFree) - 1; n >= 0 {
-		g := c.gossipFree[n]
-		c.gossipFree = c.gossipFree[:n]
+	sh := e.sh
+	if n := len(sh.gossipFree) - 1; n >= 0 {
+		g := sh.gossipFree[n]
+		sh.gossipFree = sh.gossipFree[:n]
 		return g
 	}
 	return &core.Gossip{}
 }
 
 func (e *env) GetMulticast() *core.Multicast {
-	c := e.c
-	if n := len(c.mcFree) - 1; n >= 0 {
-		m := c.mcFree[n]
-		c.mcFree = c.mcFree[:n]
+	sh := e.sh
+	if n := len(sh.mcFree) - 1; n >= 0 {
+		m := sh.mcFree[n]
+		sh.mcFree = sh.mcFree[:n]
 		return m
 	}
 	return &core.Multicast{}
 }
 
 func (e *env) GetPullRequest() *core.PullRequest {
-	c := e.c
-	if n := len(c.prFree) - 1; n >= 0 {
-		p := c.prFree[n]
-		c.prFree = c.prFree[:n]
+	sh := e.sh
+	if n := len(sh.prFree) - 1; n >= 0 {
+		p := sh.prFree[n]
+		sh.prFree = sh.prFree[:n]
 		return p
 	}
 	return &core.PullRequest{}
 }
 
-// releaseMsg returns a pooled wire struct to its free list. Every
-// Gossip/Multicast/PullRequest flowing through Cluster.send originates
-// from the pools above (core obtains them via the MessagePool
-// capability); other message kinds are left to the garbage collector.
-func (c *Cluster) releaseMsg(m core.Message) {
+// releaseMsg returns a pooled wire struct to this shard's free list.
+// Every Gossip/Multicast/PullRequest flowing through Cluster.send
+// originates from the pools above (core obtains them via the
+// MessagePool capability); other message kinds are left to the garbage
+// collector. A struct that crossed shards is released into the
+// receiving shard's pool — safe, since it changed owners at a barrier.
+func (sh *simShard) releaseMsg(m core.Message) {
 	switch v := m.(type) {
 	case *core.Gossip:
 		v.IDs = v.IDs[:0]
@@ -1050,13 +1235,13 @@ func (c *Cluster) releaseMsg(m core.Message) {
 		v.Obits = v.Obits[:0]
 		v.Syms = v.Syms[:0]
 		v.Degrees = core.Degrees{}
-		c.gossipFree = append(c.gossipFree, v)
+		sh.gossipFree = append(sh.gossipFree, v)
 	case *core.Multicast:
 		*v = core.Multicast{}
-		c.mcFree = append(c.mcFree, v)
+		sh.mcFree = append(sh.mcFree, v)
 	case *core.PullRequest:
 		v.IDs = v.IDs[:0]
-		c.prFree = append(c.prFree, v)
+		sh.prFree = append(sh.prFree, v)
 	}
 }
 
@@ -1066,7 +1251,7 @@ func (e *env) live() bool {
 	return e.c.alive[id] && e.c.gen[id] == e.gen
 }
 
-func (e *env) Now() time.Duration { return e.c.Engine.Now() }
+func (e *env) Now() time.Duration { return e.sh.eng.Now() }
 
 func (e *env) Rand(n int) int {
 	if n <= 0 {
@@ -1078,11 +1263,11 @@ func (e *env) Rand(n int) int {
 func (e *env) Learn(core.Entry) {}
 
 func (e *env) After(d time.Duration, fn func()) core.Timer {
-	w := e.c.getWrap()
+	w := e.sh.getWrap()
 	w.env = e
 	w.fn = fn
-	h := e.c.Engine.Schedule(e.c.Engine.Now()+d, w.run)
-	return core.MakeTimer(e.c.Engine, uint64(h))
+	h := e.sh.eng.ScheduleKeyed(e.sh.eng.Now()+d, e.c.nextKey(e.id), w.run)
+	return core.MakeTimer(e.sh.eng, uint64(h))
 }
 
 func (e *env) Send(to core.NodeID, m core.Message) { e.c.send(e, to, m, true) }
@@ -1091,10 +1276,15 @@ func (e *env) SendDatagram(to core.NodeID, m core.Message) { e.c.send(e, to, m, 
 
 // send takes ownership of m: core hands each pooled wire struct to exactly
 // one Send call, so every path out of here — dropped or delivered — must
-// end in releaseMsg.
+// end in releaseMsg. It runs on the sender's shard; deliveries within
+// the shard are scheduled directly, deliveries to another shard are
+// buffered in the outbox and injected at the next window barrier
+// (always in the future: the arrival lags by at least the inter-shard
+// latency floor that bounds the window).
 func (c *Cluster) send(from *env, to core.NodeID, m core.Message, reliable bool) {
+	sh := from.sh
 	if int(to) < 0 || int(to) >= len(c.nodes) || from.id == to || !from.live() {
-		c.releaseMsg(m)
+		sh.releaseMsg(m)
 		return
 	}
 	if c.opts.Observer != nil {
@@ -1104,23 +1294,26 @@ func (c *Cluster) send(from *env, to core.NodeID, m core.Message, reliable bool)
 		if reliable && c.detect {
 			// The sender's TCP connection to the dead peer resets — unless
 			// the peer restarts first, in which case the new life's
-			// connection supersedes the broken one.
+			// connection supersedes the broken one. The reset is the
+			// sender's own event: it stays on the sender's shard and
+			// carries the sender's next canonical key.
 			toGen := c.gen[to]
-			c.Engine.After(c.opts.DetectionDelay, func() {
+			sh.eng.ScheduleKeyed(sh.eng.Now()+c.opts.DetectionDelay, c.nextKey(from.id), func() {
 				if from.live() && c.gen[to] == toGen {
 					c.nodes[from.id].PeerDown(to)
 				}
 			})
 		}
-		c.releaseMsg(m)
+		sh.releaseMsg(m)
 		return
 	}
 	// Link faults (partitions, loss, delay, bandwidth queueing). Blocked
 	// and dropped transmissions are silent blackholes: detection is the
-	// protocol's job, recovery gossip's.
-	extra, ok := c.judgeFault(int(from.id), int(to), m.WireSize(), c.Engine.Now())
+	// protocol's job, recovery gossip's. Sequential-only (SetFaults
+	// panics on sharded clusters).
+	extra, ok := c.judgeFault(int(from.id), int(to), m.WireSize(), sh.eng.Now())
 	if !ok {
-		c.releaseMsg(m)
+		sh.releaseMsg(m)
 		return
 	}
 	counted := false
@@ -1130,15 +1323,21 @@ func (c *Cluster) send(from *env, to core.NodeID, m core.Message, reliable bool)
 		if cap := c.admission.capFor(cls); cap > 0 {
 			if c.inflight[to][cls] >= cap {
 				c.admShed[cls]++
-				c.releaseMsg(m)
+				sh.releaseMsg(m)
 				return
 			}
 			c.inflight[to][cls]++
 			counted = true
 		}
 	}
-	dl := c.getDelivery()
+	at := sh.eng.Now() + c.OneWay(int(from.id), int(to)) + extra
+	key := c.nextKey(from.id)
+	if dst := c.shardOf[to]; dst != sh.idx {
+		sh.outbox[dst] = append(sh.outbox[dst], crossEvent{at: at, key: key, from: from.id, to: to, m: m})
+		return
+	}
+	dl := sh.getDelivery(c)
 	dl.from, dl.to, dl.m = from.id, to, m
 	dl.cls, dl.counted = cls, counted
-	c.Engine.Schedule(c.Engine.Now()+c.OneWay(int(from.id), int(to))+extra, dl.run)
+	sh.eng.ScheduleKeyed(at, key, dl.run)
 }

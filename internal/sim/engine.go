@@ -52,9 +52,19 @@ type Engine struct {
 }
 
 // heapSlot is one priority-queue entry: the event's deadline, its
-// scheduling sequence number (FIFO tie-break), and its slab slot.
+// canonical ordering key, its scheduling sequence number (FIFO
+// tie-break of last resort), and its slab slot.
+//
+// key exists for sharded execution: events carrying the same (at, key)
+// on any engine fire in the same relative order regardless of which
+// engine they were scheduled on or in what wall-clock interleaving, so
+// a simulation whose events carry globally unique keys produces
+// identical results at any shard count. Key 0 is the "unkeyed" class
+// (control/driver events); it sorts before all keyed events at the
+// same instant and falls back to seq order among itself.
 type heapSlot struct {
 	at  time.Duration
+	key uint64
 	seq uint64
 	idx uint32
 }
@@ -133,6 +143,16 @@ func (e *Engine) At(at time.Duration, fn func()) Timer {
 // size. Substrate adapters that wrap engine timers in their own handle
 // types should use Schedule/Cancel directly to avoid the Timer wrapper.
 func (e *Engine) Schedule(at time.Duration, fn func()) Handle {
+	return e.ScheduleKeyed(at, 0, fn)
+}
+
+// ScheduleKeyed schedules fn with an explicit canonical ordering key.
+// Events at the same instant fire in ascending key order (seq breaks
+// remaining ties, so key 0 events keep FIFO order among themselves).
+// Callers that need results independent of how events were distributed
+// across shard engines must give every event a globally unique nonzero
+// key; see heapSlot for the ordering contract.
+func (e *Engine) ScheduleKeyed(at time.Duration, key uint64, fn func()) Handle {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
@@ -150,7 +170,7 @@ func (e *Engine) Schedule(at time.Duration, fn func()) Handle {
 	ev := &e.events[idx]
 	ev.fn = fn
 	ev.cancelled = false
-	e.push(heapSlot{at: at, seq: e.seq, idx: idx})
+	e.push(heapSlot{at: at, key: key, seq: e.seq, idx: idx})
 	e.seq++
 	return makeHandle(idx, ev.gen)
 }
@@ -228,6 +248,9 @@ func slotLess(a, b heapSlot) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
 	return a.seq < b.seq
 }
 
@@ -303,6 +326,39 @@ func (e *Engine) next() (heapSlot, func(), bool) {
 		return s, fn, true
 	}
 	return heapSlot{}, nil, false
+}
+
+// NextAt reports the time of the earliest live pending event. Stale
+// (cancelled) slots at the top of the queue are discarded as a side
+// effect, so the call is amortized O(1). ok is false when no live
+// events are pending.
+func (e *Engine) NextAt() (at time.Duration, ok bool) {
+	for len(e.queue) > 0 {
+		top := e.queue[0]
+		if !e.events[top.idx].cancelled {
+			return top.at, true
+		}
+		e.popMin()
+		e.stale--
+		e.recycle(top.idx)
+	}
+	return 0, false
+}
+
+// AdvanceTo moves the clock forward to t without firing events. It is
+// the barrier primitive for sharded execution: after Run(W-1) drains a
+// half-open window [T, W), AdvanceTo(W) parks the engine exactly at the
+// barrier so the next window starts from W. Calling it with a live
+// event pending before t would silently reorder the simulation, so that
+// is a panic; t in the past is a no-op.
+func (e *Engine) AdvanceTo(t time.Duration) {
+	if t <= e.now {
+		return
+	}
+	if at, ok := e.NextAt(); ok && at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) with live event pending at %v", t, at))
+	}
+	e.now = t
 }
 
 // Stop makes Run return after the currently executing event completes.

@@ -14,16 +14,30 @@ import (
 // safe except for Counters, Len, and Bytes snapshots being internally
 // consistent when driven from a single thread; core drives it from the
 // node's event loop.
+//
+// Records live in a slab: the map stores slot indices into one flat
+// []memRec, and dropped slots are recycled through a free list. In
+// steady state Put costs zero allocations (amortized map and slab
+// growth aside) where a map of *memRec would heap-allocate one record
+// per message.
 type Memory struct {
 	limits Limits
 
-	// recs is keyed by the packed (source, seq) pair: a uint64 key takes
-	// the runtime's fast map path, where the two-field struct key would
-	// hash through the generic path on every Put/Get/Has.
-	recs map[uint64]*memRec
+	// recs maps the packed (source, seq) pair to the record's slab slot.
+	// A uint64 key takes the runtime's fast map path, where the two-field
+	// struct key would hash through the generic path on every Put/Get/Has.
+	recs map[uint64]int32
+	// slab backs every record, live or tombstoned; free lists the slots
+	// of dropped tombstones for reuse. Slab pointers are only valid until
+	// the next alloc — helpers re-derive &slab[i] after any growth.
+	slab []memRec
+	free []int32
 	// bySource holds each source's live sequence numbers in ascending
 	// order (payloads arrive in order per source on the hot path, so
-	// inserts are usually appends).
+	// inserts are usually appends). Drained sources keep their empty
+	// slice so a source that cycles through GC and re-appears reuses the
+	// capacity instead of reallocating; sources are node identities, so
+	// the map is bounded by group size.
 	bySource map[int32][]uint32
 	// evictQ is insertion-ordered live IDs; eviction pops from the front,
 	// lazily skipping records already reclaimed by GC.
@@ -62,11 +76,14 @@ func pk(id ID) uint64 { return uint64(uint32(id.Source))<<32 | uint64(id.Seq) }
 // unpk reverses pk.
 func unpk(k uint64) ID { return ID{Source: int32(k >> 32), Seq: uint32(k)} }
 
-// NewMemory builds an empty bounded in-memory store.
+// NewMemory builds an empty bounded in-memory store. Nothing is
+// pre-sized: simulations instantiate one store per node, most of which
+// stay nearly empty, so reserving the count cap up front would multiply
+// the swarm's footprint by orders of magnitude.
 func NewMemory(limits Limits) *Memory {
 	return &Memory{
 		limits:   limits.withDefaults(),
-		recs:     make(map[uint64]*memRec),
+		recs:     make(map[uint64]int32),
 		bySource: make(map[int32][]uint32),
 		counters: metrics.NewAtomicCounter(),
 	}
@@ -75,14 +92,56 @@ func NewMemory(limits Limits) *Memory {
 // Limits returns the store's resolved (defaulted) limits.
 func (m *Memory) Limits() Limits { return m.limits }
 
+// alloc claims a zeroed slab slot, recycling a dropped one when possible.
+func (m *Memory) alloc() int32 {
+	if n := len(m.free); n > 0 {
+		i := m.free[n-1]
+		m.free = m.free[:n-1]
+		m.slab[i] = memRec{}
+		return i
+	}
+	if len(m.slab) == cap(m.slab) {
+		// Doubling, except a store that has demonstrably grown large (past
+		// 512 records) jumps straight to its count cap: one resize for the
+		// rest of its life instead of several more allocate-zero-copy
+		// rounds. Small stores — the overwhelming majority in a simulated
+		// swarm — never overallocate.
+		newCap := cap(m.slab) * 2
+		if newCap < 32 {
+			newCap = 32
+		}
+		if mm := m.limits.MaxMessages; mm > 0 && mm <= 1<<20 &&
+			cap(m.slab) >= 512 && newCap < mm+1 {
+			newCap = mm + 1
+		}
+		grown := make([]memRec, len(m.slab), newCap)
+		copy(grown, m.slab)
+		m.slab = grown
+	}
+	m.slab = append(m.slab, memRec{})
+	return int32(len(m.slab) - 1)
+}
+
+// lookup resolves an ID to its slab record, nil if unknown.
+func (m *Memory) lookup(id ID) *memRec {
+	if i, ok := m.recs[pk(id)]; ok {
+		return &m.slab[i]
+	}
+	return nil
+}
+
 // Put inserts a payload, evicting the oldest live records if the caps
 // would be exceeded.
 func (m *Memory) Put(id ID, payload []byte, now time.Duration) bool {
-	if _, ok := m.recs[pk(id)]; ok {
+	k := pk(id)
+	if _, ok := m.recs[k]; ok {
 		m.counters.Inc("duplicate_puts", 1)
 		return false
 	}
-	m.recs[pk(id)] = &memRec{payload: payload, storedAt: now}
+	i := m.alloc()
+	r := &m.slab[i]
+	r.payload, r.storedAt = payload, now
+	m.recs[k] = i
 	m.insertSeq(id)
 	m.evictQ = append(m.evictQ, id)
 	m.bytes += int64(len(payload))
@@ -101,7 +160,7 @@ func (m *Memory) enforceCaps(now time.Duration) {
 	for (overCount() || overBytes()) && len(m.evictQ) > 0 {
 		id := m.evictQ[0]
 		m.evictQ = m.evictQ[1:]
-		r := m.recs[pk(id)]
+		r := m.lookup(id)
 		if r == nil || r.reclaimed {
 			continue // lazily skip records GC reclaimed first
 		}
@@ -128,8 +187,8 @@ func (m *Memory) reclaim(id ID, r *memRec, now time.Duration) {
 // Get returns the payload of a live whole record; symbol-granular records
 // answer through GetSymbol / RangeSymbols instead.
 func (m *Memory) Get(id ID) ([]byte, bool) {
-	r, ok := m.recs[pk(id)]
-	if !ok || r.reclaimed || r.syms != nil {
+	r := m.lookup(id)
+	if r == nil || r.reclaimed || r.syms != nil {
 		return nil, false
 	}
 	return r.payload, true
@@ -141,10 +200,12 @@ func (m *Memory) PutSymbol(id ID, idx int, data []byte, meta SymbolMeta, now tim
 		m.counters.Inc("rejected_symbol_puts", 1)
 		return false
 	}
-	r, ok := m.recs[pk(id)]
-	if !ok {
-		r = &memRec{storedAt: now, syms: make([][]byte, meta.N), symMeta: meta}
-		m.recs[pk(id)] = r
+	r := m.lookup(id)
+	if r == nil {
+		i := m.alloc()
+		r = &m.slab[i]
+		r.storedAt, r.syms, r.symMeta = now, make([][]byte, meta.N), meta
+		m.recs[pk(id)] = i
 		m.insertSeq(id)
 		m.evictQ = append(m.evictQ, id)
 		m.live++
@@ -164,8 +225,8 @@ func (m *Memory) PutSymbol(id ID, idx int, data []byte, meta SymbolMeta, now tim
 
 // GetSymbol returns one held symbol of a live symbol-granular record.
 func (m *Memory) GetSymbol(id ID, idx int) ([]byte, bool) {
-	r, ok := m.recs[pk(id)]
-	if !ok || r.reclaimed || r.syms == nil || !r.have.Has(idx) {
+	r := m.lookup(id)
+	if r == nil || r.reclaimed || r.syms == nil || !r.have.Has(idx) {
 		return nil, false
 	}
 	return r.syms[idx], true
@@ -173,8 +234,8 @@ func (m *Memory) GetSymbol(id ID, idx int) ([]byte, bool) {
 
 // SymbolInfo reports a live symbol-granular record's geometry and bitmap.
 func (m *Memory) SymbolInfo(id ID) (SymbolMeta, SymbolSet, bool) {
-	r, ok := m.recs[pk(id)]
-	if !ok || r.reclaimed || r.syms == nil {
+	r := m.lookup(id)
+	if r == nil || r.reclaimed || r.syms == nil {
 		return SymbolMeta{}, SymbolSet{}, false
 	}
 	return r.symMeta, r.have, true
@@ -182,8 +243,8 @@ func (m *Memory) SymbolInfo(id ID) (SymbolMeta, SymbolSet, bool) {
 
 // RangeSymbols visits held symbols in ascending index order.
 func (m *Memory) RangeSymbols(id ID, visit func(idx int, data []byte) bool) {
-	r, ok := m.recs[pk(id)]
-	if !ok || r.reclaimed || r.syms == nil {
+	r := m.lookup(id)
+	if r == nil || r.reclaimed || r.syms == nil {
 		return
 	}
 	for i, s := range r.syms {
@@ -204,14 +265,14 @@ func (m *Memory) Has(id ID) bool {
 
 // MarkStable schedules reclamation Retention from now.
 func (m *Memory) MarkStable(id ID, now time.Duration) {
-	if r, ok := m.recs[pk(id)]; ok && !r.reclaimed {
+	if r := m.lookup(id); r != nil && !r.reclaimed {
 		r.releaseAt = now + m.limits.Retention
 	}
 }
 
 // Unstable cancels a pending reclamation.
 func (m *Memory) Unstable(id ID) {
-	if r, ok := m.recs[pk(id)]; ok && !r.reclaimed {
+	if r := m.lookup(id); r != nil && !r.reclaimed {
 		r.releaseAt = 0
 	}
 }
@@ -246,7 +307,7 @@ func (m *Memory) Range(source int32, low, high uint32, visit func(id ID, payload
 	i := sort.Search(len(seqs), func(k int) bool { return seqs[k] >= low })
 	for ; i < len(seqs) && seqs[i] <= high; i++ {
 		id := ID{Source: source, Seq: seqs[i]}
-		r := m.recs[pk(id)]
+		r := m.lookup(id)
 		if r == nil || r.reclaimed {
 			continue
 		}
@@ -257,14 +318,17 @@ func (m *Memory) Range(source int32, low, high uint32, visit func(id ID, payload
 }
 
 // GC sweeps: stable payloads past their release time and unstable payloads
-// past MaxAge are reclaimed; expired tombstones are dropped.
+// past MaxAge are reclaimed; expired tombstones are dropped and their slab
+// slots recycled.
 func (m *Memory) GC(now time.Duration) GCResult {
 	var res GCResult
-	for k, r := range m.recs {
+	for k, i := range m.recs {
+		r := &m.slab[i]
 		id := unpk(k)
 		if r.reclaimed {
 			if now >= r.dropAt {
 				delete(m.recs, k)
+				m.free = append(m.free, i)
 				res.Dropped = append(res.Dropped, id)
 				m.counters.Inc("tombstones_dropped", 1)
 			}
@@ -285,7 +349,7 @@ func (m *Memory) GC(now time.Duration) GCResult {
 	// the queue grow without bound in steady state.
 	q := m.evictQ[:0]
 	for _, id := range m.evictQ {
-		if r, ok := m.recs[pk(id)]; ok && !r.reclaimed {
+		if r := m.lookup(id); r != nil && !r.reclaimed {
 			q = append(q, id)
 		}
 	}
@@ -316,17 +380,13 @@ func (m *Memory) insertSeq(id ID) {
 	m.bySource[id.Source] = seqs
 }
 
-// removeSeq deletes id.Seq from its source's sorted index.
+// removeSeq deletes id.Seq from its source's sorted index, keeping the
+// drained slice (and its capacity) for the source's next burst.
 func (m *Memory) removeSeq(id ID) {
 	seqs := m.bySource[id.Source]
 	i := sort.Search(len(seqs), func(k int) bool { return seqs[k] >= id.Seq })
 	if i >= len(seqs) || seqs[i] != id.Seq {
 		return
 	}
-	seqs = append(seqs[:i], seqs[i+1:]...)
-	if len(seqs) == 0 {
-		delete(m.bySource, id.Source)
-	} else {
-		m.bySource[id.Source] = seqs
-	}
+	m.bySource[id.Source] = append(seqs[:i], seqs[i+1:]...)
 }
